@@ -1,0 +1,88 @@
+// Shared helpers for the figure-reproduction benches. Every binary prints
+// the paper's expectation next to the measured value, so `for b in bench/*;
+// do $b; done` doubles as the EXPERIMENTS.md evidence generator.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+#include "workload/trace.h"
+
+namespace tango::bench {
+
+inline const workload::ServiceCatalog& Catalog() {
+  static const workload::ServiceCatalog cat =
+      workload::ServiceCatalog::Standard();
+  return cat;
+}
+
+/// Standard mixed trace for the scheduler comparisons.
+inline workload::Trace MixedTrace(int clusters, double lc_rps, double be_rps,
+                                  SimDuration duration,
+                                  std::uint64_t seed = 31,
+                                  workload::Pattern pattern =
+                                      workload::Pattern::kP3,
+                                  double hotspot_fraction = 0.5,
+                                  int num_hotspots = 1) {
+  workload::TraceConfig tc;
+  tc.catalog = &Catalog();
+  tc.num_clusters = clusters;
+  tc.duration = duration;
+  tc.lc_rps = lc_rps;
+  tc.be_rps = be_rps;
+  tc.seed = seed;
+  tc.hotspot_fraction = hotspot_fraction;
+  tc.num_hotspots = num_hotspots;
+  return workload::GeneratePattern(pattern, tc);
+}
+
+/// Run one experiment with a framework pair on physical clusters.
+inline eval::ExperimentResult RunPair(
+    const workload::Trace& trace, int clusters,
+    framework::LcAlgo lc, framework::BeAlgo be, bool with_hrm,
+    SimDuration duration, const framework::FrameworkOptions& opts = {},
+    const std::vector<k8s::ClusterSpec>* cluster_specs = nullptr,
+    std::uint64_t system_seed = 9) {
+  eval::ExperimentConfig cfg;
+  cfg.system.clusters = cluster_specs != nullptr
+                            ? *cluster_specs
+                            : eval::PhysicalClusters(clusters);
+  // Physical testbed clusters sit within LC-dispatch range of each other
+  // (the paper's §5.2 footnote: within 500 km); the default 1200 km region
+  // is for the 100+-cluster hybrid layout.
+  if (cluster_specs == nullptr) cfg.system.region_km = 450.0;
+  cfg.system.seed = system_seed;
+  cfg.trace = trace;
+  cfg.duration = duration;
+  cfg.label = std::string(framework::LcAlgoName(lc)) + "+" +
+              framework::BeAlgoName(be) + (with_hrm ? "+HRM" : "");
+  return eval::RunExperiment(
+      cfg,
+      [&](k8s::EdgeCloudSystem& s) {
+        return framework::InstallPair(s, lc, be, with_hrm, opts);
+      },
+      Catalog());
+}
+
+/// Print a "paper vs measured" check line.
+inline void PaperCheck(const char* what, const char* paper,
+                       const std::string& measured, bool holds) {
+  std::printf("  [%s] %-46s paper: %-34s measured: %s\n",
+              holds ? "ok" : "!!", what, paper, measured.c_str());
+}
+
+inline std::vector<double> UtilSeries(const eval::ExperimentResult& r) {
+  return eval::Field(r.periods,
+                     +[](const k8s::PeriodStats& p) { return p.util_total; });
+}
+
+inline double QosSeriesPoint(const k8s::PeriodStats& p) {
+  return p.lc_arrived > 0
+             ? static_cast<double>(p.lc_qos_met) /
+                   static_cast<double>(p.lc_arrived)
+             : 1.0;
+}
+
+}  // namespace tango::bench

@@ -1,0 +1,101 @@
+// Scenario: a regional cloud-rendering provider (the paper's motivating
+// PPIO-style deployment) running AR/VR and cloud-gaming sessions (LC)
+// across ten geo-distributed edge sites, co-locating video transcoding
+// backlогs (BE). Load follows a diurnal curve with an evening peak
+// concentrated on two metro sites.
+//
+// The example contrasts Tango with CERES (local elasticity, no traffic
+// scheduling) over the same day and prints the per-hour picture.
+//
+//   $ ./examples/cloud_rendering
+#include <cstdio>
+
+#include "eval/harness.h"
+
+using namespace tango;
+
+namespace {
+
+std::vector<double> HourlyQos(const k8s::EdgeCloudSystem& system,
+                              SimDuration day) {
+  std::vector<double> met(24, 0.0), arrived(24, 0.0);
+  for (const auto& p : system.periods()) {
+    const int h = std::min<int>(
+        23, static_cast<int>(static_cast<double>(p.period_start) /
+                             static_cast<double>(day) * 24.0));
+    met[static_cast<std::size_t>(h)] += p.lc_qos_met;
+    arrived[static_cast<std::size_t>(h)] += p.lc_arrived;
+  }
+  std::vector<double> out(24, 1.0);
+  for (int h = 0; h < 24; ++h) {
+    if (arrived[static_cast<std::size_t>(h)] > 0) {
+      out[static_cast<std::size_t>(h)] =
+          met[static_cast<std::size_t>(h)] / arrived[static_cast<std::size_t>(h)];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const workload::ServiceCatalog catalog = workload::ServiceCatalog::Standard();
+  constexpr SimDuration kDay = 120 * kSecond;  // 24 h compressed into 120 s
+
+  k8s::SystemConfig sys;
+  sys.clusters = eval::PhysicalClusters(10);
+  sys.region_km = 450.0;  // metro region: every site within LC range
+  sys.seed = 33;
+
+  workload::TraceConfig tc;
+  tc.catalog = &catalog;
+  tc.num_clusters = 10;
+  tc.duration = kDay;
+  tc.lc_rps = 55.0;
+  tc.be_rps = 14.0;
+  tc.hotspot_fraction = 0.55;  // two metro sites carry most sessions
+  tc.num_hotspots = 2;
+  tc.seed = 29;
+  const workload::Trace trace = workload::GenerateDiurnal(tc, 24.0);
+
+  auto run = [&](framework::FrameworkKind kind) {
+    k8s::EdgeCloudSystem system(sys, &catalog);
+    auto fw = framework::InstallFramework(system, kind);
+    system.SubmitTrace(trace);
+    system.Run(kDay + 10 * kSecond);
+    return std::pair<k8s::RunSummary, std::vector<double>>(
+        system.Summary(), HourlyQos(system, kDay));
+  };
+
+  std::printf("cloud rendering — 10 edge sites, 24 h diurnal, %zu requests\n\n",
+              trace.size());
+  const auto [tango_s, tango_hourly] = run(framework::FrameworkKind::kTango);
+  const auto [ceres_s, ceres_hourly] = run(framework::FrameworkKind::kCeres);
+
+  std::printf("  hourly session QoS-sat (hours 0..23, evening peak at 19-21)\n");
+  std::printf("    Tango  %s\n", eval::Sparkline(tango_hourly, 24).c_str());
+  std::printf("    CERES  %s\n", eval::Sparkline(ceres_hourly, 24).c_str());
+
+  eval::PrintTable(
+      "day summary",
+      {"framework", "session QoS-sat", "p95 latency", "transcode done",
+       "mean util", "sessions dropped"},
+      {{"Tango", eval::Pct(tango_s.qos_satisfaction),
+        eval::Fmt(tango_s.p95_latency_ms, 1) + " ms",
+        std::to_string(tango_s.be_completed), eval::Pct(tango_s.mean_util),
+        std::to_string(tango_s.lc_abandoned)},
+       {"CERES", eval::Pct(ceres_s.qos_satisfaction),
+        eval::Fmt(ceres_s.p95_latency_ms, 1) + " ms",
+        std::to_string(ceres_s.be_completed), eval::Pct(ceres_s.mean_util),
+        std::to_string(ceres_s.lc_abandoned)}});
+
+  std::printf("\n  evening-peak QoS (19-21h): Tango %s vs CERES %s\n",
+              eval::Pct((tango_hourly[19] + tango_hourly[20] +
+                         tango_hourly[21]) / 3.0).c_str(),
+              eval::Pct((ceres_hourly[19] + ceres_hourly[20] +
+                         ceres_hourly[21]) / 3.0).c_str());
+  std::printf("  Tango reroutes peak sessions from the metro hotspots to "
+              "nearby idle sites;\n  CERES has no traffic scheduling and "
+              "rides out the peak locally.\n");
+  return 0;
+}

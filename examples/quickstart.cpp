@@ -1,0 +1,76 @@
+// Quickstart: build a 4-cluster edge-cloud, co-locate LC and BE services,
+// run the same trace under plain Kubernetes and under Tango, and compare the
+// three headline metrics (utilization, QoS-guarantee satisfaction,
+// BE throughput).
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "eval/harness.h"
+#include "workload/trace.h"
+
+using namespace tango;
+
+int main() {
+  const workload::ServiceCatalog catalog = workload::ServiceCatalog::Standard();
+
+  // ---- 1. Describe the edge-cloud: 4 clusters × (1 master + 4 workers).
+  k8s::SystemConfig sys;
+  sys.clusters = eval::PhysicalClusters(4);
+  sys.seed = 42;
+
+  // ---- 2. Generate a mixed LC/BE trace (random arrivals, pattern P3).
+  workload::TraceConfig tc;
+  tc.catalog = &catalog;
+  tc.num_clusters = 4;
+  tc.duration = 60 * kSecond;
+  tc.lc_rps = 30.0;
+  tc.be_rps = 6.0;
+  tc.seed = 7;
+  const workload::Trace trace =
+      workload::GeneratePattern(workload::Pattern::kP3, tc);
+  std::printf("trace: %zu requests over %.0f s\n", trace.size(),
+              ToSeconds(tc.duration));
+
+  // ---- 3. Run once as plain K8s, once as Tango.
+  eval::ExperimentConfig cfg;
+  cfg.system = sys;
+  cfg.trace = trace;
+  cfg.duration = tc.duration + 10 * kSecond;
+
+  auto run = [&](framework::FrameworkKind kind) {
+    cfg.label = framework::FrameworkKindName(kind);
+    return eval::RunExperiment(
+        cfg,
+        [kind](k8s::EdgeCloudSystem& s) {
+          return framework::InstallFramework(s, kind);
+        },
+        catalog);
+  };
+  const eval::ExperimentResult k8s_native =
+      run(framework::FrameworkKind::kK8sNative);
+  const eval::ExperimentResult tango_run = run(framework::FrameworkKind::kTango);
+
+  // ---- 4. Report.
+  auto row = [](const eval::ExperimentResult& r) {
+    return std::vector<std::string>{
+        r.label, eval::Pct(r.summary.mean_util),
+        eval::Pct(r.summary.qos_satisfaction),
+        std::to_string(r.summary.be_completed),
+        eval::Fmt(r.summary.mean_latency_ms, 1) + " ms",
+        std::to_string(r.summary.lc_abandoned)};
+  };
+  eval::PrintTable("quickstart: K8s vs Tango (same trace)",
+                   {"framework", "mean util", "QoS-sat", "BE done",
+                    "LC latency", "abandoned"},
+                   {row(k8s_native), row(tango_run)});
+  std::printf("\nTango vs K8s-native: util %+.1f%%, QoS-sat %+.1f%%, "
+              "throughput %+.1f%%\n",
+              100.0 * (tango_run.summary.mean_util - k8s_native.summary.mean_util),
+              100.0 * (tango_run.summary.qos_satisfaction -
+                       k8s_native.summary.qos_satisfaction),
+              100.0 * (tango_run.summary.be_throughput /
+                           std::max(1.0, k8s_native.summary.be_throughput) -
+                       1.0));
+  return 0;
+}

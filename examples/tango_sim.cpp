@@ -1,0 +1,166 @@
+// tango_sim — command-line driver for the simulator.
+//
+// Runs one experiment from flags and optionally exports per-request and
+// per-period CSVs for offline analysis:
+//
+//   $ ./examples/tango_sim --framework=tango --clusters=6 --lc-rps=60 \\
+//         --be-rps=12 --duration-s=45 --seed=7 --records=run.csv
+//
+// Flags (all optional):
+//   --framework=tango|ceres|dsaco|k8s   (default tango)
+//   --clusters=N                        (default 4, physical spec)
+//   --hybrid=N                          (adds N heterogeneous clusters)
+//   --pattern=p1|p2|p3|diurnal|google   (default p3)
+//   --lc-rps=X --be-rps=X               (per cluster; defaults 40 / 8)
+//   --duration-s=X                      (trace seconds; default 60)
+//   --hotspot=F                         (hotspot load fraction; default 0.5)
+//   --seed=N                            (default 42)
+//   --records=path.csv --periods=path.csv --trace-out=path.csv
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "eval/export.h"
+#include "eval/harness.h"
+#include "workload/trace_io.h"
+
+using namespace tango;
+
+namespace {
+
+struct Flags {
+  std::string framework = "tango";
+  int clusters = 4;
+  int hybrid = 0;
+  std::string pattern = "p3";
+  double lc_rps = 40.0;
+  double be_rps = 8.0;
+  double duration_s = 60.0;
+  double hotspot = 0.5;
+  std::uint64_t seed = 42;
+  std::string records_path;
+  std::string periods_path;
+  std::string trace_out;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* f) {
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "framework", &v)) {
+      f->framework = v;
+    } else if (ParseFlag(argv[i], "clusters", &v)) {
+      f->clusters = std::stoi(v);
+    } else if (ParseFlag(argv[i], "hybrid", &v)) {
+      f->hybrid = std::stoi(v);
+    } else if (ParseFlag(argv[i], "pattern", &v)) {
+      f->pattern = v;
+    } else if (ParseFlag(argv[i], "lc-rps", &v)) {
+      f->lc_rps = std::stod(v);
+    } else if (ParseFlag(argv[i], "be-rps", &v)) {
+      f->be_rps = std::stod(v);
+    } else if (ParseFlag(argv[i], "duration-s", &v)) {
+      f->duration_s = std::stod(v);
+    } else if (ParseFlag(argv[i], "hotspot", &v)) {
+      f->hotspot = std::stod(v);
+    } else if (ParseFlag(argv[i], "seed", &v)) {
+      f->seed = std::stoull(v);
+    } else if (ParseFlag(argv[i], "records", &v)) {
+      f->records_path = v;
+    } else if (ParseFlag(argv[i], "periods", &v)) {
+      f->periods_path = v;
+    } else if (ParseFlag(argv[i], "trace-out", &v)) {
+      f->trace_out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags f;
+  if (!ParseFlags(argc, argv, &f)) return 2;
+
+  const workload::ServiceCatalog catalog = workload::ServiceCatalog::Standard();
+  const int total_clusters = f.clusters + f.hybrid;
+
+  workload::TraceConfig tc;
+  tc.catalog = &catalog;
+  tc.num_clusters = total_clusters;
+  tc.duration = FromSeconds(f.duration_s);
+  tc.lc_rps = f.lc_rps;
+  tc.be_rps = f.be_rps;
+  tc.hotspot_fraction = f.hotspot;
+  tc.seed = f.seed;
+  workload::Trace trace;
+  if (f.pattern == "p1") {
+    trace = workload::GeneratePattern(workload::Pattern::kP1, tc);
+  } else if (f.pattern == "p2") {
+    trace = workload::GeneratePattern(workload::Pattern::kP2, tc);
+  } else if (f.pattern == "diurnal") {
+    trace = workload::GenerateDiurnal(tc);
+  } else if (f.pattern == "google") {
+    trace = workload::GenerateGoogleStyle(tc);
+  } else {
+    trace = workload::GeneratePattern(workload::Pattern::kP3, tc);
+  }
+  if (!f.trace_out.empty()) {
+    workload::WriteTraceCsvFile(f.trace_out, trace);
+  }
+
+  k8s::SystemConfig sys;
+  sys.clusters = f.hybrid > 0
+                     ? eval::HybridClusters(f.clusters, f.hybrid, f.seed)
+                     : eval::PhysicalClusters(f.clusters);
+  sys.seed = f.seed + 1;
+  k8s::EdgeCloudSystem system(sys, &catalog);
+
+  framework::FrameworkKind kind = framework::FrameworkKind::kTango;
+  if (f.framework == "ceres") kind = framework::FrameworkKind::kCeres;
+  if (f.framework == "dsaco") kind = framework::FrameworkKind::kDsaco;
+  if (f.framework == "k8s") kind = framework::FrameworkKind::kK8sNative;
+  framework::Assembly fw = framework::InstallFramework(system, kind);
+
+  system.SubmitTrace(trace);
+  system.Run(tc.duration + 10 * kSecond);
+
+  const k8s::RunSummary s = system.Summary();
+  std::printf("%s on %d clusters (%zu requests, %s pattern)\n",
+              framework::FrameworkKindName(kind), total_clusters,
+              trace.size(), f.pattern.c_str());
+  std::printf("  LC: %d arrived, %d completed, %d QoS-met (%.1f%%), %d "
+              "abandoned\n",
+              s.lc_total, s.lc_completed, s.lc_qos_met,
+              100.0 * s.qos_satisfaction, s.lc_abandoned);
+  std::printf("  LC latency: mean %.1f ms, p95 %.1f ms\n", s.mean_latency_ms,
+              s.p95_latency_ms);
+  std::printf("  BE: %d of %d completed\n", s.be_completed, s.be_total);
+  std::printf("  mean utilization: %.1f%%\n", 100.0 * s.mean_util);
+  std::printf("  D-VPA scaling ops: %lld\n",
+              static_cast<long long>(system.total_scaling_ops()));
+
+  if (!f.records_path.empty()) {
+    if (eval::WriteRecordsCsvFile(f.records_path, system)) {
+      std::printf("  wrote per-request records to %s\n",
+                  f.records_path.c_str());
+    }
+  }
+  if (!f.periods_path.empty()) {
+    if (eval::WritePeriodsCsvFile(f.periods_path, system)) {
+      std::printf("  wrote per-period series to %s\n", f.periods_path.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Strongly-typed integer identifiers for the entities of the edge-cloud
+// system. A thin wrapper prevents accidentally mixing, say, a NodeId with a
+// ClusterId in an API call.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace tango {
+
+template <class Tag>
+struct Id {
+  std::int32_t value = -1;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::int32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value >= 0; }
+  constexpr auto operator<=>(const Id&) const = default;
+};
+
+struct ClusterTag {};
+struct NodeTag {};
+struct PodTag {};
+struct ContainerTag {};
+struct ServiceTag {};
+struct RequestTag {};
+
+/// Identifies an edge-cloud cluster (the paper's b ∈ B).
+using ClusterId = Id<ClusterTag>;
+/// Identifies a node globally (unique across all clusters).
+using NodeId = Id<NodeTag>;
+using PodId = Id<PodTag>;
+using ContainerId = Id<ContainerTag>;
+/// Identifies a service type (the paper's k ∈ K); 10 types in the eval.
+using ServiceId = Id<ServiceTag>;
+using RequestId = Id<RequestTag>;
+
+}  // namespace tango
+
+namespace std {
+template <class Tag>
+struct hash<tango::Id<Tag>> {
+  size_t operator()(const tango::Id<Tag>& id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};
+}  // namespace std

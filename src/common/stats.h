@@ -1,0 +1,101 @@
+// Small statistics helpers: percentiles, running means, windowed latency
+// collection. Used by the QoS detector (p95 tail latency, §4.3) and the
+// evaluation harness.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/units.h"
+
+namespace tango {
+
+/// Percentile of a sample set (nearest-rank on a copy; q in [0,1]).
+/// Returns 0 for an empty sample.
+template <class T>
+T Percentile(std::vector<T> values, double q) {
+  if (values.empty()) return T{};
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(q * (values.size() - 1) + 0.5);
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
+/// Mean of a sample set; 0 for empty input.
+template <class T>
+double Mean(const std::vector<T>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& v : values) sum += static_cast<double>(v);
+  return sum / static_cast<double>(values.size());
+}
+
+/// Accumulates (value, time) observations and answers percentile queries over
+/// a sliding window — the 100 ms QoS collection window of §4.3.
+class WindowedSamples {
+ public:
+  explicit WindowedSamples(SimDuration window) : window_(window) {}
+
+  void Add(SimTime now, double value) {
+    samples_.push_back({now, value});
+    Evict(now);
+  }
+
+  /// Drop samples older than `now - window`.
+  void Evict(SimTime now) {
+    while (!samples_.empty() && samples_.front().time < now - window_) {
+      samples_.pop_front();
+    }
+  }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Percentile(double q) const {
+    std::vector<double> v;
+    v.reserve(samples_.size());
+    for (const auto& s : samples_) v.push_back(s.value);
+    return tango::Percentile(std::move(v), q);
+  }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& s : samples_) sum += s.value;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+ private:
+  struct Sample {
+    SimTime time;
+    double value;
+  };
+  SimDuration window_;
+  std::deque<Sample> samples_;
+};
+
+/// Running mean/min/max without storing samples.
+class RunningStat {
+ public:
+  void Add(double v) {
+    ++n_;
+    sum_ += v;
+    min_ = n_ == 1 ? v : std::min(min_, v);
+    max_ = n_ == 1 ? v : std::max(max_, v);
+  }
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace tango

@@ -1,0 +1,58 @@
+// Strongly-typed units used throughout Tango.
+//
+// All simulation time is kept in integer microseconds (SimTime); CPU in
+// millicores (1000 = one core); memory in MiB. Integer arithmetic keeps the
+// discrete-event simulation deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace tango {
+
+/// Virtual simulation time in microseconds since experiment start.
+using SimTime = std::int64_t;
+
+/// Duration in microseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+
+constexpr double ToMilliseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr SimDuration FromMilliseconds(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+constexpr SimDuration FromSeconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+/// CPU capacity/demand in millicores (1000 == one physical core).
+using Millicores = std::int64_t;
+
+/// Memory capacity/demand in mebibytes.
+using MiB = std::int64_t;
+
+constexpr Millicores kCore = 1000;
+
+/// Network bandwidth in kilobits per second.
+using Kbps = std::int64_t;
+
+/// Transfer sizes in bytes.
+using Bytes = std::int64_t;
+
+/// Time to push `size` bytes through a `bw` kbps link, in microseconds.
+constexpr SimDuration TransferTime(Bytes size, Kbps bw) {
+  if (bw <= 0) return 0;
+  // bytes * 8 bits / (kbps * 1000 / 1e6) = bytes * 8000 / kbps microseconds.
+  return size * 8000 / bw;
+}
+
+}  // namespace tango

@@ -1,0 +1,73 @@
+#include "eval/export.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace tango::eval {
+
+namespace {
+const char* OutcomeName(k8s::Outcome o) {
+  switch (o) {
+    case k8s::Outcome::kPending:
+      return "pending";
+    case k8s::Outcome::kCompleted:
+      return "completed";
+    case k8s::Outcome::kAbandoned:
+      return "abandoned";
+  }
+  return "?";
+}
+}  // namespace
+
+std::size_t WriteRecordsCsv(std::ostream& out,
+                            const k8s::EdgeCloudSystem& system) {
+  out << "request_id,service,class,origin,target_node,outcome,arrival_us,"
+         "dispatched_us,completed_us,latency_us,qos_met,reschedules\n";
+  std::size_t rows = 0;
+  const auto& catalog = system.catalog();
+  for (const auto& rec : system.records()) {
+    if (!rec.request.id.valid()) continue;
+    const auto& svc = catalog.Get(rec.request.service);
+    out << rec.request.id.value << ',' << svc.name << ','
+        << workload::ServiceClassName(svc.cls) << ','
+        << rec.request.origin.value << ',' << rec.target.value << ','
+        << OutcomeName(rec.outcome) << ',' << rec.request.arrival << ','
+        << rec.dispatched << ',' << rec.completed << ',' << rec.latency
+        << ',' << (rec.qos_met ? 1 : 0) << ',' << rec.reschedules << "\n";
+    ++rows;
+  }
+  return rows;
+}
+
+bool WriteRecordsCsvFile(const std::string& path,
+                         const k8s::EdgeCloudSystem& system) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteRecordsCsv(out, system);
+  return static_cast<bool>(out);
+}
+
+std::size_t WritePeriodsCsv(std::ostream& out,
+                            const k8s::EdgeCloudSystem& system) {
+  out << "period_start_us,util_total,util_lc,util_be,lc_arrived,"
+         "lc_completed,lc_qos_met,lc_abandoned,be_completed\n";
+  std::size_t rows = 0;
+  for (const auto& p : system.periods()) {
+    out << p.period_start << ',' << p.util_total << ',' << p.util_lc << ','
+        << p.util_be << ',' << p.lc_arrived << ',' << p.lc_completed << ','
+        << p.lc_qos_met << ',' << p.lc_abandoned << ',' << p.be_completed
+        << "\n";
+    ++rows;
+  }
+  return rows;
+}
+
+bool WritePeriodsCsvFile(const std::string& path,
+                         const k8s::EdgeCloudSystem& system) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WritePeriodsCsv(out, system);
+  return static_cast<bool>(out);
+}
+
+}  // namespace tango::eval

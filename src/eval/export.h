@@ -1,0 +1,29 @@
+// Result export: per-request records and per-period aggregates as CSV so
+// runs can be analyzed/plotted outside the binary (the role the paper's
+// collected Prometheus data plays).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "k8s/system.h"
+
+namespace tango::eval {
+
+/// One row per request:
+///   request_id,service,class,origin,target_node,outcome,arrival_us,
+///   dispatched_us,completed_us,latency_us,qos_met,reschedules
+std::size_t WriteRecordsCsv(std::ostream& out,
+                            const k8s::EdgeCloudSystem& system);
+bool WriteRecordsCsvFile(const std::string& path,
+                         const k8s::EdgeCloudSystem& system);
+
+/// One row per 800 ms period:
+///   period_start_us,util_total,util_lc,util_be,lc_arrived,lc_completed,
+///   lc_qos_met,lc_abandoned,be_completed
+std::size_t WritePeriodsCsv(std::ostream& out,
+                            const k8s::EdgeCloudSystem& system);
+bool WritePeriodsCsvFile(const std::string& path,
+                         const k8s::EdgeCloudSystem& system);
+
+}  // namespace tango::eval

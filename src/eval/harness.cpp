@@ -1,0 +1,145 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace tango::eval {
+
+std::vector<k8s::ClusterSpec> PhysicalClusters(int n) {
+  std::vector<k8s::ClusterSpec> out;
+  for (int i = 0; i < n; ++i) {
+    k8s::ClusterSpec spec;
+    spec.num_workers = 4;
+    spec.worker_capacity = {4 * kCore, 8 * 1024};
+    out.push_back(spec);
+  }
+  return out;
+}
+
+std::vector<k8s::ClusterSpec> HybridClusters(int physical, int virtual_n,
+                                             std::uint64_t seed) {
+  std::vector<k8s::ClusterSpec> out = PhysicalClusters(physical);
+  Rng rng(seed);
+  for (int i = 0; i < virtual_n; ++i) {
+    k8s::ClusterSpec spec;
+    spec.num_workers = static_cast<int>(rng.UniformInt(3, 20));
+    spec.heterogeneous = true;
+    out.push_back(spec);
+  }
+  return out;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& cfg,
+                               const InstallFn& install,
+                               const workload::ServiceCatalog& catalog) {
+  k8s::EdgeCloudSystem system(cfg.system, &catalog);
+  framework::Assembly assembly = install(system);
+  system.SubmitTrace(cfg.trace);
+  system.Run(cfg.duration);
+  ExperimentResult r;
+  r.label = cfg.label.empty() ? assembly.description() : cfg.label;
+  r.summary = system.Summary();
+  r.periods = system.periods();
+  r.scaling_ops = system.total_scaling_ops();
+  if (assembly.lc_scheduler() != nullptr &&
+      assembly.lc_scheduler()->decisions() > 0) {
+    r.lc_decision_ms_avg =
+        assembly.lc_scheduler()->decision_seconds() * 1000.0 /
+        static_cast<double>(assembly.lc_scheduler()->decisions());
+  }
+  return r;
+}
+
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> width(headers.size());
+  for (std::size_t j = 0; j < headers.size(); ++j) width[j] = headers[j].size();
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < row.size() && j < width.size(); ++j) {
+      width[j] = std::max(width[j], row[j].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("  ");
+    for (std::size_t j = 0; j < width.size(); ++j) {
+      const std::string& cell = j < row.size() ? row[j] : std::string();
+      std::printf("%-*s  ", static_cast<int>(width[j]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers);
+  std::vector<std::string> rule;
+  for (std::size_t j = 0; j < width.size(); ++j) {
+    rule.push_back(std::string(width[j], '-'));
+  }
+  print_row(rule);
+  for (const auto& row : rows) print_row(row);
+}
+
+std::string Sparkline(const std::vector<double>& values, int width) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return {};
+  const std::vector<double> v =
+      Downsample(values, static_cast<std::size_t>(width));
+  double lo = v[0], hi = v[0];
+  for (double x : v) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  const double span = hi - lo < 1e-12 ? 1.0 : hi - lo;
+  std::string out;
+  for (double x : v) {
+    const int idx = std::clamp(
+        static_cast<int>((x - lo) / span * 7.999), 0, 7);
+    out += kLevels[idx];
+  }
+  return out;
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * v);
+  return buf;
+}
+
+std::vector<double> Downsample(const std::vector<double>& v, std::size_t n) {
+  if (v.size() <= n || n == 0) return v;
+  std::vector<double> out;
+  out.reserve(n);
+  const double stride = static_cast<double>(v.size()) / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto lo = static_cast<std::size_t>(static_cast<double>(i) * stride);
+    const auto hi = std::min(
+        v.size(), static_cast<std::size_t>(static_cast<double>(i + 1) * stride) + 1);
+    double sum = 0.0;
+    std::size_t cnt = 0;
+    for (std::size_t k = lo; k < hi; ++k) {
+      sum += v[k];
+      ++cnt;
+    }
+    out.push_back(cnt == 0 ? 0.0 : sum / static_cast<double>(cnt));
+  }
+  return out;
+}
+
+std::vector<double> Field(const std::vector<k8s::PeriodStats>& periods,
+                          double (*get)(const k8s::PeriodStats&)) {
+  std::vector<double> out;
+  out.reserve(periods.size());
+  for (const auto& p : periods) out.push_back(get(p));
+  return out;
+}
+
+}  // namespace tango::eval

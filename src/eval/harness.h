@@ -1,0 +1,65 @@
+// Experiment harness: canonical cluster layouts, a one-call experiment
+// runner, and plain-text table/series printers used by every bench binary.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tango/framework.h"
+
+namespace tango::eval {
+
+/// The four "physical" clusters of §6.1 (1 master + 4 workers, 4 CPU/8 GB).
+std::vector<k8s::ClusterSpec> PhysicalClusters(int n = 4);
+
+/// The full dual-space layout: `physical` homogeneous clusters plus
+/// `virtual_n` heterogeneous clusters of 3–20 workers (§6.1).
+std::vector<k8s::ClusterSpec> HybridClusters(int physical, int virtual_n,
+                                             std::uint64_t seed);
+
+struct ExperimentConfig {
+  k8s::SystemConfig system;
+  workload::Trace trace;
+  SimDuration duration = 60 * kSecond;
+  std::string label;
+};
+
+struct ExperimentResult {
+  std::string label;
+  k8s::RunSummary summary;
+  std::vector<k8s::PeriodStats> periods;
+  std::int64_t scaling_ops = 0;
+  double lc_decision_ms_avg = 0.0;  // mean DSS-LC wall time per decision
+};
+
+/// Build a system for `cfg`, let `install` wire schedulers/policies (the
+/// returned Assembly is kept alive), run the trace, return the result.
+using InstallFn =
+    std::function<framework::Assembly(k8s::EdgeCloudSystem&)>;
+ExperimentResult RunExperiment(const ExperimentConfig& cfg,
+                               const InstallFn& install,
+                               const workload::ServiceCatalog& catalog);
+
+// ---- Plain-text reporting -------------------------------------------------
+
+/// Print an aligned table: `rows[i][j]` under `headers[j]`.
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Render a numeric series as a compact sparkline row (for figure shapes).
+std::string Sparkline(const std::vector<double>& values, int width = 60);
+
+/// Format helpers.
+std::string Fmt(double v, int precision = 3);
+std::string Pct(double v, int precision = 1);
+
+/// Downsample a per-period series to `n` points (mean pooling).
+std::vector<double> Downsample(const std::vector<double>& v, std::size_t n);
+
+/// Extract one field across periods.
+std::vector<double> Field(const std::vector<k8s::PeriodStats>& periods,
+                          double (*get)(const k8s::PeriodStats&));
+
+}  // namespace tango::eval

@@ -1,0 +1,158 @@
+#include "flow/mcmf.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace tango::flow {
+
+MinCostMaxFlow::MinCostMaxFlow(int num_nodes)
+    : first_out_(static_cast<std::size_t>(num_nodes), -1),
+      potential_(static_cast<std::size_t>(num_nodes), 0),
+      dist_(static_cast<std::size_t>(num_nodes), kInfCost),
+      prev_arc_(static_cast<std::size_t>(num_nodes), -1),
+      visited_(static_cast<std::size_t>(num_nodes), false) {
+  TANGO_CHECK(num_nodes > 0, "graph needs at least one node");
+}
+
+int MinCostMaxFlow::AddArc(int from, int to, FlowUnit capacity,
+                           CostUnit cost) {
+  TANGO_CHECK(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes(),
+              "arc endpoints out of range: %d -> %d", from, to);
+  TANGO_CHECK(capacity >= 0, "negative capacity");
+  const int id = static_cast<int>(arcs_.size());
+  arcs_.push_back({to, first_out_[static_cast<std::size_t>(from)], capacity,
+                   cost});
+  first_out_[static_cast<std::size_t>(from)] = id;
+  arcs_.push_back({from, first_out_[static_cast<std::size_t>(to)], 0, -cost});
+  first_out_[static_cast<std::size_t>(to)] = id + 1;
+  initial_cap_.push_back(capacity);
+  return id / 2;
+}
+
+FlowUnit MinCostMaxFlow::Flow(int arc_id) const {
+  // Flow on the forward arc equals the residual capacity of its reverse.
+  return arcs_[static_cast<std::size_t>(2 * arc_id + 1)].cap;
+}
+
+FlowUnit MinCostMaxFlow::Residual(int arc_id) const {
+  return arcs_[static_cast<std::size_t>(2 * arc_id)].cap;
+}
+
+void MinCostMaxFlow::ResetFlow() {
+  for (std::size_t i = 0; i < initial_cap_.size(); ++i) {
+    arcs_[2 * i].cap = initial_cap_[i];
+    arcs_[2 * i + 1].cap = 0;
+  }
+  std::fill(potential_.begin(), potential_.end(), 0);
+}
+
+bool MinCostMaxFlow::BellmanFord(int source) {
+  std::fill(dist_.begin(), dist_.end(), kInfCost);
+  dist_[static_cast<std::size_t>(source)] = 0;
+  // SPFA queue-based relaxation.
+  std::deque<int> queue{source};
+  std::vector<bool> in_queue(static_cast<std::size_t>(num_nodes()), false);
+  in_queue[static_cast<std::size_t>(source)] = true;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    in_queue[static_cast<std::size_t>(u)] = false;
+    for (int a = first_out_[static_cast<std::size_t>(u)]; a != -1;
+         a = arcs_[static_cast<std::size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.cap <= 0) continue;
+      const CostUnit nd = dist_[static_cast<std::size_t>(u)] + arc.cost;
+      if (nd < dist_[static_cast<std::size_t>(arc.to)]) {
+        dist_[static_cast<std::size_t>(arc.to)] = nd;
+        if (!in_queue[static_cast<std::size_t>(arc.to)]) {
+          queue.push_back(arc.to);
+          in_queue[static_cast<std::size_t>(arc.to)] = true;
+        }
+      }
+    }
+  }
+  for (int v = 0; v < num_nodes(); ++v) {
+    if (dist_[static_cast<std::size_t>(v)] < kInfCost) {
+      potential_[static_cast<std::size_t>(v)] =
+          dist_[static_cast<std::size_t>(v)];
+    }
+  }
+  return true;
+}
+
+bool MinCostMaxFlow::DijkstraReduced(int source, int sink) {
+  std::fill(dist_.begin(), dist_.end(), kInfCost);
+  std::fill(prev_arc_.begin(), prev_arc_.end(), -1);
+  std::fill(visited_.begin(), visited_.end(), false);
+  using Entry = std::pair<CostUnit, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist_[static_cast<std::size_t>(source)] = 0;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (visited_[static_cast<std::size_t>(u)]) continue;
+    visited_[static_cast<std::size_t>(u)] = true;
+    for (int a = first_out_[static_cast<std::size_t>(u)]; a != -1;
+         a = arcs_[static_cast<std::size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.cap <= 0 || visited_[static_cast<std::size_t>(arc.to)]) continue;
+      const CostUnit reduced = arc.cost +
+                               potential_[static_cast<std::size_t>(u)] -
+                               potential_[static_cast<std::size_t>(arc.to)];
+      TANGO_CHECK(reduced >= 0, "negative reduced cost %lld",
+                  static_cast<long long>(reduced));
+      const CostUnit nd = d + reduced;
+      if (nd < dist_[static_cast<std::size_t>(arc.to)]) {
+        dist_[static_cast<std::size_t>(arc.to)] = nd;
+        prev_arc_[static_cast<std::size_t>(arc.to)] = a;
+        pq.push({nd, arc.to});
+      }
+    }
+  }
+  if (!visited_[static_cast<std::size_t>(sink)]) return false;
+  for (int v = 0; v < num_nodes(); ++v) {
+    if (dist_[static_cast<std::size_t>(v)] < kInfCost) {
+      potential_[static_cast<std::size_t>(v)] +=
+          dist_[static_cast<std::size_t>(v)];
+    }
+  }
+  return true;
+}
+
+MinCostMaxFlow::Result MinCostMaxFlow::Solve(int source, int sink,
+                                             FlowUnit amount) {
+  TANGO_CHECK(source != sink, "source == sink");
+  Result result;
+  // Admit negative costs once, then switch to Dijkstra on reduced costs.
+  BellmanFord(source);
+  while (result.max_flow < amount) {
+    if (!DijkstraReduced(source, sink)) break;
+    // Find bottleneck along the shortest path.
+    FlowUnit push = amount - result.max_flow;
+    for (int v = sink; v != source;
+         v = arcs_[static_cast<std::size_t>(
+                       prev_arc_[static_cast<std::size_t>(v)] ^ 1)]
+                 .to) {
+      const int a = prev_arc_[static_cast<std::size_t>(v)];
+      push = std::min(push, arcs_[static_cast<std::size_t>(a)].cap);
+    }
+    // Apply it.
+    for (int v = sink; v != source;
+         v = arcs_[static_cast<std::size_t>(
+                       prev_arc_[static_cast<std::size_t>(v)] ^ 1)]
+                 .to) {
+      const int a = prev_arc_[static_cast<std::size_t>(v)];
+      arcs_[static_cast<std::size_t>(a)].cap -= push;
+      arcs_[static_cast<std::size_t>(a ^ 1)].cap += push;
+      result.total_cost += push * arcs_[static_cast<std::size_t>(a)].cost;
+    }
+    result.max_flow += push;
+  }
+  result.saturated = (result.max_flow == amount);
+  return result;
+}
+
+}  // namespace tango::flow

@@ -1,0 +1,75 @@
+// Min-cost max-flow solver used by DSS-LC in place of the paper's OR-Tools
+// dependency (§5.2.2).
+//
+// Successive shortest augmenting paths with Johnson potentials: an initial
+// Bellman-Ford pass admits negative edge costs, after which each augmentation
+// runs Dijkstra on reduced costs. For the integer MCNF instances DSS-LC
+// builds (unit "request" commodities, delay costs), this returns the same
+// optimum OR-Tools' SimpleMinCostFlow would.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace tango::flow {
+
+using FlowUnit = std::int64_t;
+using CostUnit = std::int64_t;
+
+constexpr CostUnit kInfCost = std::numeric_limits<CostUnit>::max() / 4;
+
+class MinCostMaxFlow {
+ public:
+  /// Create a solver over `num_nodes` graph nodes (0-based indices).
+  explicit MinCostMaxFlow(int num_nodes);
+
+  /// Add a directed arc; returns an arc id usable with Flow(arc).
+  /// Capacity must be >= 0. Cost may be negative.
+  int AddArc(int from, int to, FlowUnit capacity, CostUnit cost);
+
+  int num_nodes() const { return static_cast<int>(first_out_.size()); }
+  int num_arcs() const { return static_cast<int>(arcs_.size()) / 2; }
+
+  struct Result {
+    FlowUnit max_flow = 0;
+    CostUnit total_cost = 0;
+    bool saturated = false;  ///< true iff max_flow == requested amount
+  };
+
+  /// Push up to `amount` flow from `source` to `sink` at minimum cost.
+  /// Pass kMaxFlow to compute the true max flow.
+  static constexpr FlowUnit kMaxFlow =
+      std::numeric_limits<FlowUnit>::max() / 4;
+  Result Solve(int source, int sink, FlowUnit amount = kMaxFlow);
+
+  /// Flow pushed through arc `arc_id` by the last Solve call.
+  FlowUnit Flow(int arc_id) const;
+
+  /// Residual capacity of arc `arc_id`.
+  FlowUnit Residual(int arc_id) const;
+
+  /// Reset all flow (keeps the graph).
+  void ResetFlow();
+
+ private:
+  struct Arc {
+    int to;
+    int next;          // next arc out of the same tail
+    FlowUnit cap;      // residual capacity
+    CostUnit cost;
+  };
+
+  bool BellmanFord(int source);
+  bool DijkstraReduced(int source, int sink);
+
+  std::vector<Arc> arcs_;         // arc 2i is forward, 2i+1 its reverse
+  std::vector<FlowUnit> initial_cap_;  // per forward arc id
+  std::vector<int> first_out_;
+  std::vector<CostUnit> potential_;
+  std::vector<CostUnit> dist_;
+  std::vector<int> prev_arc_;
+  std::vector<bool> visited_;
+};
+
+}  // namespace tango::flow

@@ -1,0 +1,98 @@
+#include "hrm/dvpa.h"
+
+#include "common/logging.h"
+
+namespace tango::hrm {
+
+using cgroup::Hierarchy;
+using cgroup::WriteResult;
+
+std::int64_t QuotaFromMillicores(Millicores m) {
+  // quota_us / period_us == cores; period is 100'000 µs.
+  return m * 100;
+}
+
+ScaleResult DvpaScaler::Scale(Hierarchy& h, const std::string& pod_path,
+                              const std::string& container_path,
+                              Millicores cpu, MiB mem) const {
+  ScaleResult result;
+  const cgroup::Group* pod = h.Find(pod_path);
+  const cgroup::Group* container = h.Find(container_path);
+  if (pod == nullptr || container == nullptr) return result;
+
+  const std::int64_t new_quota = QuotaFromMillicores(cpu);
+  const std::int64_t old_pod_quota = pod->knobs().cpu_cfs_quota_us;
+  // Expansion if the pod bound must grow (or is currently unlimited-to-
+  // limited transition counts as shrink of an infinite bound — treat
+  // unlimited as "larger than anything", so setting a finite value shrinks).
+  const bool cpu_expand =
+      old_pod_quota >= 0 && new_quota > old_pod_quota;
+  auto write_cpu = [&](const std::string& path) {
+    const WriteResult r = h.WriteCpuQuota(path, new_quota);
+    if (r != WriteResult::kOk) return false;
+    ++result.writes;
+    return true;
+  };
+  // Ordered CPU writes: expand pod→container, shrink container→pod.
+  const bool cpu_ok = cpu_expand
+                          ? (write_cpu(pod_path) && write_cpu(container_path))
+                          : (write_cpu(container_path) && write_cpu(pod_path));
+  if (!cpu_ok) {
+    result.latency = result.writes * latency_.per_write;
+    return result;
+  }
+
+  const MiB old_pod_mem = pod->knobs().memory_limit;
+  const bool mem_expand = old_pod_mem >= 0 && mem > old_pod_mem;
+  auto write_mem = [&](const std::string& path) {
+    const WriteResult r = h.WriteMemoryLimit(path, mem);
+    if (r != WriteResult::kOk) return false;
+    ++result.writes;
+    return true;
+  };
+  const bool mem_ok = mem_expand
+                          ? (write_mem(pod_path) && write_mem(container_path))
+                          : (write_mem(container_path) && write_mem(pod_path));
+  result.ok = mem_ok;
+  result.latency = result.writes * latency_.per_write;
+  result.uninterrupted = true;  // cgroup writes never stop the container
+  return result;
+}
+
+ScaleResult DvpaScaler::NativeRebuild(Hierarchy& h,
+                                      const std::string& pod_path,
+                                      const std::string& container_name,
+                                      Millicores cpu, MiB mem) const {
+  ScaleResult result;
+  const cgroup::Group* pod = h.Find(pod_path);
+  if (pod == nullptr) return result;
+  const std::string parent =
+      pod_path.substr(0, pod_path.rfind('/'));
+  const std::string pod_name = pod_path.substr(pod_path.rfind('/') + 1);
+  // Delete children, then the pod.
+  const std::string container_path = pod_path + "/" + container_name;
+  if (h.Find(container_path) != nullptr) {
+    if (h.Remove(container_path) != WriteResult::kOk) return result;
+  }
+  if (h.Remove(pod_path) != WriteResult::kOk) return result;
+  // Recreate with new limits (pod before container, as kubelet does).
+  cgroup::Group* new_pod = h.Create(parent, pod_name);
+  if (new_pod == nullptr) return result;
+  if (h.WriteCpuQuota(pod_path, QuotaFromMillicores(cpu)) != WriteResult::kOk)
+    return result;
+  if (h.WriteMemoryLimit(pod_path, mem) != WriteResult::kOk) return result;
+  result.writes += 2;
+  if (h.Create(pod_path, container_name) == nullptr) return result;
+  if (h.WriteCpuQuota(container_path, QuotaFromMillicores(cpu)) !=
+      WriteResult::kOk)
+    return result;
+  if (h.WriteMemoryLimit(container_path, mem) != WriteResult::kOk)
+    return result;
+  result.writes += 2;
+  result.ok = true;
+  result.uninterrupted = false;  // the workload restarted
+  result.latency = latency_.pod_rebuild;
+  return result;
+}
+
+}  // namespace tango::hrm

@@ -1,0 +1,44 @@
+#include "hrm/reassurance.h"
+
+#include "common/logging.h"
+
+namespace tango::hrm {
+
+Reassurer::Reassurer(k8s::EdgeCloudSystem* system,
+                     HrmAllocationPolicy* policy, ReassuranceConfig cfg)
+    : system_(system), policy_(policy), cfg_(cfg) {
+  TANGO_CHECK(system_ && policy_, "reassurer wiring incomplete");
+  TANGO_CHECK(cfg_.alpha < cfg_.beta, "alpha must be below beta");
+  stop_ = sim::SchedulePeriodic(
+      system_->simulator(), system_->simulator().Now() + cfg_.period,
+      cfg_.period, [this](SimTime now) { Tick(now); });
+}
+
+Reassurer::~Reassurer() {
+  if (stop_) stop_();
+}
+
+void Reassurer::Tick(SimTime now) {
+  auto& detector = system_->qos_detector();
+  const auto& catalog = system_->catalog();
+  for (k8s::WorkerNode* node : system_->AllWorkers()) {
+    for (ServiceId svc : catalog.LcServices()) {
+      const auto samples =
+          detector.SampleCount(now, node->id(), svc);
+      if (static_cast<int>(samples) < cfg_.min_samples) continue;
+      const auto& spec = catalog.Get(svc);
+      const double slack =
+          detector.SlackScore(now, node->id(), svc, spec.qos_target);
+      if (slack < cfg_.alpha) {
+        policy_->NudgeMultiplier(node->id(), svc, 1.0 + cfg_.step_up);
+        ++ups_;
+      } else if (slack > cfg_.beta) {
+        policy_->NudgeMultiplier(node->id(), svc, 1.0 - cfg_.step_down);
+        ++downs_;
+      }
+      // α ≤ δ ≤ β: "stable" — leave the allocation untouched.
+    }
+  }
+}
+
+}  // namespace tango::hrm

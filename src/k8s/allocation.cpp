@@ -1,0 +1,93 @@
+#include "k8s/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tango::k8s {
+
+NativeAllocationPolicy::NativeAllocationPolicy(
+    const workload::ServiceCatalog* catalog,
+    std::map<ServiceId, double> limit_fraction)
+    : catalog_(catalog), fraction_(std::move(limit_fraction)) {
+  TANGO_CHECK(catalog_ != nullptr, "catalog required");
+}
+
+std::map<ServiceId, double> NativeAllocationPolicy::ProportionalFractions(
+    const workload::ServiceCatalog& catalog) {
+  double total = 0.0;
+  for (const auto& s : catalog.all()) total += static_cast<double>(s.cpu_demand);
+  std::map<ServiceId, double> out;
+  for (const auto& s : catalog.all()) {
+    out[s.id] = static_cast<double>(s.cpu_demand) / total;
+  }
+  return out;
+}
+
+ResourceVec NativeAllocationPolicy::ContainerLimit(const NodeSpec& node,
+                                                   ServiceId service) const {
+  auto it = fraction_.find(service);
+  const double f = it == fraction_.end() ? 0.0 : it->second;
+  return {static_cast<Millicores>(f * static_cast<double>(node.capacity.cpu)),
+          static_cast<MiB>(f * static_cast<double>(node.capacity.mem))};
+}
+
+ResourceVec NativeAllocationPolicy::EffectiveDemand(
+    NodeId /*node*/, const workload::ServiceSpec& service) const {
+  // Native K8s never adjusts the request; the deployment values stand.
+  return {service.cpu_demand, service.mem_demand};
+}
+
+AdmitDecision NativeAllocationPolicy::Admit(
+    const NodeSpec& node, const ExecSlot& incoming,
+    const std::vector<ExecSlot>& running) const {
+  // The container of `incoming.service` must have headroom for both CPU
+  // (reserved share) and memory within its fixed limit.
+  const ResourceVec limit = ContainerLimit(node, incoming.service);
+  ResourceVec used;
+  for (const auto& slot : running) {
+    if (slot.service == incoming.service) used += slot.need;
+  }
+  AdmitDecision d;
+  d.admit = (used + incoming.need).FitsWithin(limit);
+  return d;  // native K8s never evicts to admit
+}
+
+void NativeAllocationPolicy::ComputeGrants(
+    const NodeSpec& node, const std::vector<ExecSlot>& running,
+    std::vector<Millicores>& grants) const {
+  grants.assign(running.size(), 0);
+  if (running.empty()) return;
+  // Stage 1: inside each service container, requests ask for their need;
+  // the container's fixed CPU limit caps the sum (scale down pro rata).
+  std::map<ServiceId, Millicores> ask_by_service;
+  for (const auto& slot : running) {
+    ask_by_service[slot.service] += slot.need.cpu;
+  }
+  std::map<ServiceId, double> scale;
+  for (const auto& [svc, ask] : ask_by_service) {
+    const Millicores limit = ContainerLimit(node, svc).cpu;
+    scale[svc] = ask <= limit
+                     ? 1.0
+                     : static_cast<double>(limit) / static_cast<double>(ask);
+  }
+  // Stage 2: node capacity caps the total (pro rata across everything) —
+  // the "unordered competition" of Figure 9(c): LC gets no priority.
+  double total = 0.0;
+  for (const auto& slot : running) {
+    total += static_cast<double>(slot.need.cpu) * scale[slot.service];
+  }
+  const double node_scale =
+      total <= static_cast<double>(node.capacity.cpu)
+          ? 1.0
+          : static_cast<double>(node.capacity.cpu) / total;
+  for (std::size_t i = 0; i < running.size(); ++i) {
+    const auto& slot = running[i];
+    grants[i] = static_cast<Millicores>(std::floor(
+        static_cast<double>(slot.need.cpu) * scale[slot.service] *
+        node_scale));
+  }
+}
+
+}  // namespace tango::k8s

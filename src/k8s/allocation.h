@@ -1,0 +1,106 @@
+// Node-level resource allocation policies.
+//
+// A WorkerNode delegates three decisions to its AllocationPolicy:
+//   1. admission — may this request start executing now (and must BE work be
+//      evicted to make room)?
+//   2. CPU grants — how are the node's millicores split across the running
+//      requests (recomputed on every change; processor-sharing execution)?
+//   3. admission latency — the vertical-scaling cost paid before execution
+//      starts (a D-VPA cgroup op under HRM, zero under native fixed limits).
+//
+// k8s ships NativeAllocationPolicy (fixed per-service container limits and
+// unordered competition — the paper's "K8s-native"); the hrm module provides
+// the HRM policy implementing §4.1's regulations.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "k8s/resources.h"
+#include "workload/service.h"
+
+namespace tango::k8s {
+
+/// One executing (or admission-candidate) request on a node.
+struct ExecSlot {
+  RequestId request;
+  ServiceId service;
+  bool is_lc = false;
+  /// Minimum CPU/memory this request needs (after any HRM re-assurance
+  /// adjustment — r^{c,k}_i, r^{m,k}_i of §5.2.1).
+  ResourceVec need;
+  /// Remaining CPU work in millicore-microseconds.
+  double remaining_work = 0.0;
+  SimTime enqueued = 0;
+};
+
+struct AdmitDecision {
+  bool admit = false;
+  /// Indices into the running set of BE requests that must be evicted first
+  /// (incompressible-resource preemption, §4.1).
+  std::vector<std::size_t> evict;
+};
+
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+
+  /// Effective minimum demand of `service` on `node` — the hook the QoS
+  /// re-assurance mechanism (§4.3) uses to grow/shrink requests.
+  virtual ResourceVec EffectiveDemand(NodeId node,
+                                      const workload::ServiceSpec& service)
+      const = 0;
+
+  /// May `incoming` start now, given the running set?
+  virtual AdmitDecision Admit(const NodeSpec& node, const ExecSlot& incoming,
+                              const std::vector<ExecSlot>& running) const = 0;
+
+  /// Split the node's CPU across running requests. `grants[i]` corresponds
+  /// to `running[i]`; a grant of 0 stalls the request (it keeps memory).
+  virtual void ComputeGrants(const NodeSpec& node,
+                             const std::vector<ExecSlot>& running,
+                             std::vector<Millicores>& grants) const = 0;
+
+  /// Vertical-scaling latency charged when a request is admitted.
+  virtual SimDuration AdmissionLatency() const { return 0; }
+
+  /// Whether LC requests may reclaim resources held by BE work (§4.1's
+  /// regulations). Drives the "available for LC" view in node snapshots.
+  virtual bool PreemptsBeForLc() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Native Kubernetes behaviour: each service gets a fixed container limit on
+/// every node (chosen at deployment from the trace's aggregate usage ratio);
+/// requests compete inside those silos. No preemption, no dynamic scaling.
+class NativeAllocationPolicy : public AllocationPolicy {
+ public:
+  /// `limit_fraction[s]` — share of node capacity reserved for service s.
+  /// Fractions should sum to <= 1; anything unlisted gets 0 (rejected).
+  NativeAllocationPolicy(const workload::ServiceCatalog* catalog,
+                         std::map<ServiceId, double> limit_fraction);
+
+  /// Convenience: split capacity across all services proportionally to
+  /// their catalog demand (cpu), the "initialize from trace ratio" setup of
+  /// §7.1.
+  static std::map<ServiceId, double> ProportionalFractions(
+      const workload::ServiceCatalog& catalog);
+
+  ResourceVec EffectiveDemand(
+      NodeId node, const workload::ServiceSpec& service) const override;
+  AdmitDecision Admit(const NodeSpec& node, const ExecSlot& incoming,
+                      const std::vector<ExecSlot>& running) const override;
+  void ComputeGrants(const NodeSpec& node,
+                     const std::vector<ExecSlot>& running,
+                     std::vector<Millicores>& grants) const override;
+  std::string name() const override { return "k8s-native"; }
+
+  ResourceVec ContainerLimit(const NodeSpec& node, ServiceId service) const;
+
+ private:
+  const workload::ServiceCatalog* catalog_;
+  std::map<ServiceId, double> fraction_;
+};
+
+}  // namespace tango::k8s

@@ -1,0 +1,360 @@
+#include "k8s/node.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tango::k8s {
+
+WorkerNode::WorkerNode(sim::Simulator* sim, NodeSpec spec,
+                       const workload::ServiceCatalog* catalog,
+                       const AllocationPolicy* policy, Callbacks callbacks,
+                       Tunables tunables)
+    : sim_(sim),
+      spec_(spec),
+      catalog_(catalog),
+      policy_(policy),
+      callbacks_(std::move(callbacks)),
+      tunables_(tunables) {
+  TANGO_CHECK(sim_ && catalog_ && policy_, "node wiring incomplete");
+  // Periodic queue hygiene: abandon stale LC, bounce timed-out BE.
+  sim::SchedulePeriodic(*sim_, sim_->Now() + kSecond, kSecond,
+                        [this](SimTime) { SweepQueues(); });
+}
+
+void WorkerNode::SetPolicy(const AllocationPolicy* policy) {
+  TANGO_CHECK(policy != nullptr, "null policy");
+  policy_ = policy;
+  Recompute();
+}
+
+ExecSlot WorkerNode::MakeSlot(const workload::Request& r,
+                              SimTime enqueued) const {
+  const auto& svc = catalog_->Get(r.service);
+  ExecSlot slot;
+  slot.request = r.id;
+  slot.service = r.service;
+  slot.is_lc = svc.is_lc();
+  slot.need = policy_->EffectiveDemand(spec_.id, svc);
+  slot.remaining_work = svc.cpu_work() * r.work_scale;
+  slot.enqueued = enqueued;
+  return slot;
+}
+
+void WorkerNode::Enqueue(const workload::Request& request) {
+  const auto& svc = catalog_->Get(request.service);
+  Queued q{request, sim_->Now()};
+  if (svc.is_lc()) {
+    queue_lc_.push_back(q);
+  } else {
+    queue_be_.push_back(q);
+  }
+  TryAdmit();
+}
+
+MiB WorkerNode::MemInUseInternal() const {
+  MiB used = 0;
+  for (const auto& r : running_) used += r.slot.need.mem;
+  return used;
+}
+
+void WorkerNode::TryAdmit() {
+  bool admitted_any = false;
+  // LC first — the regulations give LC strict priority (§4.1). Within a
+  // class the scan is FIFO but a blocked request does not block the ones
+  // behind it (each service runs in its own container, so a small request
+  // can start while a memory-hungry one waits).
+  for (std::deque<Queued>* queue : {&queue_lc_, &queue_be_}) {
+    const bool lc_queue = queue == &queue_lc_;
+    for (auto it = queue->begin(); it != queue->end();) {
+      const Queued& entry = *it;
+      const auto& svc = catalog_->Get(entry.request.service);
+      // Age-out checks before spending an admission slot.
+      if (lc_queue && svc.qos_target > 0) {
+        const SimTime deadline =
+            entry.request.arrival +
+            static_cast<SimDuration>(tunables_.lc_abandon_factor *
+                                     static_cast<double>(svc.qos_target));
+        if (sim_->Now() > deadline) {
+          if (callbacks_.on_abandon) {
+            callbacks_.on_abandon(entry.request, sim_->Now());
+          }
+          it = queue->erase(it);
+          continue;
+        }
+      }
+      if (!lc_queue &&
+          sim_->Now() - entry.enqueued > tunables_.be_requeue_timeout) {
+        if (callbacks_.on_be_return) callbacks_.on_be_return(entry.request);
+        it = queue->erase(it);
+        continue;
+      }
+
+      ExecSlot incoming = MakeSlot(entry.request, entry.enqueued);
+      // Physical memory bound (policy limits come on top of this).
+      std::vector<ExecSlot> slots;
+      slots.reserve(running_.size());
+      for (const auto& r : running_) slots.push_back(r.slot);
+      AdmitDecision decision = policy_->Admit(spec_, incoming, slots);
+      if (decision.admit) {
+        MiB mem_after = MemInUseInternal() + incoming.need.mem;
+        for (std::size_t idx : decision.evict) {
+          mem_after -= running_[idx].slot.need.mem;
+        }
+        if (mem_after > spec_.capacity.mem) decision.admit = false;
+      }
+      if (!decision.admit) {
+        ++it;  // this one waits; later entries may still fit
+        continue;
+      }
+
+      // Perform evictions (descending index order keeps indices valid).
+      std::vector<std::size_t> evict = decision.evict;
+      std::sort(evict.rbegin(), evict.rend());
+      for (std::size_t idx : evict) {
+        TANGO_CHECK(idx < running_.size(), "evict index out of range");
+        TANGO_CHECK(!running_[idx].slot.is_lc, "policy evicted an LC slot");
+        EvictRunning(idx);
+      }
+
+      Running run;
+      run.slot = incoming;
+      run.node_arrival = entry.enqueued;
+      run.last_update = sim_->Now();
+      const SimDuration scale_latency = policy_->AdmissionLatency();
+      const RequestId rid = incoming.request;
+      if (scale_latency > 0) {
+        run.active = false;
+        run.activation =
+            sim_->ScheduleAfter(scale_latency, [this, rid]() {
+              for (auto& r : running_) {
+                if (r.slot.request == rid) {
+                  r.active = true;
+                  r.exec_start = sim_->Now();
+                  r.activation = sim::kInvalidEvent;
+                  ++scaling_ops_;
+                  // D-VPA ordered writes: expand pod first, then container.
+                  const std::string cpath =
+                      ContainerCgroupPath(r.slot.service);
+                  const std::string ppath =
+                      cpath.substr(0, cpath.rfind('/'));
+                  cgroups_.WriteCpuQuota(ppath, r.slot.need.cpu * 100);
+                  cgroups_.WriteCpuQuota(cpath, r.slot.need.cpu * 100);
+                  cgroups_.WriteMemoryLimit(ppath, r.slot.need.mem);
+                  cgroups_.WriteMemoryLimit(cpath, r.slot.need.mem);
+                  Recompute();
+                  return;
+                }
+              }
+            });
+      } else {
+        run.active = true;
+        run.exec_start = sim_->Now();
+      }
+      running_.push_back(std::move(run));
+      it = queue->erase(it);
+      admitted_any = true;
+    }
+  }
+  if (admitted_any) Recompute();
+}
+
+void WorkerNode::AccountProgress() {
+  const SimTime now = sim_->Now();
+  for (auto& r : running_) {
+    if (!r.active || r.grant <= 0) {
+      r.last_update = now;
+      continue;
+    }
+    const double elapsed = static_cast<double>(now - r.last_update);
+    r.slot.remaining_work =
+        std::max(0.0, r.slot.remaining_work -
+                          static_cast<double>(r.grant) * elapsed);
+    r.last_update = now;
+  }
+}
+
+void WorkerNode::Recompute() {
+  if (in_recompute_) return;
+  in_recompute_ = true;
+  AccountProgress();
+  std::vector<ExecSlot> slots;
+  slots.reserve(running_.size());
+  for (const auto& r : running_) slots.push_back(r.slot);
+  std::vector<Millicores> grants;
+  policy_->ComputeGrants(spec_, slots, grants);
+  TANGO_CHECK(grants.size() == running_.size(), "grant vector size mismatch");
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    Running& r = running_[i];
+    Millicores g = r.active ? grants[i] : 0;
+    const auto cap = static_cast<Millicores>(
+        tunables_.speedup_cap * static_cast<double>(r.slot.need.cpu));
+    g = std::min(g, cap);
+    r.grant = g;
+    if (r.completion != sim::kInvalidEvent) {
+      sim_->Cancel(r.completion);
+      r.completion = sim::kInvalidEvent;
+    }
+    if (r.active && g > 0 && r.slot.remaining_work >= 0.0) {
+      const auto delay = static_cast<SimDuration>(
+          std::ceil(r.slot.remaining_work / static_cast<double>(g)));
+      const RequestId rid = r.slot.request;
+      r.completion =
+          sim_->ScheduleAfter(delay, [this, rid]() { CompleteAt(rid); });
+    }
+  }
+  in_recompute_ = false;
+}
+
+void WorkerNode::CompleteAt(RequestId id) {
+  AccountProgress();
+  auto it = std::find_if(running_.begin(), running_.end(),
+                         [id](const Running& r) {
+                           return r.slot.request == id;
+                         });
+  if (it == running_.end()) return;  // raced with eviction
+  if (it->slot.remaining_work > 1.0) {
+    // Grant changed since this event was scheduled; Recompute rescheduled a
+    // fresh completion, so this firing is stale.
+    return;
+  }
+  Running done = std::move(*it);
+  running_.erase(it);
+  // D-VPA reclaims resources on completion: shrink container, then pod.
+  if (policy_->AdmissionLatency() > 0) {
+    const std::string cpath = ContainerCgroupPath(done.slot.service);
+    const std::string ppath = cpath.substr(0, cpath.rfind('/'));
+    cgroups_.WriteCpuQuota(cpath, 1000);  // floor quota, 10 millicores
+    cgroups_.WriteCpuQuota(ppath, 1000);
+  }
+  if (callbacks_.on_complete) {
+    CompletionInfo info;
+    // The request payload is not stored in the slot; reconstruct the parts
+    // consumers need. Request metadata travels via RequestLog in the system.
+    info.request.id = done.slot.request;
+    info.request.service = done.slot.service;
+    info.node = spec_.id;
+    info.node_arrival = done.node_arrival;
+    info.exec_start = done.exec_start;
+    info.completed = sim_->Now();
+    callbacks_.on_complete(info);
+  }
+  TryAdmit();
+  Recompute();
+}
+
+void WorkerNode::EvictRunning(std::size_t index) {
+  Running victim = std::move(running_[index]);
+  running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (victim.completion != sim::kInvalidEvent) sim_->Cancel(victim.completion);
+  if (victim.activation != sim::kInvalidEvent) sim_->Cancel(victim.activation);
+  if (callbacks_.on_be_return) {
+    workload::Request r;
+    r.id = victim.slot.request;
+    r.service = victim.slot.service;
+    callbacks_.on_be_return(r);
+  }
+}
+
+void WorkerNode::SweepQueues() {
+  // Re-run the admission loop; its head checks drop stale entries. Also
+  // scan non-head entries for expiry so one stuck head cannot hide them.
+  for (auto it = queue_lc_.begin(); it != queue_lc_.end();) {
+    const auto& svc = catalog_->Get(it->request.service);
+    const SimTime deadline =
+        it->request.arrival +
+        static_cast<SimDuration>(tunables_.lc_abandon_factor *
+                                 static_cast<double>(svc.qos_target));
+    if (svc.qos_target > 0 && sim_->Now() > deadline) {
+      if (callbacks_.on_abandon) callbacks_.on_abandon(it->request, sim_->Now());
+      it = queue_lc_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = queue_be_.begin(); it != queue_be_.end();) {
+    if (sim_->Now() - it->enqueued > tunables_.be_requeue_timeout) {
+      if (callbacks_.on_be_return) callbacks_.on_be_return(it->request);
+      it = queue_be_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  TryAdmit();
+}
+
+Millicores WorkerNode::cpu_in_use() const {
+  Millicores total = 0;
+  for (const auto& r : running_) total += r.grant;
+  return total;
+}
+
+Millicores WorkerNode::cpu_in_use_lc() const {
+  Millicores total = 0;
+  for (const auto& r : running_) {
+    if (r.slot.is_lc) total += r.grant;
+  }
+  return total;
+}
+
+Millicores WorkerNode::cpu_in_use_be() const {
+  Millicores total = 0;
+  for (const auto& r : running_) {
+    if (!r.slot.is_lc) total += r.grant;
+  }
+  return total;
+}
+
+MiB WorkerNode::mem_in_use() const { return MemInUseInternal(); }
+
+MiB WorkerNode::mem_in_use_lc() const {
+  MiB used = 0;
+  for (const auto& r : running_) {
+    if (r.slot.is_lc) used += r.slot.need.mem;
+  }
+  return used;
+}
+
+int WorkerNode::running_lc() const {
+  int n = 0;
+  for (const auto& r : running_) n += r.slot.is_lc ? 1 : 0;
+  return n;
+}
+
+metrics::NodeSnapshot WorkerNode::Snapshot(SimTime now) const {
+  metrics::NodeSnapshot s;
+  s.node = spec_.id;
+  s.cluster = spec_.cluster;
+  s.is_master = false;
+  s.cpu_total = spec_.capacity.cpu;
+  s.cpu_available = std::max<Millicores>(0, spec_.capacity.cpu - cpu_in_use());
+  s.mem_total = spec_.capacity.mem;
+  s.mem_available = std::max<MiB>(0, spec_.capacity.mem - mem_in_use());
+  if (policy_->PreemptsBeForLc()) {
+    // §4.1: LC may take idle resources *and* whatever BE holds — CPU by
+    // share compression, memory by eviction.
+    s.cpu_available_lc =
+        std::max<Millicores>(0, spec_.capacity.cpu - cpu_in_use_lc());
+    s.mem_available_lc =
+        std::max<MiB>(0, spec_.capacity.mem - mem_in_use_lc());
+  }
+  s.running_lc = running_lc();
+  s.running_be = running_count() - running_lc();
+  s.queued = queued_count();
+  s.recorded_at = now;
+  return s;
+}
+
+std::string WorkerNode::ContainerCgroupPath(ServiceId service) {
+  const std::string pod = "pod-n" + std::to_string(spec_.id.value) + "-s" +
+                          std::to_string(service.value);
+  const std::string pod_path = "kubepods/burstable/" + pod;
+  if (cgroups_.Find(pod_path) == nullptr) {
+    cgroups_.Create("kubepods/burstable", pod);
+    cgroups_.Create(pod_path, "c0");
+  }
+  return pod_path + "/c0";
+}
+
+}  // namespace tango::k8s

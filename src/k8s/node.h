@@ -1,0 +1,133 @@
+// Worker node: executes service requests under processor-sharing CPU
+// semantics, with admission, queuing, eviction, and vertical-scaling latency
+// delegated to the installed AllocationPolicy.
+//
+// Execution model: each admitted request carries remaining CPU work in
+// millicore-microseconds. Whenever the running set or the grants change, the
+// node re-accounts progress and reschedules completion events — the standard
+// processor-sharing discrete-event pattern. Memory is held for a request's
+// whole residency; CPU grants are recomputed instantaneously (compressible
+// vs incompressible resources, §4.1).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "cgroup/cgroup.h"
+#include "k8s/allocation.h"
+#include "metrics/state_storage.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace tango::k8s {
+
+/// Emitted when a request finishes on a node.
+struct CompletionInfo {
+  workload::Request request;
+  NodeId node;
+  SimTime node_arrival = 0;   // when the request reached this node
+  SimTime exec_start = 0;     // when it was admitted
+  SimTime completed = 0;
+};
+
+struct NodeTunables {
+  /// LC requests not started by arrival + factor×γ are abandoned.
+  double lc_abandon_factor = 2.0;
+  /// BE requests still queued after this long bounce back for
+  /// rescheduling (§5.3.2's "returned to the scheduling queue").
+  SimDuration be_requeue_timeout = 10 * kSecond;
+  /// Per-request CPU grant cap as a multiple of its minimum need
+  /// (diminishing returns of extra cores).
+  double speedup_cap = 2.0;
+};
+
+class WorkerNode {
+ public:
+  struct Callbacks {
+    std::function<void(const CompletionInfo&)> on_complete;
+    /// LC request dropped because it aged out before starting execution.
+    std::function<void(const workload::Request&, SimTime)> on_abandon;
+    /// BE request evicted (memory preemption) or timed out waiting —
+    /// the owner should re-queue it for rescheduling.
+    std::function<void(const workload::Request&)> on_be_return;
+  };
+
+  using Tunables = NodeTunables;
+
+  WorkerNode(sim::Simulator* sim, NodeSpec spec,
+             const workload::ServiceCatalog* catalog,
+             const AllocationPolicy* policy, Callbacks callbacks,
+             NodeTunables tunables = NodeTunables{});
+
+  /// A request arrives at the node (already dispatched + transferred).
+  void Enqueue(const workload::Request& request);
+
+  /// Swap the allocation policy (used by experiments that toggle HRM).
+  void SetPolicy(const AllocationPolicy* policy);
+
+  const NodeSpec& spec() const { return spec_; }
+  NodeId id() const { return spec_.id; }
+
+  // ---- Telemetry -------------------------------------------------------
+  Millicores cpu_in_use() const;
+  Millicores cpu_in_use_lc() const;
+  Millicores cpu_in_use_be() const;
+  MiB mem_in_use() const;
+  MiB mem_in_use_lc() const;
+  int running_count() const { return static_cast<int>(running_.size()); }
+  int running_lc() const;
+  int queued_count() const {
+    return static_cast<int>(queue_lc_.size() + queue_be_.size());
+  }
+  metrics::NodeSnapshot Snapshot(SimTime now) const;
+
+  /// Scaling operations performed (D-VPA ops under HRM; 0 under native).
+  std::int64_t scaling_ops() const { return scaling_ops_; }
+
+  /// The node's cgroup view (pods/containers created lazily per service).
+  cgroup::Hierarchy& cgroups() { return cgroups_; }
+  /// Container cgroup path for a service (created on first use).
+  std::string ContainerCgroupPath(ServiceId service);
+
+ private:
+  struct Running {
+    ExecSlot slot;
+    bool active = false;  // false while the admission scaling op runs
+    Millicores grant = 0;
+    SimTime last_update = 0;
+    SimTime node_arrival = 0;
+    SimTime exec_start = 0;
+    sim::EventHandle completion = sim::kInvalidEvent;
+    sim::EventHandle activation = sim::kInvalidEvent;
+  };
+  struct Queued {
+    workload::Request request;
+    SimTime enqueued = 0;
+  };
+
+  void TryAdmit();
+  void Recompute();
+  void AccountProgress();
+  void CompleteAt(RequestId id);
+  void EvictRunning(std::size_t index);
+  void SweepQueues();
+  ExecSlot MakeSlot(const workload::Request& r, SimTime enqueued) const;
+  MiB MemInUseInternal() const;
+
+  sim::Simulator* sim_;
+  NodeSpec spec_;
+  const workload::ServiceCatalog* catalog_;
+  const AllocationPolicy* policy_;
+  Callbacks callbacks_;
+  Tunables tunables_;
+  cgroup::Hierarchy cgroups_;
+
+  std::vector<Running> running_;
+  std::deque<Queued> queue_lc_;
+  std::deque<Queued> queue_be_;
+  std::int64_t scaling_ops_ = 0;
+  bool in_recompute_ = false;
+};
+
+}  // namespace tango::k8s

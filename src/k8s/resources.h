@@ -1,0 +1,59 @@
+// Resource vectors and node/cluster specs for the edge-cloud substrate.
+#pragma once
+
+#include <algorithm>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace tango::k8s {
+
+/// CPU + memory bundle (the two resources the paper's formulation tracks).
+struct ResourceVec {
+  Millicores cpu = 0;
+  MiB mem = 0;
+
+  ResourceVec operator+(const ResourceVec& o) const {
+    return {cpu + o.cpu, mem + o.mem};
+  }
+  ResourceVec operator-(const ResourceVec& o) const {
+    return {cpu - o.cpu, mem - o.mem};
+  }
+  ResourceVec& operator+=(const ResourceVec& o) {
+    cpu += o.cpu;
+    mem += o.mem;
+    return *this;
+  }
+  ResourceVec& operator-=(const ResourceVec& o) {
+    cpu -= o.cpu;
+    mem -= o.mem;
+    return *this;
+  }
+  bool FitsWithin(const ResourceVec& capacity) const {
+    return cpu <= capacity.cpu && mem <= capacity.mem;
+  }
+  bool NonNegative() const { return cpu >= 0 && mem >= 0; }
+};
+
+/// Static description of one worker node.
+struct NodeSpec {
+  NodeId id;
+  ClusterId cluster;
+  ResourceVec capacity{4 * kCore, 8 * 1024};  // paper: 4 CPUs / 8 GB workers
+};
+
+/// Static description of one cluster (1 master + N workers).
+struct ClusterSpec {
+  ClusterId id;
+  int num_workers = 4;
+  ResourceVec worker_capacity{4 * kCore, 8 * 1024};
+  /// When true, worker capacities are jittered per node to model edge
+  /// heterogeneity (3-20 virtual workers of varied size, §6.1).
+  bool heterogeneous = false;
+  Millicores min_cpu = 2 * kCore;
+  Millicores max_cpu = 8 * kCore;
+  MiB min_mem = 4 * 1024;
+  MiB max_mem = 16 * 1024;
+};
+
+}  // namespace tango::k8s

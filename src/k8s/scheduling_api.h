@@ -1,0 +1,71 @@
+// Scheduler plug-in interfaces.
+//
+// The system calls an LcScheduler per cluster (distributed dispatch, §5.2)
+// and one BeScheduler on the central cluster (centralized dispatch, §5.3).
+// Schedulers only see the master's StateStorage snapshot — never live node
+// state — so information staleness is modeled faithfully.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "metrics/state_storage.h"
+#include "workload/trace.h"
+
+namespace tango::k8s {
+
+/// A request sitting in a master's scheduling queue.
+struct PendingRequest {
+  workload::Request request;
+  SimTime enqueued = 0;     // when it entered this queue
+  int reschedules = 0;      // times it bounced back (BE re-queue)
+};
+
+/// A dispatch decision: send `request` to worker `target`.
+struct Assignment {
+  RequestId request;
+  NodeId target;
+};
+
+class LcScheduler {
+ public:
+  virtual ~LcScheduler() = default;
+
+  /// Decide targets for (a subset of) the queued LC requests of `cluster`.
+  /// Requests not covered by the returned assignments remain queued for the
+  /// next dispatch round. `storage` is the cluster master's state view
+  /// (local + geo-nearby clusters).
+  virtual std::vector<Assignment> Schedule(
+      ClusterId cluster, const std::vector<PendingRequest>& queue,
+      const metrics::StateStorage& storage, SimTime now) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Wall-clock seconds spent inside Schedule() so far (response-time
+  /// accounting for the §7.2 timing claims).
+  virtual double decision_seconds() const { return 0.0; }
+  virtual std::int64_t decisions() const { return 0; }
+};
+
+class BeScheduler {
+ public:
+  virtual ~BeScheduler() = default;
+
+  /// Decide the target node for one BE request using the global state view,
+  /// or nullopt to leave it queued.
+  virtual std::optional<NodeId> ScheduleOne(
+      const PendingRequest& pending, const metrics::StateStorage& storage,
+      SimTime now) = 0;
+
+  /// Completion feedback (drives the long-term reward r^long of §5.3.1).
+  virtual void OnBeCompleted(NodeId /*node*/,
+                             const workload::Request& /*request*/,
+                             SimTime /*now*/) {}
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace tango::k8s

@@ -1,0 +1,389 @@
+#include "k8s/system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace tango::k8s {
+
+EdgeCloudSystem::EdgeCloudSystem(SystemConfig cfg,
+                                 const workload::ServiceCatalog* catalog)
+    : cfg_(std::move(cfg)), catalog_(catalog), rng_(cfg_.seed) {
+  TANGO_CHECK(catalog_ != nullptr, "catalog required");
+  TANGO_CHECK(!cfg_.clusters.empty(), "need at least one cluster");
+  topology_ = net::Topology(
+      net::Topology::RandomLayout(static_cast<int>(cfg_.clusters.size()),
+                                  cfg_.region_km, rng_),
+      cfg_.link);
+  native_policy_ = std::make_unique<NativeAllocationPolicy>(
+      catalog_, NativeAllocationPolicy::ProportionalFractions(*catalog_));
+  default_policy_ = native_policy_.get();
+  egress_ = net::EgressRegulator(cfg_.egress);
+  central_ = cfg_.central_cluster >= 0 ? ClusterId{cfg_.central_cluster}
+                                       : topology_.CentralCluster();
+  BuildClusters();
+  // Periodic state sync and metrics sampling.
+  sim::SchedulePeriodic(sim_, cfg_.state_sync_period, cfg_.state_sync_period,
+                        [this](SimTime now) { SyncState(now); });
+  sim::SchedulePeriodic(sim_, cfg_.metrics_period, cfg_.metrics_period,
+                        [this](SimTime now) { SampleMetrics(now); });
+  period_stats_.push_back(PeriodStats{0});
+  SyncState(0);
+}
+
+void EdgeCloudSystem::BuildClusters() {
+  std::int32_t next_node = 0;
+  clusters_.reserve(cfg_.clusters.size());
+  for (std::size_t b = 0; b < cfg_.clusters.size(); ++b) {
+    Cluster cl;
+    cl.spec = cfg_.clusters[b];
+    cl.spec.id = ClusterId{static_cast<std::int32_t>(b)};
+    cl.master = NodeId{next_node++};
+    node_cluster_[cl.master] = cl.spec.id;
+    for (int w = 0; w < cl.spec.num_workers; ++w) {
+      NodeSpec ns;
+      ns.id = NodeId{next_node++};
+      ns.cluster = cl.spec.id;
+      if (cl.spec.heterogeneous) {
+        ns.capacity.cpu = rng_.UniformInt(cl.spec.min_cpu, cl.spec.max_cpu);
+        ns.capacity.mem = rng_.UniformInt(cl.spec.min_mem, cl.spec.max_mem);
+      } else {
+        ns.capacity = cl.spec.worker_capacity;
+      }
+      const NodeId nid = ns.id;
+      WorkerNode::Callbacks cbs;
+      cbs.on_complete = [this](const CompletionInfo& info) {
+        OnComplete(info);
+      };
+      cbs.on_abandon = [this](const workload::Request& r, SimTime now) {
+        OnAbandon(r, now);
+      };
+      cbs.on_be_return = [this, nid](const workload::Request& r) {
+        OnBeReturn(nid, r);
+      };
+      cl.workers.push_back(std::make_unique<WorkerNode>(
+          &sim_, ns, catalog_, default_policy_, std::move(cbs),
+          cfg_.node_tunables));
+      workers_[nid] = cl.workers.back().get();
+      node_cluster_[nid] = cl.spec.id;
+    }
+    clusters_.push_back(std::move(cl));
+  }
+}
+
+void EdgeCloudSystem::SetAllocationPolicy(const AllocationPolicy* policy) {
+  TANGO_CHECK(policy != nullptr, "null policy");
+  default_policy_ = policy;
+  for (auto& [id, node] : workers_) node->SetPolicy(policy);
+  // Bandwidth follows the policy's regulation stance (§4.1): LC priority at
+  // the egress when BE is preemptible, fair sharing otherwise.
+  egress_.set_mode(policy->PreemptsBeForLc() ? net::EgressMode::kLcPriority
+                                             : net::EgressMode::kFairShare);
+}
+
+WorkerNode* EdgeCloudSystem::FindWorker(NodeId id) {
+  auto it = workers_.find(id);
+  return it == workers_.end() ? nullptr : it->second;
+}
+
+std::vector<WorkerNode*> EdgeCloudSystem::AllWorkers() {
+  std::vector<WorkerNode*> out;
+  out.reserve(workers_.size());
+  for (auto& [id, node] : workers_) out.push_back(node);
+  return out;
+}
+
+NodeId EdgeCloudSystem::MasterOf(ClusterId cluster) const {
+  return clusters_[static_cast<std::size_t>(cluster.value)].master;
+}
+
+ClusterId EdgeCloudSystem::ClusterOfNode(NodeId node) const {
+  auto it = node_cluster_.find(node);
+  TANGO_CHECK(it != node_cluster_.end(), "unknown node %d", node.value);
+  return it->second;
+}
+
+const metrics::StateStorage& EdgeCloudSystem::LcStorage(
+    ClusterId cluster) const {
+  return clusters_[static_cast<std::size_t>(cluster.value)].lc_storage;
+}
+
+int EdgeCloudSystem::lc_queue_length(ClusterId cluster) const {
+  return static_cast<int>(
+      clusters_[static_cast<std::size_t>(cluster.value)].lc_queue.size());
+}
+
+std::int64_t EdgeCloudSystem::total_scaling_ops() const {
+  std::int64_t total = 0;
+  for (const auto& [id, node] : workers_) total += node->scaling_ops();
+  return total;
+}
+
+SimDuration EdgeCloudSystem::Transfer(ClusterId from, ClusterId to,
+                                      Bytes size, bool is_lc) {
+  const SimDuration propagation = topology_.OneWayDelay(from, to);
+  if (!cfg_.regulate_bandwidth) {
+    return propagation + TransferTime(size, topology_.Bandwidth(from, to));
+  }
+  // LAN transfers are effectively free of uplink contention.
+  if (from == to) {
+    return propagation + TransferTime(size, topology_.Bandwidth(from, to));
+  }
+  return propagation + egress_.Serialize(from, size, is_lc, sim_.Now());
+}
+
+RequestRecord& EdgeCloudSystem::Record(RequestId id) {
+  const auto idx = static_cast<std::size_t>(id.value);
+  TANGO_CHECK(idx < records_.size(), "unknown request %d", id.value);
+  return records_[idx];
+}
+
+PeriodStats& EdgeCloudSystem::CurrentPeriod() { return period_stats_.back(); }
+
+void EdgeCloudSystem::SubmitTrace(const workload::Trace& trace) {
+  for (const auto& request : trace) {
+    const auto idx = static_cast<std::size_t>(request.id.value);
+    if (records_.size() <= idx) records_.resize(idx + 1);
+    records_[idx].request = request;
+    sim_.ScheduleAt(request.arrival,
+                    [this, request]() { OnArrival(request); });
+  }
+}
+
+void EdgeCloudSystem::OnArrival(const workload::Request& request) {
+  const auto& svc = catalog_->Get(request.service);
+  Cluster& cl = clusters_[static_cast<std::size_t>(request.origin.value)];
+  if (svc.is_lc()) {
+    CurrentPeriod().lc_arrived += 1;
+    cl.lc_queue.push_back({request, sim_.Now(), 0});
+    ScheduleLcDispatch(cl.spec.id);
+  } else {
+    // BE requests are uniformly forwarded to the central cluster (§3).
+    const SimDuration fwd =
+        Transfer(request.origin, central_, svc.request_size, /*is_lc=*/false);
+    sim_.ScheduleAfter(fwd, [this, request]() {
+      be_queue_.push_back({request, sim_.Now(), 0});
+      ScheduleBeDispatch();
+    });
+  }
+}
+
+void EdgeCloudSystem::ScheduleLcDispatch(ClusterId cluster) {
+  Cluster& cl = clusters_[static_cast<std::size_t>(cluster.value)];
+  if (cl.lc_dispatch_pending) return;
+  cl.lc_dispatch_pending = true;
+  sim_.ScheduleAfter(cfg_.lc_dispatch_interval,
+                     [this, cluster]() { DispatchLc(cluster); });
+}
+
+void EdgeCloudSystem::DispatchLc(ClusterId cluster) {
+  Cluster& cl = clusters_[static_cast<std::size_t>(cluster.value)];
+  cl.lc_dispatch_pending = false;
+  TANGO_CHECK(lc_sched_ != nullptr, "no LC scheduler installed");
+  // Age out requests that can no longer meet any deadline.
+  for (auto it = cl.lc_queue.begin(); it != cl.lc_queue.end();) {
+    const auto& svc = catalog_->Get(it->request.service);
+    const SimTime deadline =
+        it->request.arrival +
+        static_cast<SimDuration>(cfg_.node_tunables.lc_abandon_factor *
+                                 static_cast<double>(svc.qos_target));
+    if (svc.qos_target > 0 && sim_.Now() > deadline) {
+      OnAbandon(it->request, sim_.Now());
+      it = cl.lc_queue.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (cl.lc_queue.empty()) return;
+
+  std::vector<PendingRequest> queue(cl.lc_queue.begin(), cl.lc_queue.end());
+  const std::vector<Assignment> assignments =
+      lc_sched_->Schedule(cluster, queue, cl.lc_storage, sim_.Now());
+
+  for (const Assignment& a : assignments) {
+    auto it = std::find_if(cl.lc_queue.begin(), cl.lc_queue.end(),
+                           [&a](const PendingRequest& p) {
+                             return p.request.id == a.request;
+                           });
+    if (it == cl.lc_queue.end()) continue;  // scheduler returned a stale id
+    WorkerNode* target = FindWorker(a.target);
+    if (target == nullptr) continue;
+    const workload::Request request = it->request;
+    cl.lc_queue.erase(it);
+    RequestRecord& rec = Record(request.id);
+    rec.dispatched = sim_.Now();
+    rec.target = a.target;
+    const auto& svc = catalog_->Get(request.service);
+    const SimDuration delay = Transfer(cluster, target->spec().cluster,
+                                       svc.request_size, /*is_lc=*/true);
+    sim_.ScheduleAfter(delay, [target, request]() {
+      target->Enqueue(request);
+    });
+  }
+  if (!cl.lc_queue.empty()) ScheduleLcDispatch(cluster);
+}
+
+void EdgeCloudSystem::ScheduleBeDispatch() {
+  if (be_dispatch_pending_) return;
+  be_dispatch_pending_ = true;
+  sim_.ScheduleAfter(cfg_.be_dispatch_interval, [this]() { DispatchBe(); });
+}
+
+void EdgeCloudSystem::DispatchBe() {
+  be_dispatch_pending_ = false;
+  TANGO_CHECK(be_sched_ != nullptr, "no BE scheduler installed");
+  while (!be_queue_.empty()) {
+    PendingRequest pending = be_queue_.front();
+    const auto target = be_sched_->ScheduleOne(pending, be_storage_, sim_.Now());
+    if (!target.has_value()) break;  // nothing placeable right now
+    WorkerNode* node = FindWorker(*target);
+    if (node == nullptr) break;
+    be_queue_.pop_front();
+    const workload::Request request = pending.request;
+    RequestRecord& rec = Record(request.id);
+    rec.dispatched = sim_.Now();
+    rec.target = *target;
+    const auto& svc = catalog_->Get(request.service);
+    const SimDuration delay = Transfer(central_, node->spec().cluster,
+                                       svc.request_size, /*is_lc=*/false);
+    sim_.ScheduleAfter(delay, [node, request]() { node->Enqueue(request); });
+  }
+  if (!be_queue_.empty()) ScheduleBeDispatch();
+}
+
+void EdgeCloudSystem::OnComplete(const CompletionInfo& info) {
+  RequestRecord& rec = Record(info.request.id);
+  const workload::Request original = rec.request;
+  const auto& svc = catalog_->Get(original.service);
+  const ClusterId from = ClusterOfNode(info.node);
+  if (svc.is_lc()) {
+    // The result must travel back to the origin before the user sees it.
+    const SimDuration back =
+        Transfer(from, original.origin, svc.response_size, /*is_lc=*/true);
+    const SimTime completed = sim_.Now() + back;
+    const NodeId node = info.node;
+    sim_.ScheduleAfter(back, [this, original, completed, node]() {
+      RequestRecord& r = Record(original.id);
+      if (r.outcome != Outcome::kPending) return;
+      r.outcome = Outcome::kCompleted;
+      r.completed = completed;
+      r.latency = completed - original.arrival;
+      const auto& s = catalog_->Get(original.service);
+      r.qos_met = r.latency <= s.qos_target;
+      PeriodStats& p = CurrentPeriod();
+      p.lc_completed += 1;
+      if (r.qos_met) p.lc_qos_met += 1;
+      qos_detector_.Observe(sim_.Now(), node, original.service, r.latency);
+    });
+  } else {
+    if (rec.outcome != Outcome::kPending) return;
+    rec.outcome = Outcome::kCompleted;
+    rec.completed = sim_.Now();
+    rec.latency = sim_.Now() - original.arrival;
+    CurrentPeriod().be_completed += 1;
+    if (be_sched_ != nullptr) {
+      be_sched_->OnBeCompleted(info.node, original, sim_.Now());
+    }
+  }
+}
+
+void EdgeCloudSystem::OnAbandon(const workload::Request& request,
+                                SimTime /*now*/) {
+  RequestRecord& rec = Record(request.id);
+  if (rec.outcome != Outcome::kPending) return;
+  rec.outcome = Outcome::kAbandoned;
+  CurrentPeriod().lc_abandoned += 1;
+}
+
+void EdgeCloudSystem::OnBeReturn(NodeId from, const workload::Request& req) {
+  RequestRecord& rec = Record(req.id);
+  if (rec.outcome != Outcome::kPending) return;
+  rec.reschedules += 1;
+  const workload::Request original = rec.request;
+  const auto& svc = catalog_->Get(original.service);
+  const SimDuration back = Transfer(ClusterOfNode(from), central_,
+                                    svc.request_size, /*is_lc=*/false);
+  const int bounces = rec.reschedules;
+  sim_.ScheduleAfter(back, [this, original, bounces]() {
+    be_queue_.push_back({original, sim_.Now(), bounces});
+    ScheduleBeDispatch();
+  });
+}
+
+void EdgeCloudSystem::SyncState(SimTime now) {
+  // Per-cluster LC storage: own + geo-nearby workers, plus RTT estimates.
+  for (auto& cl : clusters_) {
+    std::vector<ClusterId> scope = topology_.NearbyClusters(
+        cl.spec.id, cfg_.lc_nearby_radius_km);
+    scope.push_back(cl.spec.id);
+    for (ClusterId c : scope) {
+      const Cluster& other = clusters_[static_cast<std::size_t>(c.value)];
+      for (const auto& w : other.workers) {
+        cl.lc_storage.Update(w->Snapshot(now));
+      }
+      cl.lc_storage.UpdateRtt(c, topology_.Rtt(cl.spec.id, c));
+    }
+  }
+  // Central BE storage sees everything.
+  for (auto& cl : clusters_) {
+    for (const auto& w : cl.workers) be_storage_.Update(w->Snapshot(now));
+    be_storage_.UpdateRtt(cl.spec.id, topology_.Rtt(central_, cl.spec.id));
+  }
+}
+
+void EdgeCloudSystem::SampleMetrics(SimTime now) {
+  double used = 0.0, used_lc = 0.0, used_be = 0.0, cap = 0.0;
+  for (const auto& [id, node] : workers_) {
+    used += static_cast<double>(node->cpu_in_use());
+    used_lc += static_cast<double>(node->cpu_in_use_lc());
+    used_be += static_cast<double>(node->cpu_in_use_be());
+    cap += static_cast<double>(node->spec().capacity.cpu);
+  }
+  PeriodStats& p = CurrentPeriod();
+  p.util_total = cap > 0.0 ? used / cap : 0.0;
+  p.util_lc = cap > 0.0 ? used_lc / cap : 0.0;
+  p.util_be = cap > 0.0 ? used_be / cap : 0.0;
+  tss_.Gauge("util.total", now, p.util_total);
+  tss_.Gauge("util.lc", now, p.util_lc);
+  tss_.Gauge("util.be", now, p.util_be);
+  period_stats_.push_back(PeriodStats{now});
+}
+
+void EdgeCloudSystem::Run(SimTime until) { sim_.RunUntil(until); }
+
+RunSummary EdgeCloudSystem::Summary() const {
+  RunSummary s;
+  std::vector<double> lc_latencies;
+  for (const auto& rec : records_) {
+    if (!rec.request.id.valid()) continue;
+    const auto& svc = catalog_->Get(rec.request.service);
+    if (svc.is_lc()) {
+      s.lc_total += 1;
+      if (rec.outcome == Outcome::kCompleted) {
+        s.lc_completed += 1;
+        if (rec.qos_met) s.lc_qos_met += 1;
+        lc_latencies.push_back(ToMilliseconds(rec.latency));
+      } else if (rec.outcome == Outcome::kAbandoned) {
+        s.lc_abandoned += 1;
+      }
+    } else {
+      s.be_total += 1;
+      if (rec.outcome == Outcome::kCompleted) s.be_completed += 1;
+    }
+  }
+  s.qos_satisfaction =
+      s.lc_total > 0
+          ? static_cast<double>(s.lc_qos_met) / static_cast<double>(s.lc_total)
+          : 0.0;
+  s.be_throughput = static_cast<double>(s.be_completed);
+  s.mean_latency_ms = Mean(lc_latencies);
+  s.p95_latency_ms = Percentile(lc_latencies, 0.95);
+  RunningStat util;
+  for (const auto& p : period_stats_) util.Add(p.util_total);
+  s.mean_util = util.mean();
+  return s;
+}
+
+}  // namespace tango::k8s

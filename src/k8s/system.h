@@ -1,0 +1,196 @@
+// EdgeCloudSystem: the dual-space experimental system of §6.1 as one
+// deterministic discrete-event simulation.
+//
+// It owns the simulator, the WAN/LAN topology, every cluster (1 master + N
+// workers), the per-master state storages, the QoS detector, and the request
+// lifecycle:
+//
+//   arrival at origin master ──► LC queue (dispatched by the cluster's
+//   LcScheduler, geo-nearby targets only) or BE queue (forwarded to the
+//   central cluster and dispatched by the BeScheduler) ──► WAN/LAN transfer
+//   ──► worker admission/execution ──► result returned to the origin ──►
+//   QoS bookkeeping.
+//
+// Schedulers and allocation policies are plug-ins; swapping them produces
+// every row of the paper's evaluation matrix.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "k8s/node.h"
+#include "k8s/scheduling_api.h"
+#include "metrics/qos_detector.h"
+#include "metrics/timeseries.h"
+#include "net/egress.h"
+#include "net/topology.h"
+
+namespace tango::k8s {
+
+struct SystemConfig {
+  std::vector<ClusterSpec> clusters;
+  net::LinkParams link{};
+  /// Square side of the deployment region (km) for the random layout.
+  double region_km = 1200.0;
+  /// LC requests may be dispatched within this radius of home (§5.2, 500 km).
+  double lc_nearby_radius_km = 500.0;
+  /// Metrics/state push period — matches the 100 ms QoS collection window
+  /// (§4.3) that drives the paper's metric pushes.
+  SimDuration state_sync_period = 100 * kMillisecond;
+  /// Batching windows of the two dispatchers.
+  SimDuration lc_dispatch_interval = 2 * kMillisecond;
+  SimDuration be_dispatch_interval = 5 * kMillisecond;
+  /// Data-collection period — 800 ms per §6.2.
+  SimDuration metrics_period = 800 * kMillisecond;
+  WorkerNode::Tunables node_tunables{};
+  /// Central cluster override (-1 = geographically central one).
+  int central_cluster = -1;
+  /// Model per-cluster egress bandwidth contention (§4.1 lists bandwidth
+  /// among the compressible resources; the regulator gives LC priority
+  /// whenever the allocation policy preempts BE for LC).
+  bool regulate_bandwidth = true;
+  net::EgressConfig egress{};
+  std::uint64_t seed = 1234;
+};
+
+/// Final outcome of one request.
+enum class Outcome { kPending, kCompleted, kAbandoned };
+
+struct RequestRecord {
+  workload::Request request;
+  Outcome outcome = Outcome::kPending;
+  NodeId target;                 // last node it was dispatched to
+  SimTime dispatched = -1;
+  SimTime completed = -1;
+  SimDuration latency = 0;       // end-to-end, incl. result return
+  bool qos_met = false;          // LC only
+  int reschedules = 0;           // BE bounce count
+};
+
+/// Per-800ms-period aggregate row (the unit of every time-series figure).
+struct PeriodStats {
+  SimTime period_start = 0;
+  double util_total = 0.0;  // mean cpu utilization across workers [0,1]
+  double util_lc = 0.0;
+  double util_be = 0.0;
+  int lc_arrived = 0;
+  int lc_completed = 0;
+  int lc_qos_met = 0;
+  int lc_abandoned = 0;
+  int be_completed = 0;
+};
+
+/// End-of-run summary (the paper's three headline metrics).
+struct RunSummary {
+  int lc_total = 0;
+  int lc_completed = 0;
+  int lc_qos_met = 0;
+  int lc_abandoned = 0;
+  int be_total = 0;
+  int be_completed = 0;
+  double qos_satisfaction = 0.0;  // φ  = met / arrived LC
+  double be_throughput = 0.0;     // φ' = completed BE
+  double mean_util = 0.0;
+  double mean_latency_ms = 0.0;   // completed LC
+  double p95_latency_ms = 0.0;
+};
+
+class EdgeCloudSystem {
+ public:
+  EdgeCloudSystem(SystemConfig cfg, const workload::ServiceCatalog* catalog);
+
+  // ---- Wiring (call before Run) ----------------------------------------
+  void SetLcScheduler(LcScheduler* sched) { lc_sched_ = sched; }
+  void SetBeScheduler(BeScheduler* sched) { be_sched_ = sched; }
+  /// Install an allocation policy on every worker node.
+  void SetAllocationPolicy(const AllocationPolicy* policy);
+
+  /// Queue every request of the trace for arrival at its origin cluster.
+  void SubmitTrace(const workload::Trace& trace);
+
+  /// Advance virtual time.
+  void Run(SimTime until);
+
+  // ---- Introspection -----------------------------------------------------
+  sim::Simulator& simulator() { return sim_; }
+  const net::Topology& topology() const { return topology_; }
+  metrics::QosDetector& qos_detector() { return qos_detector_; }
+  metrics::TimeSeriesStore& timeseries() { return tss_; }
+  const std::vector<RequestRecord>& records() const { return records_; }
+  const std::vector<PeriodStats>& periods() const { return period_stats_; }
+  RunSummary Summary() const;
+
+  ClusterId central_cluster() const { return central_; }
+  int num_clusters() const { return static_cast<int>(clusters_.size()); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  WorkerNode* FindWorker(NodeId id);
+  std::vector<WorkerNode*> AllWorkers();
+  NodeId MasterOf(ClusterId cluster) const;
+  ClusterId ClusterOfNode(NodeId node) const;
+  const metrics::StateStorage& LcStorage(ClusterId cluster) const;
+  const metrics::StateStorage& BeStorage() const { return be_storage_; }
+  const net::EgressRegulator& egress() const { return egress_; }
+  const workload::ServiceCatalog& catalog() const { return *catalog_; }
+  int lc_queue_length(ClusterId cluster) const;
+  int be_queue_length() const {
+    return static_cast<int>(be_queue_.size());
+  }
+  std::int64_t total_scaling_ops() const;
+
+ private:
+  struct Cluster {
+    Cluster() = default;
+    Cluster(Cluster&&) noexcept = default;
+    Cluster& operator=(Cluster&&) noexcept = default;
+    ClusterSpec spec;
+    NodeId master;
+    std::vector<std::unique_ptr<WorkerNode>> workers;
+    std::deque<PendingRequest> lc_queue;
+    bool lc_dispatch_pending = false;
+    metrics::StateStorage lc_storage;
+  };
+
+  void BuildClusters();
+  void OnArrival(const workload::Request& request);
+  void ScheduleLcDispatch(ClusterId cluster);
+  void DispatchLc(ClusterId cluster);
+  void ScheduleBeDispatch();
+  void DispatchBe();
+  void OnComplete(const CompletionInfo& info);
+  void OnAbandon(const workload::Request& request, SimTime now);
+  void OnBeReturn(NodeId from, const workload::Request& request);
+  void SyncState(SimTime now);
+  void SampleMetrics(SimTime now);
+  /// Transfer delay via the topology plus the egress regulator.
+  SimDuration Transfer(ClusterId from, ClusterId to, Bytes size, bool is_lc);
+  RequestRecord& Record(RequestId id);
+  PeriodStats& CurrentPeriod();
+
+  SystemConfig cfg_;
+  const workload::ServiceCatalog* catalog_;
+  sim::Simulator sim_;
+  net::Topology topology_;
+  Rng rng_;
+  std::vector<Cluster> clusters_;
+  std::map<NodeId, WorkerNode*> workers_;
+  std::map<NodeId, ClusterId> node_cluster_;
+  ClusterId central_;
+  LcScheduler* lc_sched_ = nullptr;
+  BeScheduler* be_sched_ = nullptr;
+  const AllocationPolicy* default_policy_;
+  std::unique_ptr<NativeAllocationPolicy> native_policy_;
+
+  std::deque<PendingRequest> be_queue_;  // at the central master
+  bool be_dispatch_pending_ = false;
+  metrics::StateStorage be_storage_;
+
+  net::EgressRegulator egress_;
+  metrics::QosDetector qos_detector_;
+  metrics::TimeSeriesStore tss_;
+  std::vector<RequestRecord> records_;
+  std::vector<PeriodStats> period_stats_;
+};
+
+}  // namespace tango::k8s

@@ -1,0 +1,37 @@
+#include "metrics/qos_detector.h"
+
+namespace tango::metrics {
+
+void QosDetector::Observe(SimTime now, NodeId node, ServiceId service,
+                          SimDuration latency) {
+  auto [it, inserted] =
+      windows_.try_emplace({node, service}, WindowedSamples(window_));
+  it->second.Add(now, static_cast<double>(latency));
+}
+
+double QosDetector::TailLatency(SimTime now, NodeId node, ServiceId service,
+                                double quantile) {
+  auto it = windows_.find({node, service});
+  if (it == windows_.end()) return 0.0;
+  it->second.Evict(now);
+  if (it->second.empty()) return 0.0;
+  return it->second.Percentile(quantile);
+}
+
+double QosDetector::SlackScore(SimTime now, NodeId node, ServiceId service,
+                               SimDuration qos_target) {
+  const double xi = TailLatency(now, node, service);
+  if (xi <= 0.0) return 1.0;
+  if (qos_target <= 0) return 1.0;
+  return 1.0 - xi / static_cast<double>(qos_target);
+}
+
+std::size_t QosDetector::SampleCount(SimTime now, NodeId node,
+                                     ServiceId service) {
+  auto it = windows_.find({node, service});
+  if (it == windows_.end()) return 0;
+  it->second.Evict(now);
+  return it->second.size();
+}
+
+}  // namespace tango::metrics

@@ -1,0 +1,38 @@
+#include "metrics/state_storage.h"
+
+namespace tango::metrics {
+
+void StateStorage::Update(const NodeSnapshot& snap) {
+  auto it = nodes_.find(snap.node);
+  if (it == nodes_.end() || it->second.recorded_at <= snap.recorded_at) {
+    nodes_[snap.node] = snap;
+  }
+}
+
+const NodeSnapshot* StateStorage::Find(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeSnapshot> StateStorage::All() const {
+  std::vector<NodeSnapshot> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, snap] : nodes_) out.push_back(snap);
+  return out;
+}
+
+std::vector<NodeSnapshot> StateStorage::ForCluster(ClusterId cluster) const {
+  std::vector<NodeSnapshot> out;
+  for (const auto& [id, snap] : nodes_) {
+    if (snap.cluster == cluster) out.push_back(snap);
+  }
+  return out;
+}
+
+std::optional<SimDuration> StateStorage::Rtt(ClusterId to) const {
+  auto it = rtt_.find(to);
+  if (it == rtt_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace tango::metrics

@@ -1,0 +1,76 @@
+// The state storage of Figure 3 (component ➋): each master node keeps a
+// possibly-stale snapshot of nearby clusters' node states, refreshed by
+// periodic Prometheus pushes and QoS-detector reports. Schedulers read the
+// snapshot — they never peek at live node objects — so decision staleness is
+// modeled faithfully.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace tango::metrics {
+
+/// Snapshot of one node, as pushed by its cluster's monitoring stack.
+/// Field names follow §5.2.1: r^{c}_{i,ava}, r^{c}_{i,total}, etc.
+struct NodeSnapshot {
+  NodeId node;
+  ClusterId cluster;
+  bool is_master = false;
+  Millicores cpu_total = 0;
+  Millicores cpu_available = 0;
+  MiB mem_total = 0;
+  MiB mem_available = 0;
+  /// Resources available *to LC requests* under the §4.1 regulations:
+  /// idle plus whatever BE currently holds of compressible CPU (and
+  /// evictable memory) when the node's allocation policy preempts BE for
+  /// LC. −1 means "same as the raw availability" (no preemption).
+  Millicores cpu_available_lc = -1;
+  MiB mem_available_lc = -1;
+
+  Millicores CpuForLc() const {
+    return cpu_available_lc >= 0 ? cpu_available_lc : cpu_available;
+  }
+  MiB MemForLc() const {
+    return mem_available_lc >= 0 ? mem_available_lc : mem_available;
+  }
+  /// Requests currently queued/executing on the node, by rough class.
+  int running_lc = 0;
+  int running_be = 0;
+  int queued = 0;
+  /// Most recent slack score reported by the QoS detector (min over
+  /// services; +1 when idle).
+  double slack_score = 1.0;
+  SimTime recorded_at = 0;
+};
+
+/// Per-master view of the (geo-nearby or global) system state.
+class StateStorage {
+ public:
+  /// Upsert a node snapshot (newer timestamps replace older ones).
+  void Update(const NodeSnapshot& snap);
+
+  const NodeSnapshot* Find(NodeId node) const;
+
+  /// All snapshots, in NodeId order (deterministic iteration for solvers).
+  std::vector<NodeSnapshot> All() const;
+
+  /// Snapshots restricted to one cluster.
+  std::vector<NodeSnapshot> ForCluster(ClusterId cluster) const;
+
+  /// Record the measured RTT from this master's cluster to another cluster.
+  void UpdateRtt(ClusterId to, SimDuration rtt) { rtt_[to] = rtt; }
+  std::optional<SimDuration> Rtt(ClusterId to) const;
+
+  std::size_t size() const { return nodes_.size(); }
+  void Clear() { nodes_.clear(); rtt_.clear(); }
+
+ private:
+  std::map<NodeId, NodeSnapshot> nodes_;
+  std::map<ClusterId, SimDuration> rtt_;
+};
+
+}  // namespace tango::metrics

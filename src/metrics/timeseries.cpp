@@ -1,0 +1,35 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+
+namespace tango::metrics {
+
+double Series::At(SimTime t) const {
+  if (samples_.empty()) return 0.0;
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](SimTime lhs, const Sample& s) { return lhs < s.time; });
+  if (it == samples_.begin()) return 0.0;
+  return std::prev(it)->value;
+}
+
+double Series::MeanOver(SimTime from, SimTime to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.time > from && s.time <= to) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::vector<std::string> TimeSeriesStore::Names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [k, v] : series_) out.push_back(k);
+  return out;
+}
+
+}  // namespace tango::metrics

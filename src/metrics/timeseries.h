@@ -1,0 +1,70 @@
+// A tiny in-process stand-in for Prometheus: named gauges and counters whose
+// observations are stored as (time, value) pairs and can be queried by range.
+// The k8s substrate pushes node metrics here every scrape period; the state
+// storage and the evaluation harness read them back.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace tango::metrics {
+
+struct Sample {
+  SimTime time;
+  double value;
+};
+
+class Series {
+ public:
+  void Append(SimTime t, double v) { samples_.push_back({t, v}); }
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  /// Most recent value at or before `t` (0 if none).
+  double At(SimTime t) const;
+  double Latest() const { return samples_.empty() ? 0.0 : samples_.back().value; }
+
+  /// Mean of samples in (from, to].
+  double MeanOver(SimTime from, SimTime to) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+class TimeSeriesStore {
+ public:
+  /// Record an instantaneous measurement.
+  void Gauge(const std::string& name, SimTime t, double value) {
+    series_[name].Append(t, value);
+  }
+
+  /// Increment a monotonically growing counter; the stored sample is the
+  /// running total.
+  void CounterAdd(const std::string& name, SimTime t, double delta) {
+    auto& c = counters_[name];
+    c += delta;
+    series_[name].Append(t, c);
+  }
+
+  double CounterValue(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+  }
+
+  const Series* Find(const std::string& name) const {
+    auto it = series_.find(name);
+    return it == series_.end() ? nullptr : &it->second;
+  }
+
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Series> series_;
+  std::map<std::string, double> counters_;
+};
+
+}  // namespace tango::metrics

@@ -1,0 +1,78 @@
+#include "net/egress.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tango::net {
+
+void EgressRegulator::Decay(Window& w, SimTime now) const {
+  if (now <= w.last_update) return;
+  const double factor =
+      std::exp(-static_cast<double>(now - w.last_update) /
+               static_cast<double>(cfg_.window));
+  w.lc_bytes *= factor;
+  w.be_bytes *= factor;
+  w.last_update = now;
+}
+
+const EgressRegulator::Window* EgressRegulator::Find(
+    ClusterId cluster) const {
+  auto it = windows_.find(cluster);
+  return it == windows_.end() ? nullptr : &it->second;
+}
+
+double EgressRegulator::LcLoadFraction(ClusterId cluster, SimTime now) const {
+  const Window* w = Find(cluster);
+  if (w == nullptr) return 0.0;
+  Window copy = *w;
+  Decay(copy, now);
+  // Bytes in the window vs what the uplink could carry in that window.
+  const double capacity_bytes =
+      static_cast<double>(cfg_.uplink) * 1000.0 / 8.0 *
+      ToSeconds(cfg_.window);
+  return capacity_bytes > 0.0 ? copy.lc_bytes / capacity_bytes : 0.0;
+}
+
+Kbps EgressRegulator::EffectiveBandwidth(ClusterId cluster, bool is_lc,
+                                         SimTime now) const {
+  if (is_lc && mode_ == EgressMode::kLcPriority) {
+    // Regulation: LC sees the full uplink — BE is compressible.
+    return cfg_.uplink;
+  }
+  const Window* w = Find(cluster);
+  Window copy = w != nullptr ? *w : Window{};
+  Decay(copy, now);
+  const double capacity_bytes =
+      static_cast<double>(cfg_.uplink) * 1000.0 / 8.0 *
+      ToSeconds(cfg_.window);
+  // Raw offered-load fractions (may exceed 1 when oversubscribed).
+  const double lc_frac =
+      capacity_bytes > 0.0 ? copy.lc_bytes / capacity_bytes : 0.0;
+  const double be_frac =
+      capacity_bytes > 0.0 ? copy.be_bytes / capacity_bytes : 0.0;
+  double share = 1.0;
+  if (mode_ == EgressMode::kLcPriority) {
+    // BE gets what LC leaves over.
+    share = std::max(cfg_.be_floor, 1.0 - std::min(1.0, lc_frac));
+  } else {
+    // Fair sharing: both classes degrade with total congestion.
+    const double total = lc_frac + be_frac;
+    share = total > 1.0 ? std::max(cfg_.be_floor, 1.0 / total) : 1.0;
+  }
+  return static_cast<Kbps>(static_cast<double>(cfg_.uplink) * share);
+}
+
+SimDuration EgressRegulator::Serialize(ClusterId cluster, Bytes size,
+                                       bool is_lc, SimTime now) {
+  Window& w = windows_[cluster];
+  Decay(w, now);
+  const Kbps bw = EffectiveBandwidth(cluster, is_lc, now);
+  if (is_lc) {
+    w.lc_bytes += static_cast<double>(size);
+  } else {
+    w.be_bytes += static_cast<double>(size);
+  }
+  return TransferTime(size, bw);
+}
+
+}  // namespace tango::net

@@ -1,0 +1,72 @@
+// Per-cluster egress bandwidth regulation.
+//
+// §4.1 lists bandwidth among the *compressible* resources LC traffic may
+// take from BE: when LC and BE transfers share a cluster's WAN uplink, BE
+// transfers are squeezed to whatever LC leaves over, while LC transfers see
+// the full link. Without HRM both classes share the uplink fairly and LC
+// pays queueing delay behind bulk BE payloads.
+//
+// The model is a deterministic fluid approximation: per cluster, a sliding
+// window tracks bytes offered by each class; a transfer's serialization
+// time uses the bandwidth share its class is entitled to under the current
+// mix.
+#pragma once
+
+#include <map>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace tango::net {
+
+enum class EgressMode {
+  kFairShare,    // native: both classes split the uplink in proportion
+  kLcPriority,   // HRM regulation: LC first, BE compressed to the remainder
+};
+
+struct EgressConfig {
+  Kbps uplink = 1'000'000;  // 1 Gbps per cluster WAN uplink
+  /// Averaging window for the offered-load estimate.
+  SimDuration window = 500 * kMillisecond;
+  /// BE is never squeezed below this fraction of the uplink (starvation
+  /// guard, mirrors cpu.shares floors).
+  double be_floor = 0.05;
+};
+
+class EgressRegulator {
+ public:
+  explicit EgressRegulator(EgressConfig cfg = {}) : cfg_(cfg) {}
+
+  void set_mode(EgressMode mode) { mode_ = mode; }
+  EgressMode mode() const { return mode_; }
+
+  /// Record a transfer leaving `cluster` and return its serialization time
+  /// under the current load mix (propagation delay is the topology's job).
+  SimDuration Serialize(ClusterId cluster, Bytes size, bool is_lc,
+                        SimTime now);
+
+  /// Current LC offered-load fraction of the uplink at `cluster` (0..1+).
+  double LcLoadFraction(ClusterId cluster, SimTime now) const;
+
+  /// Effective bandwidth a class sees right now.
+  Kbps EffectiveBandwidth(ClusterId cluster, bool is_lc, SimTime now) const;
+
+  const EgressConfig& config() const { return cfg_; }
+
+ private:
+  struct Window {
+    // Exponentially-decayed byte counters (fluid window approximation).
+    double lc_bytes = 0.0;
+    double be_bytes = 0.0;
+    SimTime last_update = 0;
+  };
+
+  void Decay(Window& w, SimTime now) const;
+  const Window* Find(ClusterId cluster) const;
+
+  EgressConfig cfg_;
+  EgressMode mode_ = EgressMode::kFairShare;
+  std::map<ClusterId, Window> windows_;
+};
+
+}  // namespace tango::net

@@ -1,0 +1,76 @@
+#include "net/topology.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace tango::net {
+
+double DistanceKm(const GeoPoint& a, const GeoPoint& b) {
+  const double dx = a.x_km - b.x_km;
+  const double dy = a.y_km - b.y_km;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Topology::GeoDistanceKm(ClusterId a, ClusterId b) const {
+  return DistanceKm(position(a), position(b));
+}
+
+SimDuration Topology::OneWayDelay(ClusterId a, ClusterId b) const {
+  if (a == b) return params_.lan_latency;
+  const double km = GeoDistanceKm(a, b);
+  return params_.wan_base_latency +
+         static_cast<SimDuration>(km * params_.wan_us_per_km);
+}
+
+SimDuration Topology::TransferDelay(ClusterId a, ClusterId b, Bytes size,
+                                    Rng* rng) const {
+  SimDuration d = OneWayDelay(a, b) + TransferTime(size, Bandwidth(a, b));
+  if (rng != nullptr && params_.jitter > 0.0) {
+    const double factor =
+        1.0 + rng->Uniform(-params_.jitter, params_.jitter);
+    d = static_cast<SimDuration>(static_cast<double>(d) * factor);
+  }
+  return d < 0 ? 0 : d;
+}
+
+std::vector<ClusterId> Topology::NearbyClusters(ClusterId from,
+                                                double radius_km) const {
+  std::vector<ClusterId> out;
+  for (int i = 0; i < num_clusters(); ++i) {
+    const ClusterId c{i};
+    if (c == from) continue;
+    if (GeoDistanceKm(from, c) <= radius_km) out.push_back(c);
+  }
+  return out;
+}
+
+ClusterId Topology::CentralCluster() const {
+  TANGO_CHECK(num_clusters() > 0, "empty topology");
+  ClusterId best{0};
+  double best_sum = std::numeric_limits<double>::max();
+  for (int i = 0; i < num_clusters(); ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < num_clusters(); ++j) {
+      sum += GeoDistanceKm(ClusterId{i}, ClusterId{j});
+    }
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = ClusterId{i};
+    }
+  }
+  return best;
+}
+
+std::vector<GeoPoint> Topology::RandomLayout(int n, double region_km,
+                                             Rng& rng) {
+  std::vector<GeoPoint> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0.0, region_km), rng.Uniform(0.0, region_km)});
+  }
+  return pts;
+}
+
+}  // namespace tango::net

@@ -1,0 +1,91 @@
+// Network model of the distributed edge-cloud system.
+//
+// Clusters sit at geographic coordinates; nodes within a cluster talk over a
+// LAN (sub-millisecond), clusters talk over a WAN whose RTT grows with
+// geographic distance (the paper measures up to ~97 ms RTT from an edge
+// cluster to the central cluster). This module replaces the paper's use of
+// Linux Traffic Control: it provides the same observable — per-transfer delay
+// as a function of link latency, bandwidth, and payload size.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace tango::net {
+
+struct GeoPoint {
+  double x_km = 0.0;
+  double y_km = 0.0;
+};
+
+double DistanceKm(const GeoPoint& a, const GeoPoint& b);
+
+struct LinkParams {
+  /// One-way base propagation latency.
+  SimDuration lan_latency = 300;              // 0.3 ms within a cluster
+  SimDuration wan_base_latency = 2 * kMillisecond;  // WAN floor (one-way)
+  /// Additional one-way latency per km of geographic distance.
+  double wan_us_per_km = 30.0;  // ~48 ms one-way at 1600 km
+  Kbps lan_bandwidth = 10'000'000;  // 10 Gbps LAN
+  Kbps wan_bandwidth = 1'000'000;   // 1 Gbps WAN
+  /// Multiplicative jitter half-width applied to sampled delays (0 = none).
+  double jitter = 0.0;
+};
+
+/// Static description of the cluster layout. Node→cluster assignment lives in
+/// the k8s substrate; the topology only needs cluster geography.
+class Topology {
+ public:
+  Topology() = default;
+  Topology(std::vector<GeoPoint> cluster_positions, LinkParams params)
+      : positions_(std::move(cluster_positions)), params_(params) {}
+
+  int num_clusters() const { return static_cast<int>(positions_.size()); }
+  const LinkParams& params() const { return params_; }
+  const GeoPoint& position(ClusterId c) const {
+    return positions_[static_cast<std::size_t>(c.value)];
+  }
+
+  double GeoDistanceKm(ClusterId a, ClusterId b) const;
+
+  /// Deterministic one-way propagation delay between two clusters
+  /// (LAN latency when a == b).
+  SimDuration OneWayDelay(ClusterId a, ClusterId b) const;
+
+  /// Round-trip time between clusters, as the state storage records it.
+  SimDuration Rtt(ClusterId a, ClusterId b) const {
+    return 2 * OneWayDelay(a, b);
+  }
+
+  /// Total delivery time for a payload of `size` bytes from cluster `a` to
+  /// cluster `b`, optionally jittered through `rng`.
+  SimDuration TransferDelay(ClusterId a, ClusterId b, Bytes size,
+                            Rng* rng = nullptr) const;
+
+  /// Link bandwidth between two clusters (LAN when equal).
+  Kbps Bandwidth(ClusterId a, ClusterId b) const {
+    return a == b ? params_.lan_bandwidth : params_.wan_bandwidth;
+  }
+
+  /// Clusters within `radius_km` of `from`, excluding `from` itself.
+  /// The paper dispatches LC requests only to clusters within 500 km (§5.2).
+  std::vector<ClusterId> NearbyClusters(ClusterId from,
+                                        double radius_km) const;
+
+  /// The geographically most central cluster (minimum sum of distances) —
+  /// where Tango deploys the BE traffic dispatcher (§3, footnote 2).
+  ClusterId CentralCluster() const;
+
+  /// Generate `n` cluster positions uniformly in a square of side
+  /// `region_km`, deterministic under `rng`.
+  static std::vector<GeoPoint> RandomLayout(int n, double region_km, Rng& rng);
+
+ private:
+  std::vector<GeoPoint> positions_;
+  LinkParams params_;
+};
+
+}  // namespace tango::net

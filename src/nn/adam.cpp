@@ -1,0 +1,58 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace tango::nn {
+
+Adam::Adam(const ParamStore& store, AdamConfig cfg)
+    : params_(store.params()), cfg_(cfg) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+float Adam::Step() {
+  ++t_;
+  // Global gradient norm for optional clipping.
+  double norm_sq = 0.0;
+  for (auto& p : params_) {
+    if (!p->grad.SameShape(p->value)) p->grad = Matrix(p->value.rows(), p->value.cols());
+    const float* g = p->grad.data();
+    for (std::size_t i = 0; i < p->grad.size(); ++i) {
+      norm_sq += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(norm_sq));
+  float scale = 1.0f;
+  if (cfg_.grad_clip > 0.0f && norm > cfg_.grad_clip) {
+    scale = cfg_.grad_clip / norm;
+  }
+
+  const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Matrix& val = params_[k]->value;
+    Matrix& grad = params_[k]->grad;
+    Matrix& m = m_[k];
+    Matrix& v = v_[k];
+    float* x = val.data();
+    float* g = grad.data();
+    float* mm = m.data();
+    float* vv = v.data();
+    for (std::size_t i = 0; i < val.size(); ++i) {
+      const float gi = g[i] * scale;
+      mm[i] = cfg_.beta1 * mm[i] + (1.0f - cfg_.beta1) * gi;
+      vv[i] = cfg_.beta2 * vv[i] + (1.0f - cfg_.beta2) * gi * gi;
+      const float mhat = mm[i] / bc1;
+      const float vhat = vv[i] / bc2;
+      x[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+      g[i] = 0.0f;  // zero the gradient for the next step
+    }
+  }
+  return norm;
+}
+
+}  // namespace tango::nn

@@ -1,0 +1,93 @@
+// Tape-based reverse-mode automatic differentiation over dense matrices.
+//
+// This is the stand-in for the paper's PyTorch dependency: enough ops to
+// express the GraphSAGE/GCN/GAT encoders and the A2C/SAC heads of §5.3 —
+// matmul, broadcast add, activations, row-wise softmax with masking (the
+// policy context filter c_t), concat, gather, and scalar reductions.
+//
+// Usage: build a graph of Var nodes, call Backward(loss) — gradients
+// accumulate into every reachable node with requires_grad.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace tango::nn {
+
+struct Node;
+using Var = std::shared_ptr<Node>;
+
+struct Node {
+  Matrix value;
+  Matrix grad;  // same shape as value; lazily allocated
+  bool requires_grad = false;
+  std::vector<Var> parents;
+  /// Propagates this->grad into parents' grads.
+  std::function<void(Node&)> backward;
+
+  Matrix& EnsureGrad() {
+    if (!grad.SameShape(value)) grad = Matrix(value.rows(), value.cols());
+    return grad;
+  }
+};
+
+/// Wrap a constant (no gradient).
+Var Constant(Matrix m);
+/// Wrap a trainable parameter.
+Var Parameter(Matrix m);
+
+/// Reverse-mode sweep from `root` (root's grad seeded with ones).
+void Backward(const Var& root);
+/// Zero the gradient buffers of every node reachable from `root`.
+void ZeroGrad(const Var& root);
+
+// ---- Ops (all return fresh nodes) ----------------------------------------
+
+Var MatMul(const Var& a, const Var& b);
+/// Elementwise add; `b` may also be a 1×C row vector broadcast over rows.
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+/// Elementwise (Hadamard) product, same shapes.
+Var Mul(const Var& a, const Var& b);
+Var Scale(const Var& a, float s);
+Var Relu(const Var& a);
+Var LeakyRelu(const Var& a, float slope = 0.2f);
+Var Tanh(const Var& a);
+Var Exp(const Var& a);
+
+/// Row-wise softmax. When `mask` is non-null (same shape, 0/1 constants),
+/// masked entries get probability exactly 0 — the paper's context filter
+/// p̂(s_t) = p(s_t) * c_t. A row that is entirely masked yields a uniform
+/// distribution over nothing (all zeros).
+Var Softmax(const Var& logits, const Matrix* mask = nullptr);
+
+/// Row-wise log-softmax (numerically stable); mask handled as -inf logits.
+Var LogSoftmax(const Var& logits, const Matrix* mask = nullptr);
+
+/// Select entry (row, col) per row: out is R×1 with out[r] = a[r, idx[r]].
+Var GatherCols(const Var& a, const std::vector<int>& idx);
+
+/// Select a subset of rows: out[i] = a[rows[i]].
+Var GatherRows(const Var& a, const std::vector<int>& rows);
+
+/// Horizontal concat [a | b].
+Var ConcatCols(const Var& a, const Var& b);
+
+/// Matrix transpose.
+Var Transpose(const Var& a);
+
+/// Sum all entries to a 1×1 scalar.
+Var Sum(const Var& a);
+/// Mean of all entries to a 1×1 scalar.
+Var MeanAll(const Var& a);
+
+/// Scalar read of a 1×1 node.
+float ScalarValue(const Var& a);
+
+/// -Σ p log p per row, summed to 1×1 (entropy bonus for A2C).
+Var EntropyOfSoftmax(const Var& logits, const Matrix* mask = nullptr);
+
+}  // namespace tango::nn

@@ -1,0 +1,73 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tango::nn {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (int r = 0; r < m.rows(); ++r) {
+    TANGO_CHECK(rows[static_cast<std::size_t>(r)].size() ==
+                    static_cast<std::size_t>(m.cols()),
+                "ragged row %d", r);
+    for (int c = 0; c < m.cols(); ++c) {
+      m.at(r, c) = rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+    }
+  }
+  return m;
+}
+
+void Matrix::XavierInit(Rng& rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(rows_ + cols_));
+  for (auto& v : data_) {
+    v = static_cast<float>(rng.Uniform(-bound, bound));
+  }
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      t.at(c, r) = at(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  TANGO_CHECK(cols_ == other.rows_, "matmul shape mismatch %dx%d * %dx%d",
+              rows_, cols_, other.rows_, other.cols_);
+  Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      const float a = at(i, k);
+      if (a == 0.0f) continue;
+      const float* brow = other.data() + static_cast<std::size_t>(k) *
+                                             static_cast<std::size_t>(other.cols_);
+      float* orow = out.data() + static_cast<std::size_t>(i) *
+                                     static_cast<std::size_t>(other.cols_);
+      for (int j = 0; j < other.cols_; ++j) {
+        orow[j] += a * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+void Matrix::Add(const Matrix& other) {
+  TANGO_CHECK(SameShape(other), "add shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaled(const Matrix& other, float scale) {
+  TANGO_CHECK(SameShape(other), "addscaled shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+}  // namespace tango::nn

@@ -1,0 +1,106 @@
+#include "nn/module.h"
+
+#include "common/logging.h"
+
+namespace tango::nn {
+
+Var ParamStore::Create(const std::string& name, int rows, int cols,
+                       Rng& rng) {
+  Matrix m(rows, cols);
+  m.XavierInit(rng);
+  Var v = Parameter(std::move(m));
+  params_.push_back(v);
+  names_.push_back(name);
+  return v;
+}
+
+Var ParamStore::CreateZero(const std::string& name, int rows, int cols) {
+  Var v = Parameter(Matrix(rows, cols));
+  params_.push_back(v);
+  names_.push_back(name);
+  return v;
+}
+
+std::size_t ParamStore::ParamCount() const {
+  std::size_t n = 0;
+  for (const auto& p : params_) n += p->value.size();
+  return n;
+}
+
+void ParamStore::ZeroGrads() {
+  for (auto& p : params_) {
+    if (p->grad.SameShape(p->value)) p->grad.Fill(0.0f);
+  }
+}
+
+void CopyParams(const ParamStore& src, ParamStore& dst) {
+  TANGO_CHECK(src.params().size() == dst.params().size(),
+              "param store mismatch");
+  for (std::size_t i = 0; i < src.params().size(); ++i) {
+    dst.params()[i]->value = src.params()[i]->value;
+  }
+}
+
+void SoftUpdateParams(const ParamStore& src, ParamStore& dst, float tau) {
+  TANGO_CHECK(src.params().size() == dst.params().size(),
+              "param store mismatch");
+  for (std::size_t i = 0; i < src.params().size(); ++i) {
+    Matrix& d = dst.params()[i]->value;
+    const Matrix& s = src.params()[i]->value;
+    for (int r = 0; r < d.rows(); ++r) {
+      for (int c = 0; c < d.cols(); ++c) {
+        d.at(r, c) = (1.0f - tau) * d.at(r, c) + tau * s.at(r, c);
+      }
+    }
+  }
+}
+
+Linear::Linear(ParamStore& store, const std::string& name, int in, int out,
+               Rng& rng)
+    : in_(in), out_(out) {
+  w_ = store.Create(name + ".w", in, out, rng);
+  b_ = store.CreateZero(name + ".b", 1, out);
+}
+
+Var Linear::Forward(const Var& x) const {
+  TANGO_CHECK(x->value.cols() == in_, "linear input dim %d != %d",
+              x->value.cols(), in_);
+  return Add(MatMul(x, w_), b_);
+}
+
+Mlp::Mlp(ParamStore& store, const std::string& name, std::vector<int> dims,
+         Rng& rng, Activation hidden)
+    : hidden_(hidden) {
+  TANGO_CHECK(dims.size() >= 2, "mlp needs at least in/out dims");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(store, name + ".l" + std::to_string(i),
+                         dims[i], dims[i + 1], rng);
+  }
+}
+
+Var Mlp::Forward(const Var& x) const {
+  Var h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) {
+      switch (hidden_) {
+        case Activation::kRelu:
+          h = Relu(h);
+          break;
+        case Activation::kTanh:
+          h = Tanh(h);
+          break;
+        case Activation::kNone:
+          break;
+      }
+    }
+  }
+  return h;
+}
+
+Mlp Mlp::PaperHead(ParamStore& store, const std::string& name, int in,
+                   int out, Rng& rng) {
+  return Mlp(store, name, {in, 256, 128, 32, out}, rng);
+}
+
+}  // namespace tango::nn

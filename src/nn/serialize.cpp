@@ -1,0 +1,76 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace tango::nn {
+
+namespace {
+constexpr const char* kMagic = "tango-params";
+constexpr const char* kVersion = "v1";
+}  // namespace
+
+bool SaveParams(std::ostream& out, const ParamStore& store) {
+  out << kMagic << ' ' << kVersion << "\n";
+  out << store.params().size() << "\n";
+  out.precision(9);
+  for (std::size_t i = 0; i < store.params().size(); ++i) {
+    const Var& p = store.params()[i];
+    out << store.names()[i] << ' ' << p->value.rows() << ' '
+        << p->value.cols() << "\n";
+    for (int r = 0; r < p->value.rows(); ++r) {
+      for (int c = 0; c < p->value.cols(); ++c) {
+        out << p->value.at(r, c);
+        out << (c + 1 == p->value.cols() ? '\n' : ' ');
+      }
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool SaveParamsFile(const std::string& path, const ParamStore& store) {
+  std::ofstream out(path);
+  return out && SaveParams(out, store);
+}
+
+bool LoadParams(std::istream& in, ParamStore& store) {
+  std::string magic, version;
+  std::size_t count = 0;
+  if (!(in >> magic >> version >> count)) return false;
+  if (magic != kMagic || version != kVersion) return false;
+  if (count != store.params().size()) return false;
+
+  // Parse everything into a staging buffer first so a malformed file never
+  // leaves the store half-written.
+  std::vector<Matrix> staged;
+  staged.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name;
+    int rows = 0, cols = 0;
+    if (!(in >> name >> rows >> cols)) return false;
+    const Var& p = store.params()[i];
+    if (name != store.names()[i] || rows != p->value.rows() ||
+        cols != p->value.cols()) {
+      return false;
+    }
+    Matrix m(rows, cols);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        if (!(in >> m.at(r, c))) return false;
+      }
+    }
+    staged.push_back(std::move(m));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    store.params()[i]->value = std::move(staged[i]);
+  }
+  return true;
+}
+
+bool LoadParamsFile(const std::string& path, ParamStore& store) {
+  std::ifstream in(path);
+  return in && LoadParams(in, store);
+}
+
+}  // namespace tango::nn

@@ -1,0 +1,29 @@
+// Parameter (de)serialization: save a trained policy (e.g. DCG-BE's
+// encoder + heads) and restore it into a freshly-constructed network of the
+// same architecture. Plain-text format, versioned header:
+//
+//   tango-params v1
+//   <num_tensors>
+//   <name> <rows> <cols>
+//   <row-major float values...>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/module.h"
+
+namespace tango::nn {
+
+/// Write every parameter of `store` (names, shapes, values).
+bool SaveParams(std::ostream& out, const ParamStore& store);
+bool SaveParamsFile(const std::string& path, const ParamStore& store);
+
+/// Load parameters into `store`. Names, order, and shapes must match the
+/// saved file exactly (same architecture); returns false otherwise and
+/// leaves `store` partially updated only on shape mismatch never (values
+/// are validated before any write).
+bool LoadParams(std::istream& in, ParamStore& store);
+bool LoadParamsFile(const std::string& path, ParamStore& store);
+
+}  // namespace tango::nn

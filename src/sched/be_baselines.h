@@ -1,0 +1,36 @@
+// Baseline BE request schedulers of §7.2: round-robin (k8s-native) and
+// load-greedy. Both run centrally over the global state view.
+#pragma once
+
+#include "k8s/scheduling_api.h"
+
+namespace tango::sched {
+
+class KubeNativeBeScheduler : public k8s::BeScheduler {
+ public:
+  explicit KubeNativeBeScheduler(const workload::ServiceCatalog* catalog)
+      : catalog_(catalog) {}
+  std::optional<NodeId> ScheduleOne(const k8s::PendingRequest& pending,
+                                    const metrics::StateStorage& storage,
+                                    SimTime now) override;
+  std::string name() const override { return "k8s-native"; }
+
+ private:
+  const workload::ServiceCatalog* catalog_;
+  std::size_t cursor_ = 0;
+};
+
+class LoadGreedyBeScheduler : public k8s::BeScheduler {
+ public:
+  explicit LoadGreedyBeScheduler(const workload::ServiceCatalog* catalog)
+      : catalog_(catalog) {}
+  std::optional<NodeId> ScheduleOne(const k8s::PendingRequest& pending,
+                                    const metrics::StateStorage& storage,
+                                    SimTime now) override;
+  std::string name() const override { return "load-greedy"; }
+
+ private:
+  const workload::ServiceCatalog* catalog_;
+};
+
+}  // namespace tango::sched

@@ -1,0 +1,81 @@
+#include "sched/ceres.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tango::sched {
+
+using k8s::AdmitDecision;
+using k8s::ExecSlot;
+using k8s::NodeSpec;
+using k8s::ResourceVec;
+
+CeresAllocationPolicy::CeresAllocationPolicy(
+    const workload::ServiceCatalog* catalog, CeresConfig cfg)
+    : catalog_(catalog), cfg_(cfg) {
+  TANGO_CHECK(catalog_ != nullptr, "catalog required");
+}
+
+ResourceVec CeresAllocationPolicy::EffectiveDemand(
+    NodeId /*node*/, const workload::ServiceSpec& service) const {
+  return {service.cpu_demand, service.mem_demand};
+}
+
+AdmitDecision CeresAllocationPolicy::Admit(
+    const NodeSpec& node, const ExecSlot& incoming,
+    const std::vector<ExecSlot>& running) const {
+  // Elastic but non-preemptive: admit while physical memory fits; never
+  // evict to make room (no class priority).
+  MiB mem_used = 0;
+  for (const auto& s : running) mem_used += s.need.mem;
+  AdmitDecision d;
+  d.admit = mem_used + incoming.need.mem <= node.capacity.mem;
+  return d;
+}
+
+void CeresAllocationPolicy::ComputeGrants(const NodeSpec& node,
+                                          const std::vector<ExecSlot>& running,
+                                          std::vector<Millicores>& grants) const {
+  // Pure proportional sharing over need, class-blind, with the same water
+  // fill expansion as HRM — elasticity without prioritization. Under LC/BE
+  // contention LC receives no protection, which is exactly the failure mode
+  // Figure 13(e) shows for CERES.
+  grants.assign(running.size(), 0);
+  if (running.empty()) return;
+  const auto capacity = static_cast<double>(node.capacity.cpu);
+  double ask = 0.0;
+  for (const auto& s : running) ask += static_cast<double>(s.need.cpu);
+  const double base_scale = ask <= capacity ? 1.0 : capacity / ask;
+  double used = 0.0;
+  for (std::size_t i = 0; i < running.size(); ++i) {
+    grants[i] = static_cast<Millicores>(
+        std::floor(static_cast<double>(running[i].need.cpu) * base_scale));
+    used += static_cast<double>(grants[i]);
+  }
+  double leftover = std::max(0.0, capacity - used);
+  for (int pass = 0; pass < 4 && leftover > 1.0; ++pass) {
+    double headroom_total = 0.0;
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      const double cap =
+          cfg_.speedup_cap * static_cast<double>(running[i].need.cpu);
+      headroom_total += std::max(0.0, cap - static_cast<double>(grants[i]));
+    }
+    if (headroom_total <= 0.0) break;
+    const double fill = std::min(1.0, leftover / headroom_total);
+    double granted = 0.0;
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      const double cap =
+          cfg_.speedup_cap * static_cast<double>(running[i].need.cpu);
+      const double headroom =
+          std::max(0.0, cap - static_cast<double>(grants[i]));
+      const auto inc = static_cast<Millicores>(std::floor(headroom * fill));
+      grants[i] += inc;
+      granted += static_cast<double>(inc);
+    }
+    leftover -= granted;
+    if (granted < 1.0) break;
+  }
+}
+
+}  // namespace tango::sched

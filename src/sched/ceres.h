@@ -1,0 +1,45 @@
+// CERES-style baseline (Yu et al., ICPP'21): container-based *local* elastic
+// resource management for mixed workloads.
+//
+// Compared with HRM: containers share the node elastically (no fixed
+// per-service silos), but there is no LC/BE priority ordering, no memory
+// preemption, and no QoS re-assurance — and, at the framework level, CERES
+// ships no traffic scheduling, so experiments pair it with k8s-native
+// round-robin dispatch (Fig. 13's configuration).
+#pragma once
+
+#include "k8s/allocation.h"
+
+namespace tango::sched {
+
+struct CeresConfig {
+  double speedup_cap = 2.0;
+  /// CERES also rescales containers at runtime, but with a slower control
+  /// loop than D-VPA's cgroup writes.
+  SimDuration scaling_latency = 60 * kMillisecond;
+};
+
+class CeresAllocationPolicy : public k8s::AllocationPolicy {
+ public:
+  explicit CeresAllocationPolicy(const workload::ServiceCatalog* catalog,
+                                 CeresConfig cfg = {});
+
+  k8s::ResourceVec EffectiveDemand(
+      NodeId node, const workload::ServiceSpec& service) const override;
+  k8s::AdmitDecision Admit(
+      const k8s::NodeSpec& node, const k8s::ExecSlot& incoming,
+      const std::vector<k8s::ExecSlot>& running) const override;
+  void ComputeGrants(const k8s::NodeSpec& node,
+                     const std::vector<k8s::ExecSlot>& running,
+                     std::vector<Millicores>& grants) const override;
+  SimDuration AdmissionLatency() const override {
+    return cfg_.scaling_latency;
+  }
+  std::string name() const override { return "CERES"; }
+
+ private:
+  const workload::ServiceCatalog* catalog_;
+  CeresConfig cfg_;
+};
+
+}  // namespace tango::sched

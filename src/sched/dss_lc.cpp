@@ -1,0 +1,223 @@
+#include "sched/dss_lc.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "flow/mcmf.h"
+
+namespace tango::sched {
+
+using k8s::Assignment;
+using k8s::PendingRequest;
+
+const char* SplitPolicyName(SplitPolicy p) {
+  switch (p) {
+    case SplitPolicy::kRandom:
+      return "random";
+    case SplitPolicy::kFifo:
+      return "fifo";
+    case SplitPolicy::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+DssLcScheduler::DssLcScheduler(const workload::ServiceCatalog* catalog,
+                               DssLcConfig cfg)
+    : catalog_(catalog), cfg_(cfg), rng_(cfg.seed) {
+  TANGO_CHECK(catalog_ != nullptr, "catalog required");
+}
+
+std::vector<std::int64_t> DssLcScheduler::Route(
+    const std::vector<WorkerCap>& workers, std::int64_t amount,
+    bool use_total, double lambda) {
+  // Node layout: 0 = source, 1 = master, 2..n+1 = workers, n+2 = sink.
+  const int n = static_cast<int>(workers.size());
+  flow::MinCostMaxFlow mcmf(n + 3);
+  const int source = 0, master = 1, sink = n + 2;
+  mcmf.AddArc(source, master, amount, 0);
+  std::vector<int> worker_arcs(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const auto& w = workers[static_cast<std::size_t>(i)];
+    std::int64_t cap = w.capacity;
+    if (use_total) {
+      cap = static_cast<std::int64_t>(
+          std::ceil(static_cast<double>(w.total_capacity) * lambda));
+    }
+    if (cap <= 0) continue;
+    // master → worker: transmission edge (cost = delay, cap = c_ij).
+    const int arc =
+        mcmf.AddArc(master, 2 + i, std::min(cap, cfg_.edge_capacity), w.cost);
+    worker_arcs[static_cast<std::size_t>(i)] = arc;
+    // worker → sink: processing capacity (Eq. 5).
+    mcmf.AddArc(2 + i, sink, cap, 0);
+  }
+  mcmf.Solve(source, sink, amount);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    if (worker_arcs[static_cast<std::size_t>(i)] >= 0) {
+      out[static_cast<std::size_t>(i)] =
+          mcmf.Flow(worker_arcs[static_cast<std::size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+std::vector<Assignment> DssLcScheduler::Schedule(
+    ClusterId /*cluster*/, const std::vector<PendingRequest>& queue,
+    const metrics::StateStorage& storage, SimTime now) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Assignment> out;
+
+  // Decay local commitments (half-life 125 ms ≈ typical service time), so
+  // they only bridge the staleness window of the state storage.
+  if (now > last_decay_) {
+    const double factor =
+        std::pow(0.5, static_cast<double>(now - last_decay_) /
+                          static_cast<double>(125 * kMillisecond));
+    for (auto& [node, cpu] : committed_cpu_) cpu *= factor;
+    for (auto& [node, mem] : committed_mem_) mem *= factor;
+    last_decay_ = now;
+  }
+
+  // Group queued requests by type k ∈ K (Alg. 2 handles each in parallel).
+  std::map<ServiceId, std::vector<const PendingRequest*>> by_type;
+  for (const auto& p : queue) by_type[p.request.service].push_back(&p);
+
+  const auto snapshots = storage.All();
+  for (auto& [svc_id, requests] : by_type) {
+    const auto& svc = catalog_->Get(svc_id);
+    // Build the worker capacity view (Eq. 2 / Eq. 7).
+    std::vector<WorkerCap> workers;
+    std::int64_t total_capacity = 0;
+    for (const auto& s : snapshots) {
+      if (s.is_master) continue;
+      // Eq. 2 over the §4.1-regulated LC view (idle + BE-preemptible),
+      // minus what this dispatcher already committed since the last sync.
+      Millicores cpu_for_lc = s.CpuForLc();
+      auto committed = committed_cpu_.find(s.node);
+      if (committed != committed_cpu_.end()) {
+        cpu_for_lc -= static_cast<Millicores>(committed->second);
+      }
+      MiB mem_for_lc = s.MemForLc();
+      auto committed_mem = committed_mem_.find(s.node);
+      if (committed_mem != committed_mem_.end()) {
+        mem_for_lc -= static_cast<MiB>(committed_mem->second);
+      }
+      const std::int64_t cap = std::min(
+          std::max<Millicores>(0, cpu_for_lc) /
+              std::max<Millicores>(1, svc.cpu_demand),
+          std::max<MiB>(0, mem_for_lc) / std::max<MiB>(1, svc.mem_demand));
+      const std::int64_t total_cap = std::min(
+          s.cpu_total / std::max<Millicores>(1, svc.cpu_demand),
+          s.mem_total / std::max<MiB>(1, svc.mem_demand));
+      const SimDuration rtt = storage.Rtt(s.cluster).value_or(kMillisecond);
+      // Edge cost = transmission delay + estimated queueing delay (queued
+      // work observed at the node, plus our own not-yet-visible
+      // commitments) — the "routing and queuing delays" the paper's
+      // objective integrates. Without the queue term the overflow graph
+      // keeps feeding saturated nodes proportional to their total size.
+      const double queued_estimate =
+          static_cast<double>(s.queued) +
+          (committed != committed_cpu_.end()
+               ? committed->second / static_cast<double>(svc.cpu_demand)
+               : 0.0);
+      const auto queue_cost =
+          static_cast<std::int64_t>(queued_estimate *
+                                    static_cast<double>(svc.base_proc));
+      workers.push_back({s.node, std::max<std::int64_t>(0, cap),
+                         std::max<std::int64_t>(0, total_cap),
+                         rtt / 2 + queue_cost});
+      total_capacity += std::max<std::int64_t>(0, cap);
+    }
+    if (workers.empty()) continue;
+
+    const auto pending = static_cast<std::int64_t>(requests.size());
+
+    // Order requests by the split policy ρ(·).
+    std::vector<const PendingRequest*> ordered = requests;
+    switch (cfg_.split_policy) {
+      case SplitPolicy::kRandom:
+        for (std::size_t i = ordered.size(); i > 1; --i) {
+          const auto j = static_cast<std::size_t>(
+              rng_.UniformInt(0, static_cast<std::int64_t>(i) - 1));
+          std::swap(ordered[i - 1], ordered[j]);
+        }
+        break;
+      case SplitPolicy::kFifo:
+        std::stable_sort(ordered.begin(), ordered.end(),
+                         [](const PendingRequest* a, const PendingRequest* b) {
+                           return a->request.arrival < b->request.arrival;
+                         });
+        break;
+      case SplitPolicy::kDeadline: {
+        const SimDuration target = svc.qos_target;
+        std::stable_sort(ordered.begin(), ordered.end(),
+                         [target, now](const PendingRequest* a,
+                                       const PendingRequest* b) {
+                           const SimTime da = a->request.arrival + target;
+                           const SimTime db = b->request.arrival + target;
+                           (void)now;
+                           return da < db;
+                         });
+        break;
+      }
+    }
+
+    auto assign_counts = [&](const std::vector<std::int64_t>& counts,
+                             std::size_t first_request,
+                             std::size_t n_requests) {
+      std::size_t cursor = first_request;
+      for (std::size_t i = 0; i < workers.size(); ++i) {
+        for (std::int64_t c = 0; c < counts[i]; ++c) {
+          if (cursor >= first_request + n_requests) return;
+          out.push_back({ordered[cursor]->request.id, workers[i].node});
+          committed_cpu_[workers[i].node] +=
+              static_cast<double>(svc.cpu_demand);
+          committed_mem_[workers[i].node] +=
+              static_cast<double>(svc.mem_demand);
+          ++cursor;
+        }
+      }
+    };
+
+    if (pending <= total_capacity) {
+      // Case 1: capacity suffices — one graph G_k.
+      const auto counts = Route(workers, pending, /*use_total=*/false, 0.0);
+      assign_counts(counts, 0, static_cast<std::size_t>(pending));
+    } else {
+      // Case 2: overload — split into R_k (immediate) and R'_k (queued).
+      const std::int64_t immediate = total_capacity;
+      const std::int64_t overflow = pending - immediate;
+      if (immediate > 0) {
+        const auto counts =
+            Route(workers, immediate, /*use_total=*/false, 0.0);
+        assign_counts(counts, 0, static_cast<std::size_t>(immediate));
+      }
+      // λ scales total-resource capacities so Ĝ'_k fits exactly R'_k (Eq. 8).
+      std::int64_t total_res_capacity = 0;
+      for (const auto& w : workers) total_res_capacity += w.total_capacity;
+      if (total_res_capacity > 0 && overflow > 0) {
+        const double lambda = static_cast<double>(overflow) /
+                              static_cast<double>(total_res_capacity);
+        last_lambda_ = lambda;
+        const auto counts =
+            Route(workers, overflow, /*use_total=*/true, lambda);
+        assign_counts(counts, static_cast<std::size_t>(immediate),
+                      static_cast<std::size_t>(overflow));
+        for (const auto c : counts) overflow_routed_ += c;
+      }
+    }
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  decision_seconds_ +=
+      std::chrono::duration<double>(t1 - t0).count();
+  ++decisions_;
+  return out;
+}
+
+}  // namespace tango::sched

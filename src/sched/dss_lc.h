@@ -1,0 +1,85 @@
+// DSS-LC: Distributed Service request Scheduling for LC requests (§5.2,
+// Algorithm 2).
+//
+// Per dispatch round and per request type k, the scheduler builds a
+// min-cost-flow instance G_k over the master (supply = pending requests) and
+// the reachable workers (capacity t_i^k from Eq. 2, edge cost = one-way
+// delay) and routes every request at minimum total transmission delay.
+// When demand exceeds capacity (Σ t_i^k > 0), requests are split by the
+// sorting policy ρ into an immediate set R_k (scheduled on G_k as above) and
+// a queued set R'_k scheduled on Ĝ'_k, whose capacities come from *total*
+// node resources scaled by the augmentation factor λ (Eqs. 7–8) so the
+// backlog spreads proportionally to heterogeneous node sizes.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common/rng.h"
+#include "k8s/scheduling_api.h"
+
+namespace tango::sched {
+
+/// ρ(·): how the overload split orders requests. The paper uses random
+/// (all LC services share one priority) and notes the policy is pluggable.
+enum class SplitPolicy { kRandom, kFifo, kDeadline };
+const char* SplitPolicyName(SplitPolicy p);
+
+struct DssLcConfig {
+  /// Per-(master,worker) transmission capacity c_ij, in requests per round
+  /// (Eq. 4's bound).
+  std::int64_t edge_capacity = 4096;
+  SplitPolicy split_policy = SplitPolicy::kRandom;
+  std::uint64_t seed = 97;
+};
+
+class DssLcScheduler : public k8s::LcScheduler {
+ public:
+  DssLcScheduler(const workload::ServiceCatalog* catalog,
+                 DssLcConfig cfg = {});
+
+  std::vector<k8s::Assignment> Schedule(
+      ClusterId cluster, const std::vector<k8s::PendingRequest>& queue,
+      const metrics::StateStorage& storage, SimTime now) override;
+
+  std::string name() const override { return "DSS-LC"; }
+  double decision_seconds() const override { return decision_seconds_; }
+  std::int64_t decisions() const override { return decisions_; }
+
+  /// λ of the most recent overload split (0 when no split happened) —
+  /// exposed for tests of Eq. 8.
+  double last_lambda() const { return last_lambda_; }
+  /// Total requests routed through the overflow graph Ĝ'_k so far.
+  std::int64_t overflow_routed() const { return overflow_routed_; }
+
+ private:
+  struct WorkerCap {
+    NodeId node;
+    std::int64_t capacity;        // |t_i^k| for available resources
+    std::int64_t total_capacity;  // with total resources (for Ĝ'_k)
+    std::int64_t cost;            // one-way delay µs
+  };
+
+  /// Route `amount` requests across workers via min-cost flow; returns
+  /// per-worker counts aligned with `workers`.
+  std::vector<std::int64_t> Route(const std::vector<WorkerCap>& workers,
+                                  std::int64_t amount, bool use_total,
+                                  double lambda);
+
+  const workload::ServiceCatalog* catalog_;
+  DssLcConfig cfg_;
+  Rng rng_;
+  double decision_seconds_ = 0.0;
+  std::int64_t decisions_ = 0;
+  double last_lambda_ = 0.0;
+  std::int64_t overflow_routed_ = 0;
+  /// CPU/memory the dispatcher has committed per node since the last
+  /// state-storage refresh (decays with the sync period): without it, every
+  /// dispatch round between refreshes re-routes onto the same stale
+  /// capacity.
+  std::map<NodeId, double> committed_cpu_;
+  std::map<NodeId, double> committed_mem_;
+  SimTime last_decay_ = 0;
+};
+
+}  // namespace tango::sched

@@ -1,0 +1,69 @@
+// Baseline LC request schedulers of §7.2:
+//   * k8s-native — round-robin over the local cluster's workers (the K8s
+//     default service proxy policy);
+//   * load-greedy — lowest-load node among local + geo-nearby workers;
+//   * scoring    — weighted score over resource usage and transmission
+//     latency (Zhang et al., OSDI'16 style).
+#pragma once
+
+#include <map>
+
+#include "k8s/scheduling_api.h"
+
+namespace tango::sched {
+
+class KubeNativeLcScheduler : public k8s::LcScheduler {
+ public:
+  explicit KubeNativeLcScheduler(const workload::ServiceCatalog* catalog)
+      : catalog_(catalog) {}
+  std::vector<k8s::Assignment> Schedule(
+      ClusterId cluster, const std::vector<k8s::PendingRequest>& queue,
+      const metrics::StateStorage& storage, SimTime now) override;
+  std::string name() const override { return "k8s-native"; }
+
+ private:
+  const workload::ServiceCatalog* catalog_;
+  std::map<ClusterId, std::size_t> rr_cursor_;
+};
+
+class LoadGreedyLcScheduler : public k8s::LcScheduler {
+ public:
+  explicit LoadGreedyLcScheduler(const workload::ServiceCatalog* catalog)
+      : catalog_(catalog) {}
+  std::vector<k8s::Assignment> Schedule(
+      ClusterId cluster, const std::vector<k8s::PendingRequest>& queue,
+      const metrics::StateStorage& storage, SimTime now) override;
+  std::string name() const override { return "load-greedy"; }
+
+ private:
+  const workload::ServiceCatalog* catalog_;
+};
+
+struct ScoringWeights {
+  double cpu = 0.35;
+  double mem = 0.25;
+  double latency = 0.30;
+  double queue = 0.10;
+};
+
+class ScoringLcScheduler : public k8s::LcScheduler {
+ public:
+  ScoringLcScheduler(const workload::ServiceCatalog* catalog,
+                     ScoringWeights weights = {})
+      : catalog_(catalog), weights_(weights) {}
+  std::vector<k8s::Assignment> Schedule(
+      ClusterId cluster, const std::vector<k8s::PendingRequest>& queue,
+      const metrics::StateStorage& storage, SimTime now) override;
+  std::string name() const override { return "scoring"; }
+
+ private:
+  const workload::ServiceCatalog* catalog_;
+  ScoringWeights weights_;
+  /// Exponentially-decayed count of our own recent assignments per node —
+  /// state-storage snapshots refresh slowly, so without this every dispatch
+  /// round herds onto the same stale "best" node.
+  std::map<NodeId, double> inflight_;
+  SimTime last_decay_ = 0;
+};
+
+}  // namespace tango::sched

@@ -1,0 +1,87 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace tango::sim {
+
+EventHandle Simulator::ScheduleAt(SimTime when, Callback cb) {
+  TANGO_CHECK(when >= now_, "scheduling into the past: %lld < %lld",
+              static_cast<long long>(when), static_cast<long long>(now_));
+  const EventHandle handle = next_handle_++;
+  queue_.push(Event{when, next_seq_++, handle, std::move(cb)});
+  ++live_events_;
+  return handle;
+}
+
+void Simulator::Cancel(EventHandle handle) {
+  if (handle == kInvalidEvent) return;
+  cancelled_.push_back(handle);
+  cancelled_dirty_ = true;
+}
+
+bool Simulator::PopAndRun() {
+  while (!queue_.empty()) {
+    // Binary-search the tombstone list; keep it sorted lazily.
+    if (cancelled_dirty_) {
+      std::sort(cancelled_.begin(), cancelled_.end());
+      cancelled_.erase(std::unique(cancelled_.begin(), cancelled_.end()),
+                       cancelled_.end());
+      cancelled_dirty_ = false;
+    }
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    --live_events_;
+    const bool is_cancelled = std::binary_search(
+        cancelled_.begin(), cancelled_.end(), ev.handle);
+    if (is_cancelled) {
+      // Drop the tombstone so the list does not grow unboundedly.
+      auto it =
+          std::lower_bound(cancelled_.begin(), cancelled_.end(), ev.handle);
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::Step() { return PopAndRun(); }
+
+void Simulator::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    if (!PopAndRun()) break;
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::RunAll() {
+  while (PopAndRun()) {
+  }
+}
+
+std::function<void()> SchedulePeriodic(Simulator& sim, SimTime start,
+                                       SimDuration period,
+                                       std::function<void(SimTime)> tick) {
+  TANGO_CHECK(period > 0, "periodic tick needs a positive period");
+  struct State {
+    bool stopped = false;
+  };
+  auto state = std::make_shared<State>();
+  auto fire = std::make_shared<std::function<void()>>();
+  auto tick_fn = std::make_shared<std::function<void(SimTime)>>(std::move(tick));
+  *fire = [&sim, period, state, fire, tick_fn]() {
+    if (state->stopped) return;
+    (*tick_fn)(sim.Now());
+    if (!state->stopped) sim.ScheduleAfter(period, *fire);
+  };
+  sim.ScheduleAt(start, *fire);
+  return [state]() { state->stopped = true; };
+}
+
+}  // namespace tango::sim

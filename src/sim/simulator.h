@@ -1,0 +1,90 @@
+// Discrete-event simulation engine.
+//
+// The whole edge-cloud system (§6.1's "dual space") runs on one virtual
+// clock. Components schedule callbacks at absolute virtual times; the engine
+// pops events in (time, sequence) order so simultaneous events retain
+// insertion order and the simulation stays deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace tango::sim {
+
+/// Handle used to cancel a scheduled event. Cancellation is lazy: the event
+/// stays in the queue but is skipped when popped.
+using EventHandle = std::uint64_t;
+constexpr EventHandle kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute virtual time `when` (>= Now()).
+  EventHandle ScheduleAt(SimTime when, Callback cb);
+
+  /// Schedule `cb` to run `delay` after the current time.
+  EventHandle ScheduleAfter(SimDuration delay, Callback cb) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  /// Cancel a previously scheduled event. Safe to call on already-fired or
+  /// already-cancelled handles (no-op).
+  void Cancel(EventHandle handle);
+
+  /// Run until the event queue is empty or the clock passes `until`.
+  /// Events scheduled exactly at `until` are executed.
+  void RunUntil(SimTime until);
+
+  /// Run until the event queue drains completely.
+  void RunAll();
+
+  /// Execute a single event; returns false if the queue is empty.
+  bool Step();
+
+  std::size_t pending_events() const { return live_events_; }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break so equal-time events run FIFO
+    EventHandle handle;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopAndRun();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  EventHandle next_handle_ = 1;
+  std::size_t live_events_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventHandle> cancelled_;  // sorted-on-demand tombstones
+  bool cancelled_dirty_ = false;
+};
+
+/// Convenience: schedule a callback every `period` starting at `start`.
+/// Returns a function that stops the ticking when invoked.
+std::function<void()> SchedulePeriodic(Simulator& sim, SimTime start,
+                                       SimDuration period,
+                                       std::function<void(SimTime)> tick);
+
+}  // namespace tango::sim

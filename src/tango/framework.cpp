@@ -1,0 +1,146 @@
+#include "tango/framework.h"
+
+#include "common/logging.h"
+
+namespace tango::framework {
+
+const char* FrameworkKindName(FrameworkKind k) {
+  switch (k) {
+    case FrameworkKind::kTango:
+      return "Tango";
+    case FrameworkKind::kCeres:
+      return "CERES";
+    case FrameworkKind::kDsaco:
+      return "DSACO";
+    case FrameworkKind::kK8sNative:
+      return "K8s-native";
+  }
+  return "?";
+}
+
+const char* LcAlgoName(LcAlgo a) {
+  switch (a) {
+    case LcAlgo::kDssLc:
+      return "DSS-LC";
+    case LcAlgo::kLoadGreedy:
+      return "load-greedy";
+    case LcAlgo::kK8sNative:
+      return "k8s-native";
+    case LcAlgo::kScoring:
+      return "scoring";
+  }
+  return "?";
+}
+
+const char* BeAlgoName(BeAlgo a) {
+  switch (a) {
+    case BeAlgo::kDcgBe:
+      return "DCG-BE";
+    case BeAlgo::kGnnSac:
+      return "GNN-SAC";
+    case BeAlgo::kLoadGreedy:
+      return "load-greedy";
+    case BeAlgo::kK8sNative:
+      return "k8s-native";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<k8s::LcScheduler> MakeLc(LcAlgo algo,
+                                         const workload::ServiceCatalog* cat,
+                                         std::uint64_t seed) {
+  switch (algo) {
+    case LcAlgo::kDssLc: {
+      sched::DssLcConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<sched::DssLcScheduler>(cat, cfg);
+    }
+    case LcAlgo::kLoadGreedy:
+      return std::make_unique<sched::LoadGreedyLcScheduler>(cat);
+    case LcAlgo::kK8sNative:
+      return std::make_unique<sched::KubeNativeLcScheduler>(cat);
+    case LcAlgo::kScoring:
+      return std::make_unique<sched::ScoringLcScheduler>(cat);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<k8s::BeScheduler> MakeBe(BeAlgo algo,
+                                         const workload::ServiceCatalog* cat,
+                                         std::uint64_t seed,
+                                         const sched::LearnedBeConfig& be) {
+  switch (algo) {
+    case BeAlgo::kDcgBe:
+      return sched::MakeDcgBe(cat, gnn::EncoderKind::kGraphSage, seed, be);
+    case BeAlgo::kGnnSac:
+      return sched::MakeGnnSac(cat, seed, be);
+    case BeAlgo::kLoadGreedy:
+      return std::make_unique<sched::LoadGreedyBeScheduler>(cat);
+    case BeAlgo::kK8sNative:
+      return std::make_unique<sched::KubeNativeBeScheduler>(cat);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Assembly InstallPair(k8s::EdgeCloudSystem& system, LcAlgo lc, BeAlgo be,
+                     bool with_hrm, const FrameworkOptions& opts) {
+  Assembly a;
+  const workload::ServiceCatalog* cat = &system.catalog();
+  a.lc_ = MakeLc(lc, cat, opts.seed);
+  a.be_ = MakeBe(be, cat, opts.seed + 1, opts.be);
+  system.SetLcScheduler(a.lc_.get());
+  system.SetBeScheduler(a.be_.get());
+  if (with_hrm) {
+    a.hrm_policy_ = std::make_unique<hrm::HrmAllocationPolicy>(cat, opts.hrm);
+    system.SetAllocationPolicy(a.hrm_policy_.get());
+    if (opts.enable_reassurance) {
+      a.reassurer_ = std::make_unique<hrm::Reassurer>(
+          &system, a.hrm_policy_.get(), opts.reassurance);
+    }
+  }
+  a.description_ = std::string("LC=") + LcAlgoName(lc) + " BE=" +
+                   BeAlgoName(be) + (with_hrm ? " +HRM" : " native");
+  return a;
+}
+
+Assembly InstallFramework(k8s::EdgeCloudSystem& system, FrameworkKind kind,
+                          const FrameworkOptions& opts) {
+  const workload::ServiceCatalog* cat = &system.catalog();
+  switch (kind) {
+    case FrameworkKind::kTango:
+      return InstallPair(system, LcAlgo::kDssLc, BeAlgo::kDcgBe,
+                         /*with_hrm=*/true, opts);
+    case FrameworkKind::kCeres: {
+      Assembly a = InstallPair(system, LcAlgo::kK8sNative, BeAlgo::kK8sNative,
+                               /*with_hrm=*/false, opts);
+      a.alloc_ = std::make_unique<sched::CeresAllocationPolicy>(cat);
+      system.SetAllocationPolicy(a.alloc_.get());
+      a.description_ = "CERES (elastic local alloc, native dispatch)";
+      return a;
+    }
+    case FrameworkKind::kDsaco: {
+      Assembly a = InstallPair(system, LcAlgo::kScoring, BeAlgo::kGnnSac,
+                               /*with_hrm=*/false, opts);
+      // DSACO schedules well but performs no mixed-workload resource
+      // management: containers share the node via plain proportional
+      // weights (vanilla cgroup shares), class-blind and instantaneous.
+      sched::CeresConfig plain;
+      plain.scaling_latency = 0;
+      a.alloc_ = std::make_unique<sched::CeresAllocationPolicy>(cat, plain);
+      system.SetAllocationPolicy(a.alloc_.get());
+      a.description_ = "DSACO (SAC scheduling, unmanaged elastic alloc)";
+      return a;
+    }
+    case FrameworkKind::kK8sNative:
+      return InstallPair(system, LcAlgo::kK8sNative, BeAlgo::kK8sNative,
+                         /*with_hrm=*/false, opts);
+  }
+  TANGO_CHECK(false, "unknown framework kind");
+  return Assembly{};
+}
+
+}  // namespace tango::framework

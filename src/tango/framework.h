@@ -1,0 +1,85 @@
+// Tango framework assembly (Figure 3): given an EdgeCloudSystem, install the
+// five modules — resource usage regulations + D-VPA (the HRM allocation
+// policy), the QoS re-assurer, the LC traffic dispatcher (DSS-LC), and the
+// BE traffic dispatcher (DCG-BE) — and keep them alive for the run.
+//
+// The same assembler also builds the end-to-end baselines of §7.3:
+// CERES (local elastic allocation, k8s-native dispatch) and DSACO
+// (SAC-driven scheduling, native fixed allocation), plus plain K8s.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hrm/reassurance.h"
+#include "k8s/system.h"
+#include "sched/be_baselines.h"
+#include "sched/ceres.h"
+#include "sched/dss_lc.h"
+#include "sched/lc_baselines.h"
+#include "sched/learned_be.h"
+
+namespace tango::framework {
+
+enum class FrameworkKind {
+  kTango,      // HRM + re-assurance + DSS-LC + DCG-BE
+  kCeres,      // CERES elastic allocation + k8s-native dispatch
+  kDsaco,      // native allocation + scoring LC + GNN-SAC BE
+  kK8sNative,  // native allocation + round-robin dispatch
+};
+const char* FrameworkKindName(FrameworkKind k);
+
+/// Names of the pluggable algorithm choices for the pairing study (Fig. 12).
+enum class LcAlgo { kDssLc, kLoadGreedy, kK8sNative, kScoring };
+enum class BeAlgo { kDcgBe, kGnnSac, kLoadGreedy, kK8sNative };
+const char* LcAlgoName(LcAlgo a);
+const char* BeAlgoName(BeAlgo a);
+
+struct FrameworkOptions {
+  /// HRM knobs.
+  hrm::HrmConfig hrm{};
+  hrm::ReassuranceConfig reassurance{};
+  bool enable_reassurance = true;
+  /// Learned BE scheduler knobs (granularity, reward weight, exploration).
+  sched::LearnedBeConfig be{};
+  /// Learner seeds (deterministic experiments).
+  std::uint64_t seed = 7;
+};
+
+/// Owns every component installed on a system. Destroy after the run.
+class Assembly {
+ public:
+  Assembly() = default;
+  ~Assembly() = default;
+  Assembly(Assembly&&) = default;
+  Assembly& operator=(Assembly&&) = default;
+
+  k8s::LcScheduler* lc_scheduler() { return lc_.get(); }
+  k8s::BeScheduler* be_scheduler() { return be_.get(); }
+  hrm::HrmAllocationPolicy* hrm_policy() { return hrm_policy_.get(); }
+  hrm::Reassurer* reassurer() { return reassurer_.get(); }
+  const std::string& description() const { return description_; }
+
+ private:
+  friend Assembly InstallFramework(k8s::EdgeCloudSystem&, FrameworkKind,
+                                   const FrameworkOptions&);
+  friend Assembly InstallPair(k8s::EdgeCloudSystem&, LcAlgo, BeAlgo, bool,
+                              const FrameworkOptions&);
+  std::unique_ptr<k8s::LcScheduler> lc_;
+  std::unique_ptr<k8s::BeScheduler> be_;
+  std::unique_ptr<k8s::AllocationPolicy> alloc_;
+  std::unique_ptr<hrm::HrmAllocationPolicy> hrm_policy_;
+  std::unique_ptr<hrm::Reassurer> reassurer_;
+  std::string description_;
+};
+
+/// Configure `system` as one of the §7.3 end-to-end frameworks.
+Assembly InstallFramework(k8s::EdgeCloudSystem& system, FrameworkKind kind,
+                          const FrameworkOptions& opts = {});
+
+/// Configure `system` with an arbitrary LC/BE algorithm pair (Fig. 12).
+/// `with_hrm` selects the allocation policy (HRM vs native).
+Assembly InstallPair(k8s::EdgeCloudSystem& system, LcAlgo lc, BeAlgo be,
+                     bool with_hrm, const FrameworkOptions& opts = {});
+
+}  // namespace tango::framework

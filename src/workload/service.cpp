@@ -1,0 +1,76 @@
+#include "workload/service.h"
+
+#include "common/logging.h"
+
+namespace tango::workload {
+
+ServiceCatalog::ServiceCatalog(std::vector<ServiceSpec> specs)
+    : specs_(std::move(specs)) {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    TANGO_CHECK(specs_[i].id.value == static_cast<std::int32_t>(i),
+                "catalog ids must be dense, got %d at %zu",
+                specs_[i].id.value, i);
+  }
+}
+
+ServiceCatalog ServiceCatalog::Standard() {
+  std::vector<ServiceSpec> s;
+  auto add = [&s](const char* name, ServiceClass cls, Millicores cpu, MiB mem,
+                  double proc_ms, double qos_ms, Bytes req, Bytes resp) {
+    ServiceSpec spec;
+    spec.id = ServiceId{static_cast<std::int32_t>(s.size())};
+    spec.name = name;
+    spec.cls = cls;
+    spec.cpu_demand = cpu;
+    spec.mem_demand = mem;
+    spec.base_proc = FromMilliseconds(proc_ms);
+    spec.qos_target = FromMilliseconds(qos_ms);
+    spec.request_size = req;
+    spec.response_size = resp;
+    s.push_back(spec);
+  };
+  // ---- Latency-critical (targets cluster around the ~300 ms the paper
+  //      measures in production, Figure 1(b)).
+  add("lc-cloud-render", ServiceClass::kLC, 500, 512, 90, 300, 32 << 10,
+      512 << 10);
+  add("lc-ar-vr", ServiceClass::kLC, 400, 384, 60, 250, 24 << 10, 256 << 10);
+  add("lc-video-conf", ServiceClass::kLC, 300, 256, 70, 320, 48 << 10,
+      128 << 10);
+  add("lc-factory-ctl", ServiceClass::kLC, 200, 128, 40, 200, 8 << 10,
+      8 << 10);
+  add("lc-web-api", ServiceClass::kLC, 150, 128, 50, 350, 8 << 10, 32 << 10);
+  // ---- Best-effort (no QoS target; longer, chunkier work).
+  add("be-analytics", ServiceClass::kBE, 600, 1024, 900, 0, 256 << 10,
+      64 << 10);
+  add("be-training", ServiceClass::kBE, 800, 2048, 1500, 0, 512 << 10,
+      32 << 10);
+  add("be-transcode", ServiceClass::kBE, 500, 768, 1100, 0, 1024 << 10,
+      1024 << 10);
+  add("be-log-compact", ServiceClass::kBE, 300, 512, 700, 0, 128 << 10,
+      16 << 10);
+  add("be-backup", ServiceClass::kBE, 200, 256, 500, 0, 64 << 10, 8 << 10);
+  return ServiceCatalog(std::move(s));
+}
+
+const ServiceSpec& ServiceCatalog::Get(ServiceId id) const {
+  TANGO_CHECK(id.valid() && id.value < size(), "bad service id %d", id.value);
+  return specs_[static_cast<std::size_t>(id.value)];
+}
+
+std::vector<ServiceId> ServiceCatalog::LcServices() const {
+  std::vector<ServiceId> out;
+  for (const auto& s : specs_) {
+    if (s.is_lc()) out.push_back(s.id);
+  }
+  return out;
+}
+
+std::vector<ServiceId> ServiceCatalog::BeServices() const {
+  std::vector<ServiceId> out;
+  for (const auto& s : specs_) {
+    if (!s.is_lc()) out.push_back(s.id);
+  }
+  return out;
+}
+
+}  // namespace tango::workload

@@ -1,0 +1,75 @@
+// Service catalog: the 10 LC/BE service categories the paper extracts from
+// the 2019 Google cluster trace via the LatencySensitivity field (§6.2).
+//
+// Each service runs as one container per node; a request of service k needs
+// a minimum resource grant (r^{c,k}, r^{m,k}) and a base amount of CPU work.
+// LC services carry a tail-latency QoS target γ^k (the paper's production
+// measurements put most targets around 300 ms, Figure 1(b)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace tango::workload {
+
+enum class ServiceClass { kLC, kBE };
+inline const char* ServiceClassName(ServiceClass c) {
+  return c == ServiceClass::kLC ? "LC" : "BE";
+}
+
+struct ServiceSpec {
+  ServiceId id;
+  std::string name;
+  ServiceClass cls = ServiceClass::kLC;
+
+  /// Minimum resource request to process one request of this service
+  /// (the paper's r^{c,k}_i / r^{m,k}_i before re-assurance adjustment).
+  Millicores cpu_demand = 100;
+  MiB mem_demand = 128;
+
+  /// CPU work per request, expressed as the processing time when granted
+  /// exactly `cpu_demand` millicores.
+  SimDuration base_proc = 50 * kMillisecond;
+
+  /// Tail-latency QoS target γ^k; 0 for BE services (no target).
+  SimDuration qos_target = 0;
+
+  /// Payload sizes for the network model.
+  Bytes request_size = 16 * 1024;
+  Bytes response_size = 64 * 1024;
+
+  bool is_lc() const { return cls == ServiceClass::kLC; }
+
+  /// Total CPU work in millicore-microseconds: granting more CPU than
+  /// cpu_demand speeds the request up proportionally (up to a cap applied by
+  /// the execution engine).
+  double cpu_work() const {
+    return static_cast<double>(cpu_demand) * static_cast<double>(base_proc);
+  }
+};
+
+class ServiceCatalog {
+ public:
+  ServiceCatalog() = default;
+  explicit ServiceCatalog(std::vector<ServiceSpec> specs);
+
+  /// The 10-type catalog used throughout the evaluation: 5 LC categories
+  /// (cloud rendering, AR/VR, video conferencing, smart-factory control,
+  /// interactive web) and 5 BE categories (data analytics, model training,
+  /// transcoding, log compaction, backup).
+  static ServiceCatalog Standard();
+
+  const ServiceSpec& Get(ServiceId id) const;
+  const std::vector<ServiceSpec>& all() const { return specs_; }
+  std::vector<ServiceId> LcServices() const;
+  std::vector<ServiceId> BeServices() const;
+  int size() const { return static_cast<int>(specs_.size()); }
+
+ private:
+  std::vector<ServiceSpec> specs_;
+};
+
+}  // namespace tango::workload

@@ -1,0 +1,103 @@
+#include "workload/trace_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace tango::workload {
+
+namespace {
+constexpr const char* kHeader =
+    "request_id,service_id,origin_cluster,arrival_us,work_scale";
+
+void SetError(TraceParseError* error, int line, std::string message) {
+  if (error != nullptr) {
+    error->line = line;
+    error->message = std::move(message);
+  }
+}
+}  // namespace
+
+std::size_t WriteTraceCsv(std::ostream& out, const Trace& trace) {
+  out << kHeader << "\n";
+  for (const auto& r : trace) {
+    out << r.id.value << ',' << r.service.value << ',' << r.origin.value
+        << ',' << r.arrival << ',' << r.work_scale << "\n";
+  }
+  return trace.size();
+}
+
+bool WriteTraceCsvFile(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteTraceCsv(out, trace);
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> ReadTraceCsv(std::istream& in, TraceParseError* error) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    SetError(error, 1, "empty input");
+    return std::nullopt;
+  }
+  // Tolerate a UTF-8 BOM and trailing CR.
+  if (line.size() >= 3 && line.compare(0, 3, "\xEF\xBB\xBF") == 0) {
+    line.erase(0, 3);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != kHeader) {
+    SetError(error, 1, "unexpected header: " + line);
+    return std::nullopt;
+  }
+  Trace trace;
+  std::set<std::int32_t> seen;
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    Request r;
+    char c1, c2, c3, c4;
+    long long id, svc, origin, arrival;
+    double scale;
+    if (!(row >> id >> c1 >> svc >> c2 >> origin >> c3 >> arrival >> c4 >>
+          scale) ||
+        c1 != ',' || c2 != ',' || c3 != ',' || c4 != ',') {
+      SetError(error, lineno, "malformed row: " + line);
+      return std::nullopt;
+    }
+    if (id < 0 || svc < 0 || origin < 0 || arrival < 0 || scale <= 0.0) {
+      SetError(error, lineno, "out-of-range field: " + line);
+      return std::nullopt;
+    }
+    if (!seen.insert(static_cast<std::int32_t>(id)).second) {
+      SetError(error, lineno, "duplicate request id " + std::to_string(id));
+      return std::nullopt;
+    }
+    r.id = RequestId{static_cast<std::int32_t>(id)};
+    r.service = ServiceId{static_cast<std::int32_t>(svc)};
+    r.origin = ClusterId{static_cast<std::int32_t>(origin)};
+    r.arrival = arrival;
+    r.work_scale = scale;
+    trace.push_back(r);
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  return trace;
+}
+
+std::optional<Trace> ReadTraceCsvFile(const std::string& path,
+                                      TraceParseError* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, 0, "cannot open " + path);
+    return std::nullopt;
+  }
+  return ReadTraceCsv(in, error);
+}
+
+}  // namespace tango::workload

@@ -1,0 +1,33 @@
+// Trace (de)serialization: a small CSV format so generated workloads can be
+// archived, inspected, and replayed bit-for-bit — the role the 2019 Google
+// cluster-data files play for the paper.
+//
+// Format (header line + one row per request):
+//   request_id,service_id,origin_cluster,arrival_us,work_scale
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace tango::workload {
+
+/// Serialize a trace. Returns the number of rows written.
+std::size_t WriteTraceCsv(std::ostream& out, const Trace& trace);
+bool WriteTraceCsvFile(const std::string& path, const Trace& trace);
+
+struct TraceParseError {
+  int line = 0;           // 1-based line of the offending row
+  std::string message;
+};
+
+/// Parse a trace; requests are re-sorted by arrival and ids must be unique.
+/// On failure returns nullopt and fills `error` (when non-null).
+std::optional<Trace> ReadTraceCsv(std::istream& in,
+                                  TraceParseError* error = nullptr);
+std::optional<Trace> ReadTraceCsvFile(const std::string& path,
+                                      TraceParseError* error = nullptr);
+
+}  // namespace tango::workload

@@ -1,0 +1,288 @@
+// Tests for the allocation policies: native K8s (fixed container limits),
+// HRM (§4.1 regulations), and the CERES baseline.
+#include <gtest/gtest.h>
+
+#include "hrm/regulations.h"
+#include "k8s/allocation.h"
+#include "sched/ceres.h"
+
+namespace tango {
+namespace {
+
+using k8s::ExecSlot;
+using k8s::NativeAllocationPolicy;
+using k8s::NodeSpec;
+using k8s::ResourceVec;
+using workload::ServiceCatalog;
+
+NodeSpec StdNode() {
+  NodeSpec n;
+  n.id = NodeId{1};
+  n.cluster = ClusterId{0};
+  n.capacity = {4000, 8192};
+  return n;
+}
+
+ExecSlot Slot(const ServiceCatalog& cat, ServiceId svc, RequestId id,
+              double need_scale = 1.0) {
+  const auto& s = cat.Get(svc);
+  ExecSlot slot;
+  slot.request = id;
+  slot.service = svc;
+  slot.is_lc = s.is_lc();
+  slot.need = {static_cast<Millicores>(s.cpu_demand * need_scale),
+               s.mem_demand};
+  slot.remaining_work = s.cpu_work();
+  return slot;
+}
+
+// ------------------------------------------------------------- resources --
+
+TEST(ResourceVec, Arithmetic) {
+  ResourceVec a{1000, 2048};
+  ResourceVec b{500, 1024};
+  EXPECT_EQ((a + b).cpu, 1500);
+  EXPECT_EQ((a - b).mem, 1024);
+  a -= b;
+  EXPECT_EQ(a.cpu, 500);
+  EXPECT_TRUE(a.NonNegative());
+  EXPECT_TRUE(b.FitsWithin(ResourceVec{500, 1024}));
+  EXPECT_FALSE(b.FitsWithin(ResourceVec{499, 1024}));
+}
+
+// ---------------------------------------------------------------- native --
+
+TEST(NativePolicy, ProportionalFractionsSumToOne) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  const auto f = NativeAllocationPolicy::ProportionalFractions(cat);
+  double sum = 0.0;
+  for (const auto& [svc, frac] : f) sum += frac;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(f.size(), 10u);
+}
+
+TEST(NativePolicy, ContainerLimitFollowsFraction) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  NativeAllocationPolicy p(&cat, {{ServiceId{0}, 0.5}, {ServiceId{5}, 0.25}});
+  const NodeSpec node = StdNode();
+  EXPECT_EQ(p.ContainerLimit(node, ServiceId{0}).cpu, 2000);
+  EXPECT_EQ(p.ContainerLimit(node, ServiceId{5}).mem, 2048);
+  // Unlisted service: zero limit.
+  EXPECT_EQ(p.ContainerLimit(node, ServiceId{3}).cpu, 0);
+}
+
+TEST(NativePolicy, AdmissionRespectsContainerSilo) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  // Service 0 (500 mc, 512 MiB demand) gets 25% of a 4-core node = 1000 mc.
+  NativeAllocationPolicy p(&cat, {{ServiceId{0}, 0.25}});
+  const NodeSpec node = StdNode();
+  std::vector<ExecSlot> running{Slot(cat, ServiceId{0}, RequestId{1})};
+  // Second request fits (2×500 = 1000 = limit).
+  EXPECT_TRUE(p.Admit(node, Slot(cat, ServiceId{0}, RequestId{2}), running)
+                  .admit);
+  running.push_back(Slot(cat, ServiceId{0}, RequestId{2}));
+  // Third does not (1500 > 1000) even though the node is mostly idle.
+  EXPECT_FALSE(p.Admit(node, Slot(cat, ServiceId{0}, RequestId{3}), running)
+                   .admit);
+}
+
+TEST(NativePolicy, NeverEvicts) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  NativeAllocationPolicy p(&cat,
+                           NativeAllocationPolicy::ProportionalFractions(cat));
+  std::vector<ExecSlot> running;
+  for (int i = 0; i < 6; ++i) {
+    running.push_back(Slot(cat, ServiceId{6}, RequestId{i}));
+  }
+  const auto d = p.Admit(StdNode(), Slot(cat, ServiceId{0}, RequestId{99}),
+                         running);
+  EXPECT_TRUE(d.evict.empty());
+}
+
+TEST(NativePolicy, GrantsCappedByContainerThenNode) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  NativeAllocationPolicy p(&cat, {{ServiceId{0}, 0.25}, {ServiceId{5}, 0.75}});
+  const NodeSpec node = StdNode();
+  // Three requests of service 0 ask 1500 total against a 1000 limit.
+  std::vector<ExecSlot> running{Slot(cat, ServiceId{0}, RequestId{1}),
+                                Slot(cat, ServiceId{0}, RequestId{2}),
+                                Slot(cat, ServiceId{0}, RequestId{3})};
+  std::vector<Millicores> grants;
+  p.ComputeGrants(node, running, grants);
+  Millicores total = 0;
+  for (const auto g : grants) total += g;
+  EXPECT_LE(total, 1000);
+  EXPECT_NEAR(static_cast<double>(grants[0]), 333, 2);
+}
+
+TEST(NativePolicy, NoAdjustmentOfDemand) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  NativeAllocationPolicy p(&cat,
+                           NativeAllocationPolicy::ProportionalFractions(cat));
+  const auto& svc = cat.Get(ServiceId{0});
+  const auto d = p.EffectiveDemand(NodeId{1}, svc);
+  EXPECT_EQ(d.cpu, svc.cpu_demand);
+  EXPECT_EQ(d.mem, svc.mem_demand);
+  EXPECT_EQ(p.AdmissionLatency(), 0);
+}
+
+// ------------------------------------------------------------------- HRM --
+
+TEST(HrmPolicy, LcGetsPriorityUnderContention) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  hrm::HrmAllocationPolicy p(&cat);
+  const NodeSpec node = StdNode();
+  // LC asks 3×500=1500; BE asks 2×800=1600. Node has 4000.
+  std::vector<ExecSlot> running;
+  for (int i = 0; i < 3; ++i) running.push_back(Slot(cat, ServiceId{0}, RequestId{i}));
+  for (int i = 3; i < 5; ++i) running.push_back(Slot(cat, ServiceId{6}, RequestId{i}));
+  std::vector<Millicores> grants;
+  p.ComputeGrants(node, running, grants);
+  // Every LC slot receives its full need.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(grants[static_cast<std::size_t>(i)], 500);
+  // BE absorbs the leftover (water-fill beyond need, capped at 2×).
+  Millicores be_total = grants[3] + grants[4];
+  EXPECT_GT(be_total, 1600);           // expanded into idle CPU
+  EXPECT_LE(grants[3], 1600);          // per-request speedup cap 2×800
+  Millicores total = 0;
+  for (const auto g : grants) total += g;
+  EXPECT_LE(total, node.capacity.cpu);
+}
+
+TEST(HrmPolicy, LcOverloadScalesProRataAndStarvesBe) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  hrm::HrmAllocationPolicy p(&cat);
+  const NodeSpec node = StdNode();
+  std::vector<ExecSlot> running;
+  for (int i = 0; i < 10; ++i) {
+    running.push_back(Slot(cat, ServiceId{0}, RequestId{i}));  // 10×500=5000
+  }
+  running.push_back(Slot(cat, ServiceId{6}, RequestId{100}));
+  std::vector<Millicores> grants;
+  p.ComputeGrants(node, running, grants);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(static_cast<double>(grants[static_cast<std::size_t>(i)]), 400,
+                1);  // 4000/5000 × 500
+  }
+  EXPECT_EQ(grants[10], 0);  // BE fully compressed
+}
+
+TEST(HrmPolicy, BeMaximizesIdleWhenAlone) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  hrm::HrmAllocationPolicy p(&cat);
+  std::vector<ExecSlot> running{Slot(cat, ServiceId{9}, RequestId{1})};
+  std::vector<Millicores> grants;
+  p.ComputeGrants(StdNode(), running, grants);
+  // be-backup needs 200; cap 2× → 400 granted despite 4000 idle.
+  EXPECT_EQ(grants[0], 400);
+}
+
+TEST(HrmPolicy, LcAdmissionEvictsBeForMemory) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  hrm::HrmAllocationPolicy p(&cat);
+  NodeSpec node = StdNode();
+  node.capacity.mem = 4096;
+  // Two BE training jobs of 2048 MiB fill memory.
+  std::vector<ExecSlot> running{Slot(cat, ServiceId{6}, RequestId{1}),
+                                Slot(cat, ServiceId{6}, RequestId{2})};
+  const auto d =
+      p.Admit(node, Slot(cat, ServiceId{0}, RequestId{3}), running);
+  EXPECT_TRUE(d.admit);
+  ASSERT_EQ(d.evict.size(), 1u);  // evicting one 2048 MiB BE job suffices
+  EXPECT_FALSE(running[d.evict[0]].is_lc);
+}
+
+TEST(HrmPolicy, BeAdmissionNeverEvicts) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  hrm::HrmAllocationPolicy p(&cat);
+  NodeSpec node = StdNode();
+  node.capacity.mem = 2048;
+  std::vector<ExecSlot> running{Slot(cat, ServiceId{6}, RequestId{1})};
+  const auto d =
+      p.Admit(node, Slot(cat, ServiceId{7}, RequestId{2}), running);
+  EXPECT_FALSE(d.admit);
+  EXPECT_TRUE(d.evict.empty());
+}
+
+TEST(HrmPolicy, AdmitRejectsWhenEvenEvictionCannotHelp) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  hrm::HrmAllocationPolicy p(&cat);
+  NodeSpec node = StdNode();
+  node.capacity.mem = 256;  // tiny node
+  std::vector<ExecSlot> running{Slot(cat, ServiceId{9}, RequestId{1})};
+  // lc-cloud-render needs 512 MiB > 256 even after evicting everything.
+  const auto d =
+      p.Admit(node, Slot(cat, ServiceId{0}, RequestId{2}), running);
+  EXPECT_FALSE(d.admit);
+  EXPECT_TRUE(d.evict.empty());
+}
+
+TEST(HrmPolicy, ReassuranceMultiplierAdjustsDemand) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  hrm::HrmAllocationPolicy p(&cat);
+  const auto& svc = cat.Get(ServiceId{0});
+  EXPECT_EQ(p.EffectiveDemand(NodeId{1}, svc).cpu, 500);
+  p.NudgeMultiplier(NodeId{1}, ServiceId{0}, 1.2);
+  EXPECT_EQ(p.EffectiveDemand(NodeId{1}, svc).cpu, 600);
+  // Other nodes unaffected.
+  EXPECT_EQ(p.EffectiveDemand(NodeId{2}, svc).cpu, 500);
+}
+
+TEST(HrmPolicy, MultiplierClampsToBounds) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  hrm::HrmConfig cfg;
+  cfg.min_multiplier = 0.5;
+  cfg.max_multiplier = 3.0;
+  hrm::HrmAllocationPolicy p(&cat, cfg);
+  for (int i = 0; i < 50; ++i) p.NudgeMultiplier(NodeId{1}, ServiceId{0}, 1.5);
+  EXPECT_DOUBLE_EQ(p.Multiplier(NodeId{1}, ServiceId{0}), 3.0);
+  for (int i = 0; i < 50; ++i) p.NudgeMultiplier(NodeId{1}, ServiceId{0}, 0.5);
+  EXPECT_DOUBLE_EQ(p.Multiplier(NodeId{1}, ServiceId{0}), 0.5);
+}
+
+TEST(HrmPolicy, AdmissionLatencyIsDvpaOp) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  hrm::HrmAllocationPolicy p(&cat);
+  EXPECT_NEAR(ToMilliseconds(p.AdmissionLatency()), 23.0, 0.1);
+  hrm::HrmConfig free_cfg;
+  free_cfg.charge_scaling_latency = false;
+  hrm::HrmAllocationPolicy p2(&cat, free_cfg);
+  EXPECT_EQ(p2.AdmissionLatency(), 0);
+}
+
+// ----------------------------------------------------------------- CERES --
+
+TEST(CeresPolicy, ClassBlindProportionalSharing) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  sched::CeresAllocationPolicy p(&cat);
+  const NodeSpec node = StdNode();
+  // LC 500 + BE 800×5 = 4500 > 4000: everyone scales by 8/9 — the LC slot
+  // gets no protection (contrast with HrmPolicy tests above).
+  std::vector<ExecSlot> running{Slot(cat, ServiceId{0}, RequestId{0})};
+  for (int i = 1; i <= 5; ++i) {
+    running.push_back(Slot(cat, ServiceId{6}, RequestId{i}));
+  }
+  std::vector<Millicores> grants;
+  p.ComputeGrants(node, running, grants);
+  EXPECT_LT(grants[0], 500);  // LC squeezed below its need
+  EXPECT_NEAR(static_cast<double>(grants[0]), 500.0 * 4000 / 4500, 2);
+}
+
+TEST(CeresPolicy, ElasticExpansionWhenIdle) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  sched::CeresAllocationPolicy p(&cat);
+  std::vector<ExecSlot> running{Slot(cat, ServiceId{6}, RequestId{1})};
+  std::vector<Millicores> grants;
+  p.ComputeGrants(StdNode(), running, grants);
+  EXPECT_EQ(grants[0], 1600);  // 2× the 800 need
+}
+
+TEST(CeresPolicy, SlowerScalingThanDvpa) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  sched::CeresAllocationPolicy ceres(&cat);
+  hrm::HrmAllocationPolicy hrm_policy(&cat);
+  EXPECT_GT(ceres.AdmissionLatency(), hrm_policy.AdmissionLatency());
+}
+
+}  // namespace
+}  // namespace tango

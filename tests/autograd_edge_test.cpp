@@ -1,0 +1,134 @@
+// Edge-case tests for the autograd engine beyond the per-op gradient checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/adam.h"
+#include "nn/autograd.h"
+#include "nn/module.h"
+
+namespace tango::nn {
+namespace {
+
+TEST(AutogradEdge, FullyMaskedSoftmaxRowIsAllZero) {
+  Var logits = Constant(Matrix::FromRows({{1.0f, 2.0f}, {3.0f, 4.0f}}));
+  Matrix mask(2, 2, 1.0f);
+  mask.at(1, 0) = 0.0f;
+  mask.at(1, 1) = 0.0f;  // row 1 fully masked
+  const Var p = Softmax(logits, &mask);
+  EXPECT_GT(p->value.at(0, 0) + p->value.at(0, 1), 0.99f);
+  EXPECT_FLOAT_EQ(p->value.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(p->value.at(1, 1), 0.0f);
+}
+
+TEST(AutogradEdge, SoftmaxNumericallyStableWithHugeLogits) {
+  Var logits = Constant(Matrix::FromRows({{1000.0f, 999.0f, -1000.0f}}));
+  const Var p = Softmax(logits);
+  EXPECT_FALSE(std::isnan(p->value.at(0, 0)));
+  EXPECT_NEAR(p->value.at(0, 0), 1.0f / (1.0f + std::exp(-1.0f)), 1e-3f);
+  EXPECT_NEAR(p->value.at(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(AutogradEdge, BackwardTwiceAccumulates) {
+  // Calling Backward twice without ZeroGrad doubles the gradient — the
+  // documented accumulate contract.
+  Var w = Parameter(Matrix(1, 1, 2.0f));
+  Var loss = Mul(w, w);
+  Backward(loss);
+  const float once = w->grad.at(0, 0);
+  Backward(loss);
+  EXPECT_FLOAT_EQ(w->grad.at(0, 0), 2.0f * once);
+  ZeroGrad(loss);
+  EXPECT_FLOAT_EQ(w->grad.at(0, 0), 0.0f);
+}
+
+TEST(AutogradEdge, DeadBranchGetsZeroGradNotGarbage) {
+  Var used = Parameter(Matrix(1, 1, 1.0f));
+  Var unused = Parameter(Matrix(1, 1, 1.0f));
+  Var loss = Scale(used, 3.0f);
+  Backward(loss);
+  EXPECT_FLOAT_EQ(used->grad.at(0, 0), 3.0f);
+  // `unused` was never part of the graph: its grad is never allocated.
+  EXPECT_FALSE(unused->grad.SameShape(unused->value));
+}
+
+TEST(AutogradEdge, SharedSubgraphGradientFansIn) {
+  // h = relu(w); loss = sum(h) + sum(h∘h) — gradient flows through both
+  // consumers of h.
+  Var w = Parameter(Matrix(1, 2, 2.0f));
+  Var h = Relu(w);
+  Var loss = Add(Sum(h), Sum(Mul(h, h)));
+  Backward(loss);
+  // d/dw = 1 + 2h = 1 + 4 = 5 at each entry.
+  EXPECT_FLOAT_EQ(w->grad.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(w->grad.at(0, 1), 5.0f);
+}
+
+TEST(AutogradEdge, MlpMatchesManualMatrixMath) {
+  Rng rng(5);
+  ParamStore store;
+  Mlp mlp(store, "m", {3, 4, 2}, rng);
+  Matrix x(1, 3);
+  x.at(0, 0) = 0.3f;
+  x.at(0, 1) = -0.7f;
+  x.at(0, 2) = 1.1f;
+  const Var y = mlp.Forward(Constant(x));
+
+  // Manual: y = relu(x·W0 + b0)·W1 + b1.
+  const Matrix& w0 = store.params()[0]->value;
+  const Matrix& b0 = store.params()[1]->value;
+  const Matrix& w1 = store.params()[2]->value;
+  const Matrix& b1 = store.params()[3]->value;
+  Matrix h = x.MatMul(w0);
+  for (int c = 0; c < h.cols(); ++c) {
+    h.at(0, c) = std::max(0.0f, h.at(0, c) + b0.at(0, c));
+  }
+  Matrix out = h.MatMul(w1);
+  for (int c = 0; c < out.cols(); ++c) out.at(0, c) += b1.at(0, c);
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_NEAR(y->value.at(0, c), out.at(0, c), 1e-5f);
+  }
+}
+
+TEST(AutogradEdge, AdamWithoutGradsIsANoopUpdate) {
+  ParamStore store;
+  Var w = store.CreateZero("w", 2, 2);
+  w->value.Fill(1.5f);
+  Adam opt(store);
+  opt.Step();  // no Backward happened: grads are zero
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_FLOAT_EQ(w->value.at(r, c), 1.5f);
+    }
+  }
+}
+
+TEST(AutogradEdge, EntropyZeroForDeterministicDistribution) {
+  Var logits = Constant(Matrix::FromRows({{100.0f, -100.0f, -100.0f}}));
+  EXPECT_NEAR(ScalarValue(EntropyOfSoftmax(logits)), 0.0f, 1e-4f);
+}
+
+TEST(AutogradEdge, TransposeOfTransposeIsIdentity) {
+  Rng rng(9);
+  Matrix m(3, 5);
+  m.XavierInit(rng);
+  Var a = Constant(m);
+  const Var tt = Transpose(Transpose(a));
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_FLOAT_EQ(tt->value.at(r, c), m.at(r, c));
+    }
+  }
+}
+
+TEST(AutogradEdge, MatrixFromRowsAndTransposed) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_FLOAT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_TRUE(Matrix::FromRows({}).empty());
+}
+
+}  // namespace
+}  // namespace tango::nn

@@ -1,0 +1,178 @@
+// Unit tests for the cgroup hierarchy emulation — including the ordered-write
+// invariant that motivates D-VPA's protocol (§4.2, Figure 5).
+#include <gtest/gtest.h>
+
+#include "cgroup/cgroup.h"
+
+namespace tango::cgroup {
+namespace {
+
+TEST(Hierarchy, PreCreatesQosLevels) {
+  Hierarchy h;
+  EXPECT_NE(h.Find("kubepods"), nullptr);
+  EXPECT_NE(h.Find("kubepods/guaranteed"), nullptr);
+  EXPECT_NE(h.Find("kubepods/burstable"), nullptr);
+  EXPECT_NE(h.Find("kubepods/besteffort"), nullptr);
+  EXPECT_EQ(h.Find("kubepods/imaginary"), nullptr);
+}
+
+TEST(Hierarchy, QosPathHelper) {
+  EXPECT_EQ(Hierarchy::QosPath(QosClass::kBurstable), "kubepods/burstable");
+  EXPECT_EQ(Hierarchy::QosPath(QosClass::kGuaranteed), "kubepods/guaranteed");
+  EXPECT_EQ(Hierarchy::QosPath(QosClass::kBestEffort), "kubepods/besteffort");
+}
+
+TEST(Hierarchy, CreateNestedGroups) {
+  Hierarchy h;
+  Group* pod = h.Create("kubepods/burstable", "pod1");
+  ASSERT_NE(pod, nullptr);
+  EXPECT_EQ(pod->path(), "kubepods/burstable/pod1");
+  Group* c = h.Create("kubepods/burstable/pod1", "c0");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->parent(), pod);
+  EXPECT_EQ(pod->children().size(), 1u);
+}
+
+TEST(Hierarchy, CreateFailsOnDuplicateOrMissingParent) {
+  Hierarchy h;
+  EXPECT_NE(h.Create("kubepods/burstable", "pod1"), nullptr);
+  EXPECT_EQ(h.Create("kubepods/burstable", "pod1"), nullptr);  // duplicate
+  EXPECT_EQ(h.Create("kubepods/nowhere", "pod2"), nullptr);    // no parent
+}
+
+TEST(Hierarchy, RemoveRefusesNonLeafAndRoot) {
+  Hierarchy h;
+  h.Create("kubepods/burstable", "pod1");
+  h.Create("kubepods/burstable/pod1", "c0");
+  EXPECT_EQ(h.Remove("kubepods/burstable/pod1"), WriteResult::kBusy);
+  EXPECT_EQ(h.Remove("kubepods"), WriteResult::kBusy);
+  EXPECT_EQ(h.Remove("kubepods/burstable/pod1/c0"), WriteResult::kOk);
+  EXPECT_EQ(h.Remove("kubepods/burstable/pod1"), WriteResult::kOk);
+  EXPECT_EQ(h.Remove("kubepods/burstable/pod1"), WriteResult::kNoSuchGroup);
+}
+
+TEST(Hierarchy, CpuQuotaParentBoundEnforced) {
+  Hierarchy h;
+  h.Create("kubepods/burstable", "pod1");
+  h.Create("kubepods/burstable/pod1", "c0");
+  // Expansion in the wrong order: raising the container above the pod's
+  // current quota fails — this is what forces "pod first" on expand.
+  ASSERT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1", 50'000),
+            WriteResult::kOk);
+  EXPECT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1/c0", 80'000),
+            WriteResult::kInvalidArgument);
+  // Correct order succeeds.
+  EXPECT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1", 80'000),
+            WriteResult::kOk);
+  EXPECT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1/c0", 80'000),
+            WriteResult::kOk);
+}
+
+TEST(Hierarchy, CpuQuotaShrinkMustStartAtContainer) {
+  Hierarchy h;
+  h.Create("kubepods/burstable", "pod1");
+  h.Create("kubepods/burstable/pod1", "c0");
+  ASSERT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1", 80'000),
+            WriteResult::kOk);
+  ASSERT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1/c0", 80'000),
+            WriteResult::kOk);
+  // Shrinking the pod below a child's quota fails — "container first".
+  EXPECT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1", 30'000),
+            WriteResult::kInvalidArgument);
+  EXPECT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1/c0", 30'000),
+            WriteResult::kOk);
+  EXPECT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1", 30'000),
+            WriteResult::kOk);
+}
+
+TEST(Hierarchy, MemoryLimitParentBoundEnforced) {
+  Hierarchy h;
+  h.Create("kubepods/burstable", "pod1");
+  h.Create("kubepods/burstable/pod1", "c0");
+  ASSERT_EQ(h.WriteMemoryLimit("kubepods/burstable/pod1", 512),
+            WriteResult::kOk);
+  EXPECT_EQ(h.WriteMemoryLimit("kubepods/burstable/pod1/c0", 1024),
+            WriteResult::kInvalidArgument);
+  EXPECT_EQ(h.WriteMemoryLimit("kubepods/burstable/pod1/c0", 512),
+            WriteResult::kOk);
+  EXPECT_EQ(h.WriteMemoryLimit("kubepods/burstable/pod1", 256),
+            WriteResult::kInvalidArgument);  // child at 512
+}
+
+TEST(Hierarchy, UnlimitedParentAcceptsAnyChild) {
+  Hierarchy h;
+  h.Create("kubepods/burstable", "pod1");
+  h.Create("kubepods/burstable/pod1", "c0");
+  // Pod quota unlimited (-1 default) — container can take any value.
+  EXPECT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1/c0", 123'000),
+            WriteResult::kOk);
+}
+
+TEST(Hierarchy, UnlimitedChildUnderLimitedParentRejected) {
+  Hierarchy h;
+  h.Create("kubepods/burstable", "pod1");
+  h.Create("kubepods/burstable/pod1", "c0");
+  ASSERT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1/c0", 10'000),
+            WriteResult::kOk);
+  ASSERT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1", 10'000),
+            WriteResult::kOk);
+  EXPECT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1/c0", -1),
+            WriteResult::kInvalidArgument);
+}
+
+TEST(Hierarchy, InvalidKnobValuesRejected) {
+  Hierarchy h;
+  h.Create("kubepods/burstable", "pod1");
+  EXPECT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1", 0),
+            WriteResult::kInvalidArgument);
+  EXPECT_EQ(h.WriteCpuQuota("kubepods/burstable/pod1", -7),
+            WriteResult::kInvalidArgument);
+  EXPECT_EQ(h.WriteCpuShares("kubepods/burstable/pod1", 1),
+            WriteResult::kInvalidArgument);  // kernel floor is 2
+  EXPECT_EQ(h.WriteCpuShares("kubepods/burstable/pod1", 2), WriteResult::kOk);
+  EXPECT_EQ(h.WriteMemoryLimit("kubepods/burstable/pod1", 0),
+            WriteResult::kInvalidArgument);
+  EXPECT_EQ(h.WriteCpuQuota("kubepods/missing", 1000),
+            WriteResult::kNoSuchGroup);
+}
+
+TEST(Hierarchy, WriteCountOnlyCountsSuccesses) {
+  Hierarchy h;
+  h.Create("kubepods/burstable", "pod1");
+  const auto before = h.write_count();
+  h.WriteCpuQuota("kubepods/burstable/pod1", 10'000);   // ok
+  h.WriteCpuQuota("kubepods/burstable/pod1", 0);        // invalid
+  h.WriteMemoryLimit("kubepods/missing", 100);          // missing
+  EXPECT_EQ(h.write_count(), before + 1);
+}
+
+TEST(Knobs, CpuLimitMillicores) {
+  Knobs k;
+  EXPECT_FALSE(k.CpuLimitMillicores().has_value());  // unlimited
+  k.cpu_cfs_quota_us = 50'000;
+  k.cpu_cfs_period_us = 100'000;
+  EXPECT_EQ(k.CpuLimitMillicores().value(), 500);
+  k.cpu_cfs_quota_us = 400'000;
+  EXPECT_EQ(k.CpuLimitMillicores().value(), 4000);
+}
+
+TEST(OpLatency, FullScaleOpMatchesPaper) {
+  OpLatencyModel m;
+  // Four ordered writes ≈ 23 ms; rebuild ≈ 100×.
+  EXPECT_NEAR(ToMilliseconds(m.FullScaleOp()), 23.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(m.pod_rebuild) /
+                  static_cast<double>(m.FullScaleOp()),
+              100.0, 1.0);
+}
+
+TEST(Hierarchy, ListPathsContainsEverything) {
+  Hierarchy h;
+  h.Create("kubepods/burstable", "pod1");
+  const auto paths = h.ListPaths();
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "kubepods/burstable/pod1"),
+            paths.end());
+  EXPECT_EQ(paths.size(), 5u);  // root + 3 QoS levels + pod1
+}
+
+}  // namespace
+}  // namespace tango::cgroup

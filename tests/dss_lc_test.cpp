@@ -1,0 +1,221 @@
+// Tests for DSS-LC (Algorithm 2): graph construction, the capacity and
+// overload cases, the augmentation factor λ (Eq. 8), and edge capacities.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/dss_lc.h"
+
+namespace tango::sched {
+namespace {
+
+using k8s::Assignment;
+using k8s::PendingRequest;
+using metrics::NodeSnapshot;
+using metrics::StateStorage;
+using workload::ServiceCatalog;
+
+struct DssFixture : public ::testing::Test {
+  void SetUp() override { catalog = ServiceCatalog::Standard(); }
+
+  /// Add a worker snapshot with given available cpu/mem and cluster RTT.
+  void AddWorker(StateStorage& st, int node, int cluster, Millicores cpu_av,
+                 MiB mem_av, SimDuration rtt,
+                 Millicores cpu_total = 8000, MiB mem_total = 16384) {
+    NodeSnapshot s;
+    s.node = NodeId{node};
+    s.cluster = ClusterId{cluster};
+    s.cpu_total = cpu_total;
+    s.cpu_available = cpu_av;
+    s.mem_total = mem_total;
+    s.mem_available = mem_av;
+    st.Update(s);
+    st.UpdateRtt(ClusterId{cluster}, rtt);
+  }
+
+  std::vector<PendingRequest> Queue(int count, int svc = 3) {
+    std::vector<PendingRequest> q;
+    for (int i = 0; i < count; ++i) {
+      PendingRequest p;
+      p.request.id = RequestId{i};
+      p.request.service = ServiceId{svc};
+      p.request.origin = ClusterId{0};
+      p.request.arrival = 0;
+      q.push_back(p);
+    }
+    return q;
+  }
+
+  static std::map<std::int32_t, int> CountByNode(
+      const std::vector<Assignment>& as) {
+    std::map<std::int32_t, int> counts;
+    for (const auto& a : as) counts[a.target.value] += 1;
+    return counts;
+  }
+
+  ServiceCatalog catalog;
+};
+
+TEST_F(DssFixture, AssignsAllWhenCapacitySuffices) {
+  DssLcScheduler dss(&catalog);
+  StateStorage st;
+  // svc 3 needs 200 mc / 128 MiB; each worker fits 10 by CPU.
+  AddWorker(st, 1, 0, 2000, 4096, kMillisecond);
+  AddWorker(st, 2, 0, 2000, 4096, kMillisecond);
+  const auto as = dss.Schedule(ClusterId{0}, Queue(8), st, 0);
+  EXPECT_EQ(as.size(), 8u);
+  // No node receives more than its capacity (10).
+  for (const auto& [node, count] : CountByNode(as)) EXPECT_LE(count, 10);
+  EXPECT_EQ(dss.overflow_routed(), 0);
+}
+
+TEST_F(DssFixture, PrefersLowDelayNodesWhenCapacityAmple) {
+  DssLcScheduler dss(&catalog);
+  StateStorage st;
+  AddWorker(st, 1, 0, 4000, 8192, kMillisecond);          // local, 0.5 ms
+  AddWorker(st, 2, 1, 4000, 8192, 80 * kMillisecond);     // far, 40 ms
+  const auto as = dss.Schedule(ClusterId{0}, Queue(10), st, 0);
+  const auto counts = CountByNode(as);
+  // All 10 fit locally (capacity 20); min-cost flow must keep them local.
+  EXPECT_EQ(counts.count(2), 0u);
+  EXPECT_EQ(counts.at(1), 10);
+}
+
+TEST_F(DssFixture, SpillsToRemoteWhenLocalSaturated) {
+  DssLcScheduler dss(&catalog);
+  StateStorage st;
+  AddWorker(st, 1, 0, 600, 8192, kMillisecond);        // fits 3
+  AddWorker(st, 2, 1, 4000, 8192, 40 * kMillisecond);  // fits 20
+  const auto as = dss.Schedule(ClusterId{0}, Queue(10), st, 0);
+  const auto counts = CountByNode(as);
+  EXPECT_EQ(counts.at(1), 3);
+  EXPECT_EQ(counts.at(2), 7);
+}
+
+TEST_F(DssFixture, CapacityRespectsMemoryDimension) {
+  DssLcScheduler dss(&catalog);
+  StateStorage st;
+  // CPU would fit 10, memory only 2 (svc 3 needs 128 MiB).
+  AddWorker(st, 1, 0, 2000, 256, kMillisecond);
+  const auto as = dss.Schedule(ClusterId{0}, Queue(8), st, 0);
+  // Eq. 2: t_i = -min(cpu_av/r_c, mem_av/r_m) = -2 immediate; the other 6
+  // go through the overflow graph onto the same node (it is the only one).
+  EXPECT_EQ(as.size(), 8u);
+  EXPECT_GT(dss.overflow_routed(), 0);
+}
+
+TEST_F(DssFixture, OverloadSplitsAndComputesLambda) {
+  DssLcScheduler dss(&catalog);
+  StateStorage st;
+  // Each worker immediately fits 2 (400 mc avail / 200), totals fit 40.
+  AddWorker(st, 1, 0, 400, 4096, kMillisecond, 8000, 16384);
+  AddWorker(st, 2, 0, 400, 4096, kMillisecond, 8000, 16384);
+  const auto as = dss.Schedule(ClusterId{0}, Queue(12), st, 0);
+  // 4 immediate + 8 overflow, all dispatched (Alg. 2 dispatches both sets).
+  EXPECT_EQ(as.size(), 12u);
+  EXPECT_EQ(dss.overflow_routed(), 8);
+  // λ = overflow / Σ total capacities = 8 / (40+40).
+  EXPECT_NEAR(dss.last_lambda(), 8.0 / 80.0, 1e-9);
+}
+
+TEST_F(DssFixture, OverflowSpreadsByTotalResources) {
+  DssLcScheduler dss(&catalog);
+  StateStorage st;
+  // No immediate capacity anywhere; node 2 has 3× the total resources of
+  // node 1 and should receive ~3× of the queued overflow (Eq. 7).
+  AddWorker(st, 1, 0, 0, 0, kMillisecond, 2000, 4096);
+  AddWorker(st, 2, 0, 0, 0, kMillisecond, 6000, 12288);
+  const auto as = dss.Schedule(ClusterId{0}, Queue(12), st, 0);
+  EXPECT_EQ(as.size(), 12u);
+  const auto counts = CountByNode(as);
+  EXPECT_GT(counts.at(2), counts.at(1));
+  EXPECT_NEAR(static_cast<double>(counts.at(2)) /
+                  static_cast<double>(counts.at(1)),
+              3.0, 1.2);
+}
+
+TEST_F(DssFixture, EdgeCapacityBoundsPerRoundTransfers) {
+  DssLcConfig cfg;
+  cfg.edge_capacity = 3;  // Eq. 4: at most 3 requests per (master, node) arc
+  DssLcScheduler dss(&catalog, cfg);
+  StateStorage st;
+  AddWorker(st, 1, 0, 4000, 8192, kMillisecond);
+  AddWorker(st, 2, 0, 4000, 8192, kMillisecond);
+  const auto as = dss.Schedule(ClusterId{0}, Queue(10), st, 0);
+  const auto counts = CountByNode(as);
+  for (const auto& [node, count] : counts) EXPECT_LE(count, 3);
+  EXPECT_LE(as.size(), 6u);
+}
+
+TEST_F(DssFixture, HandlesMultipleServiceTypesIndependently) {
+  DssLcScheduler dss(&catalog);
+  StateStorage st;
+  AddWorker(st, 1, 0, 4000, 8192, kMillisecond);
+  std::vector<PendingRequest> q;
+  for (int i = 0; i < 6; ++i) {
+    PendingRequest p;
+    p.request.id = RequestId{i};
+    p.request.service = ServiceId{i % 3};  // three LC types
+    p.request.origin = ClusterId{0};
+    q.push_back(p);
+  }
+  const auto as = dss.Schedule(ClusterId{0}, q, st, 0);
+  EXPECT_EQ(as.size(), 6u);
+  // All 6 distinct request ids covered exactly once.
+  std::set<std::int32_t> seen;
+  for (const auto& a : as) seen.insert(a.request.value);
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST_F(DssFixture, EmptyStorageAssignsNothing) {
+  DssLcScheduler dss(&catalog);
+  StateStorage st;
+  const auto as = dss.Schedule(ClusterId{0}, Queue(5), st, 0);
+  EXPECT_TRUE(as.empty());
+}
+
+TEST_F(DssFixture, EmptyQueueIsANoop) {
+  DssLcScheduler dss(&catalog);
+  StateStorage st;
+  AddWorker(st, 1, 0, 4000, 8192, kMillisecond);
+  EXPECT_TRUE(dss.Schedule(ClusterId{0}, {}, st, 0).empty());
+}
+
+TEST_F(DssFixture, RecordsDecisionTiming) {
+  DssLcScheduler dss(&catalog);
+  StateStorage st;
+  AddWorker(st, 1, 0, 4000, 8192, kMillisecond);
+  dss.Schedule(ClusterId{0}, Queue(5), st, 0);
+  dss.Schedule(ClusterId{0}, Queue(5), st, 0);
+  EXPECT_EQ(dss.decisions(), 2);
+  EXPECT_GT(dss.decision_seconds(), 0.0);
+}
+
+class SplitPolicyTest : public DssFixture,
+                        public ::testing::WithParamInterface<SplitPolicy> {};
+
+TEST_P(SplitPolicyTest, OverloadStillDispatchesEverything) {
+  DssLcConfig cfg;
+  cfg.split_policy = GetParam();
+  DssLcScheduler dss(&catalog, cfg);
+  StateStorage st;
+  AddWorker(st, 1, 0, 400, 4096, kMillisecond, 4000, 8192);
+  auto q = Queue(10);
+  // Stagger arrivals so FIFO/deadline orders are distinct from id order.
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    q[i].request.arrival = static_cast<SimTime>((10 - i) * kMillisecond);
+  }
+  const auto as = dss.Schedule(ClusterId{0}, q, st, 20 * kMillisecond);
+  EXPECT_EQ(as.size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SplitPolicyTest,
+                         ::testing::Values(SplitPolicy::kRandom,
+                                           SplitPolicy::kFifo,
+                                           SplitPolicy::kDeadline),
+                         [](const auto& info) {
+                           return std::string(SplitPolicyName(info.param));
+                         });
+
+}  // namespace
+}  // namespace tango::sched

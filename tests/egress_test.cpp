@@ -1,0 +1,108 @@
+// Tests for the egress bandwidth regulator (bandwidth as a compressible
+// resource, §4.1).
+#include <gtest/gtest.h>
+
+#include "net/egress.h"
+
+namespace tango::net {
+namespace {
+
+constexpr ClusterId kC{0};
+
+TEST(Egress, IdleLinkGivesFullBandwidth) {
+  EgressRegulator reg;
+  EXPECT_EQ(reg.EffectiveBandwidth(kC, true, 0), reg.config().uplink);
+  EXPECT_EQ(reg.EffectiveBandwidth(kC, false, 0), reg.config().uplink);
+  EXPECT_DOUBLE_EQ(reg.LcLoadFraction(kC, 0), 0.0);
+}
+
+TEST(Egress, SerializationMatchesTransferTimeWhenIdle) {
+  EgressRegulator reg;
+  const Bytes size = 1 << 20;
+  EXPECT_EQ(reg.Serialize(kC, size, true, 0),
+            TransferTime(size, reg.config().uplink));
+}
+
+TEST(Egress, LcLoadFractionTracksOfferedBytes) {
+  EgressConfig cfg;
+  cfg.uplink = 8000;  // 8 Mbps → 500 KB per 500 ms window
+  EgressRegulator reg(cfg);
+  reg.Serialize(kC, 250 * 1000, true, 0);
+  EXPECT_NEAR(reg.LcLoadFraction(kC, 0), 0.5, 0.05);
+  // The window decays: a few windows later the link looks idle again.
+  EXPECT_LT(reg.LcLoadFraction(kC, 3 * cfg.window), 0.05);
+}
+
+TEST(Egress, PriorityModeShieldsLcFromBeBulk) {
+  EgressConfig cfg;
+  cfg.uplink = 8000;
+  EgressRegulator reg(cfg);
+  reg.set_mode(EgressMode::kLcPriority);
+  // Saturate the uplink with BE bulk.
+  reg.Serialize(kC, 1000 * 1000, false, 0);
+  // LC still sees the full uplink…
+  EXPECT_EQ(reg.EffectiveBandwidth(kC, true, 0), cfg.uplink);
+  // …while in fair mode it would be squeezed.
+  reg.set_mode(EgressMode::kFairShare);
+  EXPECT_LT(reg.EffectiveBandwidth(kC, true, 0), cfg.uplink);
+}
+
+TEST(Egress, PriorityModeCompressesBeUnderLcLoad) {
+  EgressConfig cfg;
+  cfg.uplink = 8000;
+  EgressRegulator reg(cfg);
+  reg.set_mode(EgressMode::kLcPriority);
+  // LC claims ~60% of the window.
+  reg.Serialize(kC, 300 * 1000, true, 0);
+  const Kbps be_bw = reg.EffectiveBandwidth(kC, false, 0);
+  EXPECT_LT(be_bw, cfg.uplink / 2);
+  EXPECT_GE(be_bw, static_cast<Kbps>(cfg.uplink * cfg.be_floor));
+}
+
+TEST(Egress, BeFloorPreventsStarvation) {
+  EgressConfig cfg;
+  cfg.uplink = 8000;
+  cfg.be_floor = 0.1;
+  EgressRegulator reg(cfg);
+  reg.set_mode(EgressMode::kLcPriority);
+  // LC wildly oversubscribes.
+  for (int i = 0; i < 20; ++i) reg.Serialize(kC, 500 * 1000, true, 0);
+  EXPECT_GE(reg.EffectiveBandwidth(kC, false, 0),
+            static_cast<Kbps>(cfg.uplink * 0.1));
+}
+
+TEST(Egress, FairModeDegradesBothClasses) {
+  EgressConfig cfg;
+  cfg.uplink = 8000;
+  EgressRegulator reg(cfg);
+  reg.set_mode(EgressMode::kFairShare);
+  reg.Serialize(kC, 500 * 1000, true, 0);
+  reg.Serialize(kC, 500 * 1000, false, 0);
+  const Kbps lc = reg.EffectiveBandwidth(kC, true, 0);
+  const Kbps be = reg.EffectiveBandwidth(kC, false, 0);
+  EXPECT_LT(lc, cfg.uplink);
+  EXPECT_EQ(lc, be);  // fair: same degradation
+}
+
+TEST(Egress, ClustersAreIndependent) {
+  EgressConfig cfg;
+  cfg.uplink = 8000;
+  EgressRegulator reg(cfg);
+  reg.Serialize(ClusterId{0}, 1000 * 1000, false, 0);
+  EXPECT_EQ(reg.EffectiveBandwidth(ClusterId{1}, false, 0), cfg.uplink);
+}
+
+TEST(Egress, SerializeSlowsUnderCongestion) {
+  EgressConfig cfg;
+  cfg.uplink = 8000;
+  EgressRegulator reg(cfg);
+  reg.set_mode(EgressMode::kLcPriority);
+  const SimDuration idle = reg.Serialize(kC, 100 * 1000, false, 0);
+  // Pile on LC, then the same BE transfer takes longer.
+  reg.Serialize(kC, 400 * 1000, true, 0);
+  const SimDuration congested = reg.Serialize(kC, 100 * 1000, false, 0);
+  EXPECT_GT(congested, idle);
+}
+
+}  // namespace
+}  // namespace tango::net

@@ -1,0 +1,75 @@
+// Tests for the results CSV export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/export.h"
+#include "eval/harness.h"
+
+namespace tango::eval {
+namespace {
+
+struct ExportFixture : public ::testing::Test {
+  void SetUp() override {
+    catalog = workload::ServiceCatalog::Standard();
+    workload::TraceConfig tc;
+    tc.catalog = &catalog;
+    tc.num_clusters = 2;
+    tc.duration = 8 * kSecond;
+    tc.lc_rps = 15.0;
+    tc.be_rps = 5.0;
+    tc.seed = 7;
+    trace = workload::GeneratePattern(workload::Pattern::kP3, tc);
+
+    k8s::SystemConfig sys;
+    sys.clusters = PhysicalClusters(2);
+    sys.seed = 3;
+    system = std::make_unique<k8s::EdgeCloudSystem>(sys, &catalog);
+    assembly = std::make_unique<framework::Assembly>(
+        framework::InstallFramework(*system,
+                                    framework::FrameworkKind::kTango));
+    system->SubmitTrace(trace);
+    system->Run(20 * kSecond);
+  }
+
+  workload::ServiceCatalog catalog;
+  workload::Trace trace;
+  std::unique_ptr<k8s::EdgeCloudSystem> system;
+  std::unique_ptr<framework::Assembly> assembly;
+};
+
+int CountLines(const std::string& s) {
+  int n = 0;
+  for (char c : s) n += c == '\n' ? 1 : 0;
+  return n;
+}
+
+TEST_F(ExportFixture, RecordsCsvHasOneRowPerRequest) {
+  std::stringstream buf;
+  const std::size_t rows = WriteRecordsCsv(buf, *system);
+  EXPECT_EQ(rows, trace.size());
+  EXPECT_EQ(CountLines(buf.str()), static_cast<int>(trace.size()) + 1);
+  // Header present and the first data row parses.
+  const std::string s = buf.str();
+  EXPECT_EQ(s.rfind("request_id,service,class,", 0), 0u);
+  EXPECT_NE(s.find(",LC,"), std::string::npos);
+  EXPECT_NE(s.find(",BE,"), std::string::npos);
+  EXPECT_NE(s.find(",completed,"), std::string::npos);
+}
+
+TEST_F(ExportFixture, PeriodsCsvMatchesPeriodCount) {
+  std::stringstream buf;
+  const std::size_t rows = WritePeriodsCsv(buf, *system);
+  EXPECT_EQ(rows, system->periods().size());
+  EXPECT_GT(rows, 5u);  // 20 s of 800 ms periods
+}
+
+TEST_F(ExportFixture, FileVariantsWriteAndFailGracefully) {
+  EXPECT_TRUE(WriteRecordsCsvFile("/tmp/tango_export_records.csv", *system));
+  EXPECT_TRUE(WritePeriodsCsvFile("/tmp/tango_export_periods.csv", *system));
+  EXPECT_FALSE(
+      WriteRecordsCsvFile("/nonexistent-dir/records.csv", *system));
+}
+
+}  // namespace
+}  // namespace tango::eval

@@ -1,0 +1,113 @@
+// Tests for the evaluation harness utilities.
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+
+namespace tango::eval {
+namespace {
+
+TEST(Harness, PhysicalClustersMatchPaperSpec) {
+  const auto clusters = PhysicalClusters(4);
+  ASSERT_EQ(clusters.size(), 4u);
+  for (const auto& c : clusters) {
+    EXPECT_EQ(c.num_workers, 4);
+    EXPECT_EQ(c.worker_capacity.cpu, 4 * kCore);
+    EXPECT_EQ(c.worker_capacity.mem, 8 * 1024);
+    EXPECT_FALSE(c.heterogeneous);
+  }
+}
+
+TEST(Harness, HybridClustersMatchDualSpaceSpec) {
+  const auto clusters = HybridClusters(4, 100, 88);
+  ASSERT_EQ(clusters.size(), 104u);
+  int total_virtual_workers = 0;
+  for (std::size_t i = 4; i < clusters.size(); ++i) {
+    EXPECT_TRUE(clusters[i].heterogeneous);
+    EXPECT_GE(clusters[i].num_workers, 3);
+    EXPECT_LE(clusters[i].num_workers, 20);
+    total_virtual_workers += clusters[i].num_workers;
+  }
+  // §6.1: ~1000 virtual nodes in total (3-20 × 100 clusters).
+  EXPECT_GT(total_virtual_workers, 600);
+  EXPECT_LT(total_virtual_workers, 1700);
+}
+
+TEST(Harness, HybridClustersDeterministicUnderSeed) {
+  const auto a = HybridClusters(2, 10, 5);
+  const auto b = HybridClusters(2, 10, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].num_workers, b[i].num_workers);
+  }
+}
+
+TEST(Harness, DownsampleMeanPools) {
+  const std::vector<double> v{1, 1, 3, 3, 5, 5, 7, 7};
+  const auto d = Downsample(v, 4);
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d[0], (1 + 1 + 3) / 3.0);  // window [0,3)
+  // Short inputs pass through untouched.
+  EXPECT_EQ(Downsample(v, 20).size(), v.size());
+  EXPECT_EQ(Downsample(v, 0).size(), v.size());
+}
+
+TEST(Harness, SparklineShapes) {
+  EXPECT_EQ(Sparkline({}, 10), "");
+  const std::string s = Sparkline({0.0, 1.0}, 2);
+  EXPECT_FALSE(s.empty());
+  // Rising series: last glyph is the full block, first the lowest.
+  EXPECT_NE(s.find("█"), std::string::npos);
+  EXPECT_EQ(s.find("▁"), 0u);
+  // Constant series must not crash (zero span).
+  EXPECT_FALSE(Sparkline({2.0, 2.0, 2.0}, 3).empty());
+}
+
+TEST(Harness, FormatHelpers) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(2.0, 0), "2");
+  EXPECT_EQ(Pct(0.369), "36.9%");
+  EXPECT_EQ(Pct(1.0, 0), "100%");
+}
+
+TEST(Harness, FieldExtractsPeriodColumns) {
+  std::vector<k8s::PeriodStats> periods(3);
+  periods[0].util_total = 0.1;
+  periods[1].util_total = 0.2;
+  periods[2].util_total = 0.3;
+  const auto v = Field(periods, +[](const k8s::PeriodStats& p) {
+    return p.util_total;
+  });
+  EXPECT_EQ(v, (std::vector<double>{0.1, 0.2, 0.3}));
+}
+
+TEST(Harness, RunExperimentProducesConsistentResult) {
+  const auto catalog = workload::ServiceCatalog::Standard();
+  workload::TraceConfig tc;
+  tc.catalog = &catalog;
+  tc.num_clusters = 2;
+  tc.duration = 10 * kSecond;
+  tc.lc_rps = 20.0;
+  tc.be_rps = 5.0;
+  tc.seed = 3;
+  ExperimentConfig cfg;
+  cfg.system.clusters = PhysicalClusters(2);
+  cfg.system.seed = 4;
+  cfg.trace = workload::GeneratePattern(workload::Pattern::kP3, tc);
+  cfg.duration = 20 * kSecond;
+  cfg.label = "smoke";
+  const ExperimentResult r = RunExperiment(
+      cfg,
+      [](k8s::EdgeCloudSystem& s) {
+        return framework::InstallFramework(s,
+                                           framework::FrameworkKind::kTango);
+      },
+      catalog);
+  EXPECT_EQ(r.label, "smoke");
+  EXPECT_GT(r.summary.lc_total, 0);
+  EXPECT_FALSE(r.periods.empty());
+  EXPECT_GT(r.scaling_ops, 0);
+  EXPECT_GE(r.summary.qos_satisfaction, 0.0);
+  EXPECT_LE(r.summary.qos_satisfaction, 1.0);
+}
+
+}  // namespace
+}  // namespace tango::eval

@@ -1,0 +1,186 @@
+// Unit tests for the metrics stack: time-series store, QoS detector, state
+// storage.
+#include <gtest/gtest.h>
+
+#include "metrics/qos_detector.h"
+#include "metrics/state_storage.h"
+#include "metrics/timeseries.h"
+
+namespace tango::metrics {
+namespace {
+
+// ----------------------------------------------------------- timeseries --
+
+TEST(TimeSeries, GaugeAndQuery) {
+  TimeSeriesStore tss;
+  tss.Gauge("util", 100, 0.5);
+  tss.Gauge("util", 200, 0.7);
+  const Series* s = tss.Find("util");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->At(50), 0.0);    // before first sample
+  EXPECT_DOUBLE_EQ(s->At(100), 0.5);
+  EXPECT_DOUBLE_EQ(s->At(150), 0.5);   // holds last value
+  EXPECT_DOUBLE_EQ(s->At(250), 0.7);
+  EXPECT_DOUBLE_EQ(s->Latest(), 0.7);
+}
+
+TEST(TimeSeries, CounterAccumulates) {
+  TimeSeriesStore tss;
+  tss.CounterAdd("done", 10, 1.0);
+  tss.CounterAdd("done", 20, 2.0);
+  tss.CounterAdd("done", 30, 4.0);
+  EXPECT_DOUBLE_EQ(tss.CounterValue("done"), 7.0);
+  EXPECT_DOUBLE_EQ(tss.Find("done")->At(25), 3.0);
+  EXPECT_DOUBLE_EQ(tss.CounterValue("missing"), 0.0);
+}
+
+TEST(TimeSeries, MeanOverRange) {
+  TimeSeriesStore tss;
+  for (int i = 1; i <= 10; ++i) {
+    tss.Gauge("g", i * 100, static_cast<double>(i));
+  }
+  // (from, to] semantics.
+  EXPECT_DOUBLE_EQ(tss.Find("g")->MeanOver(200, 500), (3 + 4 + 5) / 3.0);
+  EXPECT_DOUBLE_EQ(tss.Find("g")->MeanOver(5000, 9000), 0.0);
+}
+
+TEST(TimeSeries, NamesSorted) {
+  TimeSeriesStore tss;
+  tss.Gauge("b", 0, 1);
+  tss.Gauge("a", 0, 1);
+  const auto names = tss.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+// ---------------------------------------------------------- QoS detector --
+
+constexpr NodeId kNode{1};
+constexpr ServiceId kSvc{0};
+
+TEST(QosDetector, TailLatencyOverWindow) {
+  QosDetector det(100 * kMillisecond);
+  for (int i = 1; i <= 100; ++i) {
+    det.Observe(50 * kMillisecond, kNode, kSvc, i * kMillisecond);
+  }
+  const double p95 = det.TailLatency(60 * kMillisecond, kNode, kSvc);
+  EXPECT_NEAR(p95 / kMillisecond, 95.0, 1.5);
+}
+
+TEST(QosDetector, WindowEviction) {
+  QosDetector det(100 * kMillisecond);
+  det.Observe(0, kNode, kSvc, 50 * kMillisecond);
+  EXPECT_EQ(det.SampleCount(50 * kMillisecond, kNode, kSvc), 1u);
+  EXPECT_EQ(det.SampleCount(200 * kMillisecond, kNode, kSvc), 0u);
+}
+
+TEST(QosDetector, SlackScoreDefinition) {
+  QosDetector det;
+  const SimDuration target = 300 * kMillisecond;
+  // ξ = 150 ms against γ = 300 ms ⇒ δ = 0.5.
+  det.Observe(0, kNode, kSvc, 150 * kMillisecond);
+  EXPECT_NEAR(det.SlackScore(10, kNode, kSvc, target), 0.5, 1e-9);
+}
+
+TEST(QosDetector, NegativeSlackSignalsViolation) {
+  QosDetector det;
+  det.Observe(0, kNode, kSvc, 600 * kMillisecond);
+  const double slack =
+      det.SlackScore(10, kNode, kSvc, 300 * kMillisecond);
+  EXPECT_LT(slack, 0.0);
+  EXPECT_NEAR(slack, -1.0, 1e-9);
+}
+
+TEST(QosDetector, IdleServiceHasFullSlack) {
+  QosDetector det;
+  EXPECT_DOUBLE_EQ(det.SlackScore(0, kNode, kSvc, 300 * kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(det.TailLatency(0, kNode, kSvc), 0.0);
+}
+
+TEST(QosDetector, SeparatesNodesAndServices) {
+  QosDetector det;
+  det.Observe(0, NodeId{1}, ServiceId{0}, 100 * kMillisecond);
+  det.Observe(0, NodeId{2}, ServiceId{0}, 200 * kMillisecond);
+  det.Observe(0, NodeId{1}, ServiceId{1}, 300 * kMillisecond);
+  EXPECT_NEAR(det.TailLatency(1, NodeId{1}, ServiceId{0}) / kMillisecond, 100,
+              1);
+  EXPECT_NEAR(det.TailLatency(1, NodeId{2}, ServiceId{0}) / kMillisecond, 200,
+              1);
+  EXPECT_NEAR(det.TailLatency(1, NodeId{1}, ServiceId{1}) / kMillisecond, 300,
+              1);
+}
+
+// --------------------------------------------------------- state storage --
+
+NodeSnapshot Snap(int node, int cluster, SimTime at) {
+  NodeSnapshot s;
+  s.node = NodeId{node};
+  s.cluster = ClusterId{cluster};
+  s.cpu_total = 4000;
+  s.cpu_available = 2000;
+  s.mem_total = 8192;
+  s.mem_available = 4096;
+  s.recorded_at = at;
+  return s;
+}
+
+TEST(StateStorage, UpsertKeepsNewest) {
+  StateStorage st;
+  auto s1 = Snap(1, 0, 100);
+  s1.cpu_available = 1000;
+  st.Update(s1);
+  auto s2 = Snap(1, 0, 200);
+  s2.cpu_available = 3000;
+  st.Update(s2);
+  EXPECT_EQ(st.Find(NodeId{1})->cpu_available, 3000);
+  // A stale snapshot must not clobber the newer one.
+  auto s3 = Snap(1, 0, 150);
+  s3.cpu_available = 500;
+  st.Update(s3);
+  EXPECT_EQ(st.Find(NodeId{1})->cpu_available, 3000);
+  EXPECT_EQ(st.size(), 1u);
+}
+
+TEST(StateStorage, AllReturnsInNodeIdOrder) {
+  StateStorage st;
+  st.Update(Snap(5, 0, 0));
+  st.Update(Snap(2, 0, 0));
+  st.Update(Snap(9, 1, 0));
+  const auto all = st.All();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].node, NodeId{2});
+  EXPECT_EQ(all[1].node, NodeId{5});
+  EXPECT_EQ(all[2].node, NodeId{9});
+}
+
+TEST(StateStorage, ForClusterFilters) {
+  StateStorage st;
+  st.Update(Snap(1, 0, 0));
+  st.Update(Snap(2, 1, 0));
+  st.Update(Snap(3, 1, 0));
+  EXPECT_EQ(st.ForCluster(ClusterId{1}).size(), 2u);
+  EXPECT_EQ(st.ForCluster(ClusterId{0}).size(), 1u);
+  EXPECT_TRUE(st.ForCluster(ClusterId{7}).empty());
+}
+
+TEST(StateStorage, RttBookkeeping) {
+  StateStorage st;
+  EXPECT_FALSE(st.Rtt(ClusterId{3}).has_value());
+  st.UpdateRtt(ClusterId{3}, 97 * kMillisecond);
+  ASSERT_TRUE(st.Rtt(ClusterId{3}).has_value());
+  EXPECT_EQ(*st.Rtt(ClusterId{3}), 97 * kMillisecond);
+}
+
+TEST(StateStorage, ClearEmptiesEverything) {
+  StateStorage st;
+  st.Update(Snap(1, 0, 0));
+  st.UpdateRtt(ClusterId{0}, kMillisecond);
+  st.Clear();
+  EXPECT_EQ(st.size(), 0u);
+  EXPECT_FALSE(st.Rtt(ClusterId{0}).has_value());
+  EXPECT_EQ(st.Find(NodeId{1}), nullptr);
+}
+
+}  // namespace
+}  // namespace tango::metrics

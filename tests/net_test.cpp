@@ -1,0 +1,100 @@
+// Unit tests for the network topology model.
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace tango::net {
+namespace {
+
+Topology MakeLine() {
+  // Clusters at x = 0, 300, 1000 km.
+  return Topology({{0, 0}, {300, 0}, {1000, 0}}, LinkParams{});
+}
+
+TEST(Topology, GeoDistance) {
+  const Topology t = MakeLine();
+  EXPECT_DOUBLE_EQ(t.GeoDistanceKm(ClusterId{0}, ClusterId{1}), 300.0);
+  EXPECT_DOUBLE_EQ(t.GeoDistanceKm(ClusterId{0}, ClusterId{2}), 1000.0);
+  EXPECT_DOUBLE_EQ(t.GeoDistanceKm(ClusterId{1}, ClusterId{1}), 0.0);
+}
+
+TEST(Topology, IntraClusterUsesLanLatency) {
+  const Topology t = MakeLine();
+  EXPECT_EQ(t.OneWayDelay(ClusterId{0}, ClusterId{0}), t.params().lan_latency);
+  EXPECT_EQ(t.Rtt(ClusterId{1}, ClusterId{1}), 2 * t.params().lan_latency);
+}
+
+TEST(Topology, WanDelayGrowsWithDistance) {
+  const Topology t = MakeLine();
+  const SimDuration near = t.OneWayDelay(ClusterId{0}, ClusterId{1});
+  const SimDuration far = t.OneWayDelay(ClusterId{0}, ClusterId{2});
+  EXPECT_GT(far, near);
+  EXPECT_GT(near, t.params().lan_latency);
+  // Delay is symmetric.
+  EXPECT_EQ(t.OneWayDelay(ClusterId{2}, ClusterId{0}), far);
+}
+
+TEST(Topology, RttMatchesPaperScale) {
+  // The paper measures up to ~97 ms RTT to the central cluster; a cluster
+  // ~1500 km away should land in that regime with default parameters.
+  const Topology t({{0, 0}, {1500, 0}}, LinkParams{});
+  const double rtt_ms = ToMilliseconds(t.Rtt(ClusterId{0}, ClusterId{1}));
+  EXPECT_GT(rtt_ms, 60.0);
+  EXPECT_LT(rtt_ms, 130.0);
+}
+
+TEST(Topology, TransferDelayAddsSerialization) {
+  const Topology t = MakeLine();
+  const SimDuration prop = t.OneWayDelay(ClusterId{0}, ClusterId{1});
+  const SimDuration with_payload =
+      t.TransferDelay(ClusterId{0}, ClusterId{1}, 1 << 20);
+  EXPECT_EQ(with_payload - prop,
+            TransferTime(1 << 20, t.params().wan_bandwidth));
+}
+
+TEST(Topology, TransferDelayJitterBounded) {
+  LinkParams p;
+  p.jitter = 0.2;
+  const Topology t({{0, 0}, {500, 0}}, p);
+  Rng rng(5);
+  const SimDuration base = t.TransferDelay(ClusterId{0}, ClusterId{1}, 0);
+  for (int i = 0; i < 200; ++i) {
+    const SimDuration d = t.TransferDelay(ClusterId{0}, ClusterId{1}, 0, &rng);
+    EXPECT_GE(d, static_cast<SimDuration>(0.79 * static_cast<double>(base)));
+    EXPECT_LE(d, static_cast<SimDuration>(1.21 * static_cast<double>(base)));
+  }
+}
+
+TEST(Topology, NearbyClustersRespects500kmRule) {
+  const Topology t = MakeLine();
+  // From cluster 0, only the 300 km cluster is within the paper's 500 km.
+  const auto nearby = t.NearbyClusters(ClusterId{0}, 500.0);
+  ASSERT_EQ(nearby.size(), 1u);
+  EXPECT_EQ(nearby[0], ClusterId{1});
+  // Excludes self.
+  for (const auto c : t.NearbyClusters(ClusterId{1}, 10'000.0)) {
+    EXPECT_NE(c, ClusterId{1});
+  }
+}
+
+TEST(Topology, CentralClusterMinimizesTotalDistance) {
+  const Topology t = MakeLine();
+  // x=300 is the geometric 1-median of {0, 300, 1000}.
+  EXPECT_EQ(t.CentralCluster(), ClusterId{1});
+}
+
+TEST(Topology, RandomLayoutDeterministicUnderSeed) {
+  Rng a(99), b(99);
+  const auto la = Topology::RandomLayout(10, 1000.0, a);
+  const auto lb = Topology::RandomLayout(10, 1000.0, b);
+  ASSERT_EQ(la.size(), 10u);
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_DOUBLE_EQ(la[i].x_km, lb[i].x_km);
+    EXPECT_DOUBLE_EQ(la[i].y_km, lb[i].y_km);
+    EXPECT_GE(la[i].x_km, 0.0);
+    EXPECT_LE(la[i].x_km, 1000.0);
+  }
+}
+
+}  // namespace
+}  // namespace tango::net

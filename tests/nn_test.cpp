@@ -1,0 +1,329 @@
+// Tests for the autograd engine: every op is verified against numerical
+// (finite-difference) gradients, plus Adam convergence and module plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/adam.h"
+#include "nn/autograd.h"
+#include "nn/module.h"
+
+namespace tango::nn {
+namespace {
+
+Matrix RandomMatrix(int r, int c, Rng& rng, float scale = 1.0f) {
+  Matrix m(r, c);
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) {
+      m.at(i, j) = static_cast<float>(rng.Uniform(-scale, scale));
+    }
+  }
+  return m;
+}
+
+/// Numerically check d(scalar_fn)/d(input) against autograd for every entry
+/// of `input`'s value.
+void CheckGradients(const Var& input,
+                    const std::function<Var()>& scalar_fn,
+                    float eps = 1e-2f, float tol = 2e-2f) {
+  Var out = scalar_fn();
+  ZeroGrad(out);
+  Backward(out);
+  const Matrix analytic = input->grad;
+  for (int r = 0; r < input->value.rows(); ++r) {
+    for (int c = 0; c < input->value.cols(); ++c) {
+      const float saved = input->value.at(r, c);
+      input->value.at(r, c) = saved + eps;
+      const float up = ScalarValue(scalar_fn());
+      input->value.at(r, c) = saved - eps;
+      const float down = ScalarValue(scalar_fn());
+      input->value.at(r, c) = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      EXPECT_NEAR(analytic.at(r, c), numeric, tol)
+          << "entry (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(Autograd, MatMulForward) {
+  Var a = Constant(Matrix::FromRows({{1, 2}, {3, 4}}));
+  Var b = Constant(Matrix::FromRows({{5, 6}, {7, 8}}));
+  const Var c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c->value.at(0, 0), 19);
+  EXPECT_FLOAT_EQ(c->value.at(0, 1), 22);
+  EXPECT_FLOAT_EQ(c->value.at(1, 0), 43);
+  EXPECT_FLOAT_EQ(c->value.at(1, 1), 50);
+}
+
+TEST(Autograd, MatMulGradients) {
+  Rng rng(1);
+  Var a = Parameter(RandomMatrix(3, 4, rng));
+  Var b = Parameter(RandomMatrix(4, 2, rng));
+  CheckGradients(a, [&] { return Sum(MatMul(a, b)); });
+  CheckGradients(b, [&] { return Sum(MatMul(a, b)); });
+}
+
+TEST(Autograd, AddBroadcastGradients) {
+  Rng rng(2);
+  Var x = Parameter(RandomMatrix(3, 4, rng));
+  Var bias = Parameter(RandomMatrix(1, 4, rng));
+  CheckGradients(bias, [&] { return Sum(Add(x, bias)); });
+  CheckGradients(x, [&] { return Sum(Add(x, bias)); });
+  // Broadcast bias gradient = column sums of upstream (all ones here ×3 rows).
+  Var out = Sum(Add(x, bias));
+  ZeroGrad(out);
+  Backward(out);
+  for (int c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(bias->grad.at(0, c), 3.0f);
+}
+
+TEST(Autograd, SubMulScaleGradients) {
+  Rng rng(3);
+  Var a = Parameter(RandomMatrix(2, 3, rng));
+  Var b = Parameter(RandomMatrix(2, 3, rng));
+  CheckGradients(a, [&] { return Sum(Sub(a, b)); });
+  CheckGradients(b, [&] { return Sum(Mul(a, b)); });
+  CheckGradients(a, [&] { return Sum(Scale(a, -2.5f)); });
+}
+
+TEST(Autograd, ActivationGradients) {
+  Rng rng(4);
+  // Keep away from the ReLU kink for finite differences.
+  Var a = Parameter(RandomMatrix(3, 3, rng));
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      if (std::abs(a->value.at(r, c)) < 0.15f) a->value.at(r, c) = 0.5f;
+    }
+  }
+  CheckGradients(a, [&] { return Sum(Relu(a)); });
+  CheckGradients(a, [&] { return Sum(LeakyRelu(a)); });
+  CheckGradients(a, [&] { return Sum(Tanh(a)); });
+  CheckGradients(a, [&] { return Sum(Exp(a)); }, 1e-2f, 5e-2f);
+}
+
+TEST(Autograd, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Var logits = Constant(RandomMatrix(4, 6, rng, 3.0f));
+  const Var p = Softmax(logits);
+  for (int r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 6; ++c) {
+      sum += p->value.at(r, c);
+      EXPECT_GE(p->value.at(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Autograd, SoftmaxMaskZeroesEntries) {
+  Var logits = Constant(Matrix::FromRows({{10.0f, 1.0f, 5.0f}}));
+  Matrix mask(1, 3, 1.0f);
+  mask.at(0, 0) = 0.0f;  // best logit masked out
+  const Var p = Softmax(logits, &mask);
+  EXPECT_FLOAT_EQ(p->value.at(0, 0), 0.0f);
+  EXPECT_NEAR(p->value.at(0, 1) + p->value.at(0, 2), 1.0f, 1e-5f);
+  EXPECT_GT(p->value.at(0, 2), p->value.at(0, 1));
+}
+
+TEST(Autograd, SoftmaxGradients) {
+  Rng rng(6);
+  Var logits = Parameter(RandomMatrix(2, 4, rng));
+  Var weights = Constant(RandomMatrix(2, 4, rng));
+  CheckGradients(logits, [&] { return Sum(Mul(Softmax(logits), weights)); });
+}
+
+TEST(Autograd, LogSoftmaxGradients) {
+  Rng rng(7);
+  Var logits = Parameter(RandomMatrix(2, 5, rng));
+  CheckGradients(logits,
+                 [&] { return Sum(GatherCols(LogSoftmax(logits), {1, 3})); });
+}
+
+TEST(Autograd, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(8);
+  Var logits = Constant(RandomMatrix(3, 4, rng, 2.0f));
+  const Var ls = LogSoftmax(logits);
+  const Var p = Softmax(logits);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_NEAR(ls->value.at(r, c), std::log(p->value.at(r, c)), 1e-4f);
+    }
+  }
+}
+
+TEST(Autograd, GatherColsAndRows) {
+  Var a = Constant(Matrix::FromRows({{1, 2, 3}, {4, 5, 6}}));
+  const Var picked = GatherCols(a, {2, 0});
+  EXPECT_FLOAT_EQ(picked->value.at(0, 0), 3);
+  EXPECT_FLOAT_EQ(picked->value.at(1, 0), 4);
+  const Var rows = GatherRows(a, {1, 1, 0});
+  EXPECT_EQ(rows->value.rows(), 3);
+  EXPECT_FLOAT_EQ(rows->value.at(0, 1), 5);
+  EXPECT_FLOAT_EQ(rows->value.at(2, 0), 1);
+}
+
+TEST(Autograd, GatherGradientsAccumulate) {
+  Rng rng(9);
+  Var a = Parameter(RandomMatrix(3, 3, rng));
+  CheckGradients(a, [&] { return Sum(GatherRows(a, {0, 0, 2})); });
+}
+
+TEST(Autograd, ConcatColsGradients) {
+  Rng rng(10);
+  Var a = Parameter(RandomMatrix(2, 2, rng));
+  Var b = Parameter(RandomMatrix(2, 3, rng));
+  const Var cat = ConcatCols(a, b);
+  EXPECT_EQ(cat->value.cols(), 5);
+  CheckGradients(a, [&] { return Sum(ConcatCols(a, b)); });
+  CheckGradients(b, [&] { return Sum(ConcatCols(a, b)); });
+}
+
+TEST(Autograd, TransposeGradients) {
+  Rng rng(11);
+  Var a = Parameter(RandomMatrix(2, 4, rng));
+  const Var t = Transpose(a);
+  EXPECT_EQ(t->value.rows(), 4);
+  EXPECT_EQ(t->value.cols(), 2);
+  Var w = Constant(RandomMatrix(4, 2, rng));
+  CheckGradients(a, [&] { return Sum(Mul(Transpose(a), w)); });
+}
+
+TEST(Autograd, MeanAllAndScalar) {
+  Var a = Constant(Matrix::FromRows({{2, 4}, {6, 8}}));
+  EXPECT_FLOAT_EQ(ScalarValue(MeanAll(a)), 5.0f);
+  EXPECT_FLOAT_EQ(ScalarValue(Sum(a)), 20.0f);
+}
+
+TEST(Autograd, EntropyValueAndGradients) {
+  // Uniform logits → entropy log(n).
+  Var logits = Parameter(Matrix(1, 4, 0.0f));
+  EXPECT_NEAR(ScalarValue(EntropyOfSoftmax(logits)), std::log(4.0f), 1e-5f);
+  Rng rng(12);
+  Var l2 = Parameter(RandomMatrix(2, 3, rng));
+  CheckGradients(l2, [&] { return EntropyOfSoftmax(l2); });
+}
+
+TEST(Autograd, DiamondGraphAccumulatesGradients) {
+  // y = sum(a∘a): d/da = 2a, via two paths through the same node.
+  Var a = Parameter(Matrix::FromRows({{3.0f, -2.0f}}));
+  Var y = Sum(Mul(a, a));
+  ZeroGrad(y);
+  Backward(y);
+  EXPECT_FLOAT_EQ(a->grad.at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(a->grad.at(0, 1), -4.0f);
+}
+
+TEST(Autograd, ConstantsReceiveNoGradient) {
+  Var a = Constant(Matrix(2, 2, 1.0f));
+  Var b = Parameter(Matrix(2, 2, 2.0f));
+  Var y = Sum(Mul(a, b));
+  ZeroGrad(y);
+  Backward(y);
+  EXPECT_FALSE(a->grad.SameShape(a->value));  // never allocated
+  EXPECT_TRUE(b->grad.SameShape(b->value));
+}
+
+// ----------------------------------------------------------------- Adam --
+
+TEST(Adam, ConvergesOnLeastSquares) {
+  // Fit w to minimize ||Xw − y||², X random, y = X·w*.
+  Rng rng(13);
+  const Matrix x = RandomMatrix(16, 3, rng);
+  Matrix wstar(3, 1);
+  wstar.at(0, 0) = 1.5f;
+  wstar.at(1, 0) = -2.0f;
+  wstar.at(2, 0) = 0.5f;
+  const Matrix y = x.MatMul(wstar);
+
+  ParamStore store;
+  Var w = store.CreateZero("w", 3, 1);
+  AdamConfig cfg;
+  cfg.lr = 0.05f;
+  Adam opt(store, cfg);
+  float loss = 0.0f;
+  for (int it = 0; it < 400; ++it) {
+    Var diff = Sub(MatMul(Constant(x), w), Constant(y));
+    Var l = MeanAll(Mul(diff, diff));
+    loss = ScalarValue(l);
+    Backward(l);
+    opt.Step();
+  }
+  EXPECT_LT(loss, 1e-3f);
+  EXPECT_NEAR(w->value.at(0, 0), 1.5f, 0.05f);
+  EXPECT_NEAR(w->value.at(1, 0), -2.0f, 0.05f);
+  EXPECT_NEAR(w->value.at(2, 0), 0.5f, 0.05f);
+}
+
+TEST(Adam, GradClipBoundsUpdateAndZeroesGrads) {
+  ParamStore store;
+  Var w = store.CreateZero("w", 1, 1);
+  AdamConfig cfg;
+  cfg.grad_clip = 1.0f;
+  Adam opt(store, cfg);
+  w->EnsureGrad().at(0, 0) = 100.0f;
+  const float norm = opt.Step();
+  EXPECT_FLOAT_EQ(norm, 100.0f);       // reported pre-clip
+  EXPECT_FLOAT_EQ(w->grad.at(0, 0), 0.0f);  // zeroed after step
+  EXPECT_EQ(opt.steps(), 1);
+}
+
+// -------------------------------------------------------------- modules --
+
+TEST(Module, LinearShapesAndBias) {
+  Rng rng(14);
+  ParamStore store;
+  Linear lin(store, "l", 3, 5, rng);
+  const Var y = lin.Forward(Constant(Matrix(2, 3, 1.0f)));
+  EXPECT_EQ(y->value.rows(), 2);
+  EXPECT_EQ(y->value.cols(), 5);
+  EXPECT_EQ(store.params().size(), 2u);  // w and b
+}
+
+TEST(Module, PaperHeadArchitecture) {
+  // in → 256 → 128 → 32 → out, so 4 Linear layers = 8 parameter tensors.
+  Rng rng(15);
+  ParamStore store;
+  Mlp mlp = Mlp::PaperHead(store, "actor", 9, 1, rng);
+  EXPECT_EQ(store.params().size(), 8u);
+  const Var y = mlp.Forward(Constant(Matrix(7, 9, 0.1f)));
+  EXPECT_EQ(y->value.rows(), 7);
+  EXPECT_EQ(y->value.cols(), 1);
+  const std::size_t expected =
+      9 * 256 + 256 + 256 * 128 + 128 + 128 * 32 + 32 + 32 * 1 + 1;
+  EXPECT_EQ(store.ParamCount(), expected);
+}
+
+TEST(Module, CopyAndSoftUpdate) {
+  Rng rng(16);
+  ParamStore a, b;
+  a.Create("w", 2, 2, rng);
+  b.Create("w", 2, 2, rng);
+  CopyParams(a, b);
+  EXPECT_FLOAT_EQ(a.params()[0]->value.at(0, 0), b.params()[0]->value.at(0, 0));
+  // Soft update moves b toward a by tau.
+  a.params()[0]->value.at(0, 0) = 10.0f;
+  b.params()[0]->value.at(0, 0) = 0.0f;
+  SoftUpdateParams(a, b, 0.1f);
+  EXPECT_NEAR(b.params()[0]->value.at(0, 0), 1.0f, 1e-5f);
+}
+
+TEST(Module, MlpGradientFlowsToAllLayers) {
+  Rng rng(17);
+  ParamStore store;
+  Mlp mlp(store, "m", {4, 8, 3}, rng);
+  Var y = Sum(mlp.Forward(Constant(Matrix(2, 4, 0.5f))));
+  Backward(y);
+  for (const auto& p : store.params()) {
+    ASSERT_TRUE(p->grad.SameShape(p->value));
+  }
+  // At least the first layer weight should have a nonzero gradient.
+  float norm = 0.0f;
+  const auto& g = store.params()[0]->grad;
+  for (int r = 0; r < g.rows(); ++r) {
+    for (int c = 0; c < g.cols(); ++c) norm += std::abs(g.at(r, c));
+  }
+  EXPECT_GT(norm, 0.0f);
+}
+
+}  // namespace
+}  // namespace tango::nn

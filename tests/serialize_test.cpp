@@ -1,0 +1,98 @@
+// Tests for parameter save/load.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/serialize.h"
+
+namespace tango::nn {
+namespace {
+
+struct TwoNets {
+  ParamStore store;
+  Mlp mlp;
+  TwoNets(std::uint64_t seed) {
+    Rng rng(seed);
+    mlp = Mlp(store, "net", {4, 8, 2}, rng);
+  }
+};
+
+TEST(Serialize, RoundTripRestoresExactValues) {
+  TwoNets a(1), b(2);  // different init
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParams(buf, a.store));
+  ASSERT_TRUE(LoadParams(buf, b.store));
+  for (std::size_t i = 0; i < a.store.params().size(); ++i) {
+    const Matrix& ma = a.store.params()[i]->value;
+    const Matrix& mb = b.store.params()[i]->value;
+    for (int r = 0; r < ma.rows(); ++r) {
+      for (int c = 0; c < ma.cols(); ++c) {
+        EXPECT_NEAR(ma.at(r, c), mb.at(r, c), 1e-6f);
+      }
+    }
+  }
+  // The restored net computes the same outputs.
+  const Var x = Constant(Matrix(1, 4, 0.7f));
+  const Var ya = a.mlp.Forward(x);
+  const Var yb = b.mlp.Forward(x);
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_NEAR(ya->value.at(0, c), yb->value.at(0, c), 1e-5f);
+  }
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  TwoNets a(1);
+  ParamStore other;
+  Rng rng(3);
+  Mlp different(other, "net", {4, 16, 2}, rng);  // different hidden width
+  std::stringstream buf;
+  SaveParams(buf, a.store);
+  EXPECT_FALSE(LoadParams(buf, other));
+}
+
+TEST(Serialize, RejectsNameMismatch) {
+  TwoNets a(1);
+  ParamStore other;
+  Rng rng(3);
+  Mlp renamed(other, "другой", {4, 8, 2}, rng);
+  std::stringstream buf;
+  SaveParams(buf, a.store);
+  EXPECT_FALSE(LoadParams(buf, other));
+}
+
+TEST(Serialize, RejectsGarbageAndTruncation) {
+  TwoNets a(1);
+  std::stringstream garbage("not a params file");
+  EXPECT_FALSE(LoadParams(garbage, a.store));
+  // Truncated file: drop the last line.
+  std::stringstream buf;
+  SaveParams(buf, a.store);
+  std::string s = buf.str();
+  s.resize(s.size() / 2);
+  std::stringstream truncated(s);
+  EXPECT_FALSE(LoadParams(truncated, a.store));
+}
+
+TEST(Serialize, TruncatedLoadLeavesStoreUsable) {
+  TwoNets a(1), b(2);
+  const float before = b.store.params()[0]->value.at(0, 0);
+  std::stringstream buf;
+  SaveParams(buf, a.store);
+  std::string s = buf.str();
+  s.resize(s.size() / 2);
+  std::stringstream truncated(s);
+  EXPECT_FALSE(LoadParams(truncated, b.store));
+  // Staging means the failed load changed nothing.
+  EXPECT_FLOAT_EQ(b.store.params()[0]->value.at(0, 0), before);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  TwoNets a(1), b(2);
+  const std::string path = "/tmp/tango_params_test.txt";
+  ASSERT_TRUE(SaveParamsFile(path, a.store));
+  EXPECT_TRUE(LoadParamsFile(path, b.store));
+  EXPECT_FALSE(LoadParamsFile("/tmp/missing_tango_params.txt", b.store));
+}
+
+}  // namespace
+}  // namespace tango::nn

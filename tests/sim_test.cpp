@@ -1,0 +1,163 @@
+// Unit tests for the discrete-event simulation engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace tango::sim {
+namespace {
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(Simulator, SimultaneousEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(100, [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime fired = -1;
+  sim.ScheduleAt(50, [&] {
+    sim.ScheduleAfter(25, [&] { fired = sim.Now(); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(fired, 75);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  SimTime fired = -1;
+  sim.ScheduleAt(10, [&] {
+    sim.ScheduleAfter(-5, [&] { fired = sim.Now(); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventHandle h = sim.ScheduleAt(10, [&] { ran = true; });
+  sim.Cancel(h);
+  sim.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  int count = 0;
+  const EventHandle h = sim.ScheduleAt(10, [&] { ++count; });
+  sim.RunAll();
+  sim.Cancel(h);  // already fired — must be a no-op
+  sim.Cancel(h);
+  sim.Cancel(kInvalidEvent);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, CancelOneOfManyAtSameTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(10, [&] { order.push_back(0); });
+  const EventHandle h = sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(10, [&] { order.push_back(2); });
+  sim.Cancel(h);
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.ScheduleAt(10, [&] { fired.push_back(10); });
+  sim.ScheduleAt(20, [&] { fired.push_back(20); });
+  sim.ScheduleAt(21, [&] { fired.push_back(21); });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.Now(), 20);
+  sim.RunUntil(30);
+  EXPECT_EQ(fired.back(), 21);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(Simulator, StepExecutesExactlyOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(1, [&] { ++count; });
+  sim.ScheduleAt(2, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 10) sim.ScheduleAfter(1, recurse);
+  };
+  sim.ScheduleAt(0, recurse);
+  sim.RunAll();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.Now(), 9);
+  EXPECT_EQ(sim.executed_events(), 10u);
+}
+
+TEST(Simulator, PeriodicTickFiresUntilStopped) {
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  auto stop = SchedulePeriodic(sim, 100, 50, [&](SimTime t) {
+    ticks.push_back(t);
+    (void)t;
+  });
+  sim.RunUntil(300);
+  EXPECT_EQ(ticks, (std::vector<SimTime>{100, 150, 200, 250, 300}));
+  stop();
+  sim.RunUntil(1000);
+  EXPECT_EQ(ticks.size(), 5u);  // no further ticks after stop
+}
+
+TEST(Simulator, PeriodicTickStoppedFromInsideCallback) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> stop;
+  stop = SchedulePeriodic(sim, 10, 10, [&](SimTime) {
+    if (++count == 3) stop();
+  });
+  sim.RunUntil(10'000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PendingEventCountTracksQueue) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.ScheduleAt(5, [] {});
+  sim.ScheduleAt(6, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.RunAll();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace tango::sim

@@ -1,0 +1,135 @@
+// Tests for trace CSV (de)serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/trace_io.h"
+
+namespace tango::workload {
+namespace {
+
+Trace SmallTrace() {
+  Trace t;
+  for (int i = 0; i < 5; ++i) {
+    Request r;
+    r.id = RequestId{i};
+    r.service = ServiceId{i % 3};
+    r.origin = ClusterId{i % 2};
+    r.arrival = i * 1000;
+    r.work_scale = 1.0 + 0.25 * i;
+    t.push_back(r);
+  }
+  return t;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Trace original = SmallTrace();
+  std::stringstream buf;
+  EXPECT_EQ(WriteTraceCsv(buf, original), 5u);
+  const auto parsed = ReadTraceCsv(buf);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].id, original[i].id);
+    EXPECT_EQ((*parsed)[i].service, original[i].service);
+    EXPECT_EQ((*parsed)[i].origin, original[i].origin);
+    EXPECT_EQ((*parsed)[i].arrival, original[i].arrival);
+    EXPECT_DOUBLE_EQ((*parsed)[i].work_scale, original[i].work_scale);
+  }
+}
+
+TEST(TraceIo, GeneratedTraceRoundTrip) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  TraceConfig tc;
+  tc.catalog = &cat;
+  tc.num_clusters = 3;
+  tc.duration = 5 * kSecond;
+  tc.seed = 9;
+  const Trace t = GeneratePattern(Pattern::kP3, tc);
+  std::stringstream buf;
+  WriteTraceCsv(buf, t);
+  const auto parsed = ReadTraceCsv(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), t.size());
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::stringstream buf("not,a,header\n1,2,3,4,5\n");
+  TraceParseError err;
+  EXPECT_FALSE(ReadTraceCsv(buf, &err).has_value());
+  EXPECT_EQ(err.line, 1);
+}
+
+TEST(TraceIo, RejectsMalformedRow) {
+  std::stringstream buf(
+      "request_id,service_id,origin_cluster,arrival_us,work_scale\n"
+      "0,1,0,100,1.0\n"
+      "oops\n");
+  TraceParseError err;
+  EXPECT_FALSE(ReadTraceCsv(buf, &err).has_value());
+  EXPECT_EQ(err.line, 3);
+}
+
+TEST(TraceIo, RejectsDuplicateIds) {
+  std::stringstream buf(
+      "request_id,service_id,origin_cluster,arrival_us,work_scale\n"
+      "7,1,0,100,1.0\n"
+      "7,2,1,200,1.0\n");
+  TraceParseError err;
+  EXPECT_FALSE(ReadTraceCsv(buf, &err).has_value());
+  EXPECT_NE(err.message.find("duplicate"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsNegativeFields) {
+  std::stringstream buf(
+      "request_id,service_id,origin_cluster,arrival_us,work_scale\n"
+      "0,1,0,-5,1.0\n");
+  EXPECT_FALSE(ReadTraceCsv(buf).has_value());
+}
+
+TEST(TraceIo, SortsByArrival) {
+  std::stringstream buf(
+      "request_id,service_id,origin_cluster,arrival_us,work_scale\n"
+      "0,1,0,5000,1.0\n"
+      "1,1,0,1000,1.0\n");
+  const auto parsed = ReadTraceCsv(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)[0].id, RequestId{1});
+  EXPECT_EQ((*parsed)[1].id, RequestId{0});
+}
+
+TEST(TraceIo, ToleratesCrlfAndBlankLines) {
+  std::stringstream buf(
+      "request_id,service_id,origin_cluster,arrival_us,work_scale\r\n"
+      "0,1,0,100,1.5\r\n"
+      "\n"
+      "1,2,1,200,2.0\r\n");
+  const auto parsed = ReadTraceCsv(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_DOUBLE_EQ((*parsed)[0].work_scale, 1.5);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace t = SmallTrace();
+  const std::string path = "/tmp/tango_trace_io_test.csv";
+  ASSERT_TRUE(WriteTraceCsvFile(path, t));
+  const auto parsed = ReadTraceCsvFile(path);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), t.size());
+  TraceParseError err;
+  EXPECT_FALSE(ReadTraceCsvFile("/tmp/definitely_missing_tango.csv", &err)
+                   .has_value());
+  EXPECT_EQ(err.line, 0);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrip) {
+  std::stringstream buf;
+  WriteTraceCsv(buf, {});
+  const auto parsed = ReadTraceCsv(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace tango::workload

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_autoscalers.dir/abl_autoscalers.cpp.o"
+  "CMakeFiles/bench_abl_autoscalers.dir/abl_autoscalers.cpp.o.d"
+  "abl_autoscalers"
+  "abl_autoscalers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_autoscalers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

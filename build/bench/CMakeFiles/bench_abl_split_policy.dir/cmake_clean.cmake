@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_split_policy.dir/abl_split_policy.cpp.o"
+  "CMakeFiles/bench_abl_split_policy.dir/abl_split_policy.cpp.o.d"
+  "abl_split_policy"
+  "abl_split_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_split_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

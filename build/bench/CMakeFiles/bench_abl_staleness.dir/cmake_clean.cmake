@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_staleness.dir/abl_staleness.cpp.o"
+  "CMakeFiles/bench_abl_staleness.dir/abl_staleness.cpp.o.d"
+  "abl_staleness"
+  "abl_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

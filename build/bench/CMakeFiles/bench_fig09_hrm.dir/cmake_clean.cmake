@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_hrm.dir/fig09_hrm.cpp.o"
+  "CMakeFiles/bench_fig09_hrm.dir/fig09_hrm.cpp.o.d"
+  "fig09_hrm"
+  "fig09_hrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_hrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

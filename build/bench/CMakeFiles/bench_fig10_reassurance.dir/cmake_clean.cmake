@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_reassurance.dir/fig10_reassurance.cpp.o"
+  "CMakeFiles/bench_fig10_reassurance.dir/fig10_reassurance.cpp.o.d"
+  "fig10_reassurance"
+  "fig10_reassurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_reassurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11ab_dsslc.dir/fig11ab_dsslc.cpp.o"
+  "CMakeFiles/bench_fig11ab_dsslc.dir/fig11ab_dsslc.cpp.o.d"
+  "fig11ab_dsslc"
+  "fig11ab_dsslc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11ab_dsslc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11c_dcgbe.dir/fig11c_dcgbe.cpp.o"
+  "CMakeFiles/bench_fig11c_dcgbe.dir/fig11c_dcgbe.cpp.o.d"
+  "fig11c_dcgbe"
+  "fig11c_dcgbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11c_dcgbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

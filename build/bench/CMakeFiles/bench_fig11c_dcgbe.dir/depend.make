@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11c_dcgbe.
+# This may be replaced when dependencies are built.

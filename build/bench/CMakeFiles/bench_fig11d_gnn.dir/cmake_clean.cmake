@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11d_gnn.dir/fig11d_gnn.cpp.o"
+  "CMakeFiles/bench_fig11d_gnn.dir/fig11d_gnn.cpp.o.d"
+  "fig11d_gnn"
+  "fig11d_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11d_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_pairing.dir/fig12_pairing.cpp.o"
+  "CMakeFiles/bench_fig12_pairing.dir/fig12_pairing.cpp.o.d"
+  "fig12_pairing"
+  "fig12_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_sota.dir/fig13_sota.cpp.o"
+  "CMakeFiles/bench_fig13_sota.dir/fig13_sota.cpp.o.d"
+  "fig13_sota"
+  "fig13_sota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_sota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

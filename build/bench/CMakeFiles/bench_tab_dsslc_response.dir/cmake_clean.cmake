@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_dsslc_response.dir/tab_dsslc_response.cpp.o"
+  "CMakeFiles/bench_tab_dsslc_response.dir/tab_dsslc_response.cpp.o.d"
+  "tab_dsslc_response"
+  "tab_dsslc_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_dsslc_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_dvpa_latency.dir/tab_dvpa_latency.cpp.o"
+  "CMakeFiles/bench_tab_dvpa_latency.dir/tab_dvpa_latency.cpp.o.d"
+  "tab_dvpa_latency"
+  "tab_dvpa_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_dvpa_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

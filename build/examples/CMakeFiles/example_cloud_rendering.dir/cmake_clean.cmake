@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cloud_rendering.dir/cloud_rendering.cpp.o"
+  "CMakeFiles/example_cloud_rendering.dir/cloud_rendering.cpp.o.d"
+  "cloud_rendering"
+  "cloud_rendering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cloud_rendering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

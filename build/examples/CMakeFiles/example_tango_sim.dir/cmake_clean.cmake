@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tango_sim.dir/tango_sim.cpp.o"
+  "CMakeFiles/example_tango_sim.dir/tango_sim.cpp.o.d"
+  "tango_sim"
+  "tango_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tango_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

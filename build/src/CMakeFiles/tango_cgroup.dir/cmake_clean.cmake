@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_cgroup.dir/cgroup/cgroup.cpp.o"
+  "CMakeFiles/tango_cgroup.dir/cgroup/cgroup.cpp.o.d"
+  "libtango_cgroup.a"
+  "libtango_cgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_cgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

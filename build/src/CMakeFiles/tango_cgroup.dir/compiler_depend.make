@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tango_cgroup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_eval.dir/eval/export.cpp.o"
+  "CMakeFiles/tango_eval.dir/eval/export.cpp.o.d"
+  "CMakeFiles/tango_eval.dir/eval/harness.cpp.o"
+  "CMakeFiles/tango_eval.dir/eval/harness.cpp.o.d"
+  "libtango_eval.a"
+  "libtango_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_flow.dir/flow/mcmf.cpp.o"
+  "CMakeFiles/tango_flow.dir/flow/mcmf.cpp.o.d"
+  "libtango_flow.a"
+  "libtango_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

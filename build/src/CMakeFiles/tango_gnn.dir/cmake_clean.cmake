@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_gnn.dir/gnn/encoder.cpp.o"
+  "CMakeFiles/tango_gnn.dir/gnn/encoder.cpp.o.d"
+  "libtango_gnn.a"
+  "libtango_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hrm/dvpa.cpp" "src/CMakeFiles/tango_hrm.dir/hrm/dvpa.cpp.o" "gcc" "src/CMakeFiles/tango_hrm.dir/hrm/dvpa.cpp.o.d"
+  "/root/repo/src/hrm/reassurance.cpp" "src/CMakeFiles/tango_hrm.dir/hrm/reassurance.cpp.o" "gcc" "src/CMakeFiles/tango_hrm.dir/hrm/reassurance.cpp.o.d"
+  "/root/repo/src/hrm/regulations.cpp" "src/CMakeFiles/tango_hrm.dir/hrm/regulations.cpp.o" "gcc" "src/CMakeFiles/tango_hrm.dir/hrm/regulations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_hrm.dir/hrm/dvpa.cpp.o"
+  "CMakeFiles/tango_hrm.dir/hrm/dvpa.cpp.o.d"
+  "CMakeFiles/tango_hrm.dir/hrm/reassurance.cpp.o"
+  "CMakeFiles/tango_hrm.dir/hrm/reassurance.cpp.o.d"
+  "CMakeFiles/tango_hrm.dir/hrm/regulations.cpp.o"
+  "CMakeFiles/tango_hrm.dir/hrm/regulations.cpp.o.d"
+  "libtango_hrm.a"
+  "libtango_hrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_hrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/k8s/allocation.cpp" "src/CMakeFiles/tango_k8s.dir/k8s/allocation.cpp.o" "gcc" "src/CMakeFiles/tango_k8s.dir/k8s/allocation.cpp.o.d"
+  "/root/repo/src/k8s/autoscalers.cpp" "src/CMakeFiles/tango_k8s.dir/k8s/autoscalers.cpp.o" "gcc" "src/CMakeFiles/tango_k8s.dir/k8s/autoscalers.cpp.o.d"
+  "/root/repo/src/k8s/node.cpp" "src/CMakeFiles/tango_k8s.dir/k8s/node.cpp.o" "gcc" "src/CMakeFiles/tango_k8s.dir/k8s/node.cpp.o.d"
+  "/root/repo/src/k8s/system.cpp" "src/CMakeFiles/tango_k8s.dir/k8s/system.cpp.o" "gcc" "src/CMakeFiles/tango_k8s.dir/k8s/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

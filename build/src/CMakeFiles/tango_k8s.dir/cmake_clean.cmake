@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_k8s.dir/k8s/allocation.cpp.o"
+  "CMakeFiles/tango_k8s.dir/k8s/allocation.cpp.o.d"
+  "CMakeFiles/tango_k8s.dir/k8s/autoscalers.cpp.o"
+  "CMakeFiles/tango_k8s.dir/k8s/autoscalers.cpp.o.d"
+  "CMakeFiles/tango_k8s.dir/k8s/node.cpp.o"
+  "CMakeFiles/tango_k8s.dir/k8s/node.cpp.o.d"
+  "CMakeFiles/tango_k8s.dir/k8s/system.cpp.o"
+  "CMakeFiles/tango_k8s.dir/k8s/system.cpp.o.d"
+  "libtango_k8s.a"
+  "libtango_k8s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/qos_detector.cpp" "src/CMakeFiles/tango_metrics.dir/metrics/qos_detector.cpp.o" "gcc" "src/CMakeFiles/tango_metrics.dir/metrics/qos_detector.cpp.o.d"
+  "/root/repo/src/metrics/state_storage.cpp" "src/CMakeFiles/tango_metrics.dir/metrics/state_storage.cpp.o" "gcc" "src/CMakeFiles/tango_metrics.dir/metrics/state_storage.cpp.o.d"
+  "/root/repo/src/metrics/timeseries.cpp" "src/CMakeFiles/tango_metrics.dir/metrics/timeseries.cpp.o" "gcc" "src/CMakeFiles/tango_metrics.dir/metrics/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_metrics.dir/metrics/qos_detector.cpp.o"
+  "CMakeFiles/tango_metrics.dir/metrics/qos_detector.cpp.o.d"
+  "CMakeFiles/tango_metrics.dir/metrics/state_storage.cpp.o"
+  "CMakeFiles/tango_metrics.dir/metrics/state_storage.cpp.o.d"
+  "CMakeFiles/tango_metrics.dir/metrics/timeseries.cpp.o"
+  "CMakeFiles/tango_metrics.dir/metrics/timeseries.cpp.o.d"
+  "libtango_metrics.a"
+  "libtango_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_net.dir/net/egress.cpp.o"
+  "CMakeFiles/tango_net.dir/net/egress.cpp.o.d"
+  "CMakeFiles/tango_net.dir/net/topology.cpp.o"
+  "CMakeFiles/tango_net.dir/net/topology.cpp.o.d"
+  "libtango_net.a"
+  "libtango_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

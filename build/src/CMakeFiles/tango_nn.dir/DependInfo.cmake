@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/CMakeFiles/tango_nn.dir/nn/adam.cpp.o" "gcc" "src/CMakeFiles/tango_nn.dir/nn/adam.cpp.o.d"
+  "/root/repo/src/nn/autograd.cpp" "src/CMakeFiles/tango_nn.dir/nn/autograd.cpp.o" "gcc" "src/CMakeFiles/tango_nn.dir/nn/autograd.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/CMakeFiles/tango_nn.dir/nn/matrix.cpp.o" "gcc" "src/CMakeFiles/tango_nn.dir/nn/matrix.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/tango_nn.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/tango_nn.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/tango_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/tango_nn.dir/nn/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_nn.dir/nn/adam.cpp.o"
+  "CMakeFiles/tango_nn.dir/nn/adam.cpp.o.d"
+  "CMakeFiles/tango_nn.dir/nn/autograd.cpp.o"
+  "CMakeFiles/tango_nn.dir/nn/autograd.cpp.o.d"
+  "CMakeFiles/tango_nn.dir/nn/matrix.cpp.o"
+  "CMakeFiles/tango_nn.dir/nn/matrix.cpp.o.d"
+  "CMakeFiles/tango_nn.dir/nn/module.cpp.o"
+  "CMakeFiles/tango_nn.dir/nn/module.cpp.o.d"
+  "CMakeFiles/tango_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/tango_nn.dir/nn/serialize.cpp.o.d"
+  "libtango_nn.a"
+  "libtango_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

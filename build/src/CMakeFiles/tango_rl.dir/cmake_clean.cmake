@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_rl.dir/rl/agent.cpp.o"
+  "CMakeFiles/tango_rl.dir/rl/agent.cpp.o.d"
+  "libtango_rl.a"
+  "libtango_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

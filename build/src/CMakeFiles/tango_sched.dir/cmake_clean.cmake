@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_sched.dir/sched/be_baselines.cpp.o"
+  "CMakeFiles/tango_sched.dir/sched/be_baselines.cpp.o.d"
+  "CMakeFiles/tango_sched.dir/sched/ceres.cpp.o"
+  "CMakeFiles/tango_sched.dir/sched/ceres.cpp.o.d"
+  "CMakeFiles/tango_sched.dir/sched/dss_lc.cpp.o"
+  "CMakeFiles/tango_sched.dir/sched/dss_lc.cpp.o.d"
+  "CMakeFiles/tango_sched.dir/sched/lc_baselines.cpp.o"
+  "CMakeFiles/tango_sched.dir/sched/lc_baselines.cpp.o.d"
+  "CMakeFiles/tango_sched.dir/sched/learned_be.cpp.o"
+  "CMakeFiles/tango_sched.dir/sched/learned_be.cpp.o.d"
+  "libtango_sched.a"
+  "libtango_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

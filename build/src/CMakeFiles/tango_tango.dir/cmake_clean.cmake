@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_tango.dir/tango/framework.cpp.o"
+  "CMakeFiles/tango_tango.dir/tango/framework.cpp.o.d"
+  "libtango_tango.a"
+  "libtango_tango.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_tango.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/service.cpp" "src/CMakeFiles/tango_workload.dir/workload/service.cpp.o" "gcc" "src/CMakeFiles/tango_workload.dir/workload/service.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/tango_workload.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/tango_workload.dir/workload/trace.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/CMakeFiles/tango_workload.dir/workload/trace_io.cpp.o" "gcc" "src/CMakeFiles/tango_workload.dir/workload/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

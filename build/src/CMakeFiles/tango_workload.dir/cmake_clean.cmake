@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_workload.dir/workload/service.cpp.o"
+  "CMakeFiles/tango_workload.dir/workload/service.cpp.o.d"
+  "CMakeFiles/tango_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/tango_workload.dir/workload/trace.cpp.o.d"
+  "CMakeFiles/tango_workload.dir/workload/trace_io.cpp.o"
+  "CMakeFiles/tango_workload.dir/workload/trace_io.cpp.o.d"
+  "libtango_workload.a"
+  "libtango_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

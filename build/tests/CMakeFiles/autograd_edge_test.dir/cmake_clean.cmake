@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_edge_test.dir/autograd_edge_test.cpp.o"
+  "CMakeFiles/autograd_edge_test.dir/autograd_edge_test.cpp.o.d"
+  "autograd_edge_test"
+  "autograd_edge_test.pdb"
+  "autograd_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

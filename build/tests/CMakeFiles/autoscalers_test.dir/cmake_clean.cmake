@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscalers_test.dir/autoscalers_test.cpp.o"
+  "CMakeFiles/autoscalers_test.dir/autoscalers_test.cpp.o.d"
+  "autoscalers_test"
+  "autoscalers_test.pdb"
+  "autoscalers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscalers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgroup_test.dir/cgroup_test.cpp.o"
+  "CMakeFiles/cgroup_test.dir/cgroup_test.cpp.o.d"
+  "cgroup_test"
+  "cgroup_test.pdb"
+  "cgroup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgroup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

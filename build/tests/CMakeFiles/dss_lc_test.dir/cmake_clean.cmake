@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_lc_test.dir/dss_lc_test.cpp.o"
+  "CMakeFiles/dss_lc_test.dir/dss_lc_test.cpp.o.d"
+  "dss_lc_test"
+  "dss_lc_test.pdb"
+  "dss_lc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_lc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

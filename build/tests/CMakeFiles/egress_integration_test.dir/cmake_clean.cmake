@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egress_integration_test.dir/egress_integration_test.cpp.o"
+  "CMakeFiles/egress_integration_test.dir/egress_integration_test.cpp.o.d"
+  "egress_integration_test"
+  "egress_integration_test.pdb"
+  "egress_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egress_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

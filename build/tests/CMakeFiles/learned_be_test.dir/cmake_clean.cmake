@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_be_test.dir/learned_be_test.cpp.o"
+  "CMakeFiles/learned_be_test.dir/learned_be_test.cpp.o.d"
+  "learned_be_test"
+  "learned_be_test.pdb"
+  "learned_be_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_be_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

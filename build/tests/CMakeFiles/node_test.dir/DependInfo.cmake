@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/node_test.cpp" "tests/CMakeFiles/node_test.dir/node_test.cpp.o" "gcc" "tests/CMakeFiles/node_test.dir/node_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_tango.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_hrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -14,6 +14,8 @@ const char* OutcomeName(k8s::Outcome o) {
       return "completed";
     case k8s::Outcome::kAbandoned:
       return "abandoned";
+    case k8s::Outcome::kDropped:
+      return "dropped";
   }
   return "?";
 }
@@ -50,13 +52,14 @@ bool WriteRecordsCsvFile(const std::string& path,
 std::size_t WritePeriodsCsv(std::ostream& out,
                             const k8s::EdgeCloudSystem& system) {
   out << "period_start_us,util_total,util_lc,util_be,lc_arrived,"
-         "lc_completed,lc_qos_met,lc_abandoned,be_completed\n";
+         "lc_completed,lc_qos_met,lc_abandoned,be_completed,lost_requeued,"
+         "dropped\n";
   std::size_t rows = 0;
   for (const auto& p : system.periods()) {
     out << p.period_start << ',' << p.util_total << ',' << p.util_lc << ','
         << p.util_be << ',' << p.lc_arrived << ',' << p.lc_completed << ','
         << p.lc_qos_met << ',' << p.lc_abandoned << ',' << p.be_completed
-        << "\n";
+        << ',' << p.lost_requeued << ',' << p.dropped << "\n";
     ++rows;
   }
   return rows;
@@ -67,6 +70,51 @@ bool WritePeriodsCsvFile(const std::string& path,
   std::ofstream out(path);
   if (!out) return false;
   WritePeriodsCsv(out, system);
+  return static_cast<bool>(out);
+}
+
+std::size_t WriteTimelineCsv(std::ostream& out,
+                             const std::vector<fault::TimelineEntry>& tl) {
+  out << "at_us,kind,target,workers_alive,masters_alive,active_faults\n";
+  for (const auto& e : tl) {
+    out << e.at << ',' << fault::FaultKindName(e.kind) << ',' << e.target
+        << ',' << e.workers_alive << ',' << e.masters_alive << ','
+        << e.active_faults << "\n";
+  }
+  return tl.size();
+}
+
+bool WriteTimelineCsvFile(const std::string& path,
+                          const std::vector<fault::TimelineEntry>& tl) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteTimelineCsv(out, tl);
+  return static_cast<bool>(out);
+}
+
+std::size_t WriteResilienceCsv(
+    std::ostream& out,
+    const std::vector<std::pair<std::string, ResilienceReport>>& rows) {
+  out << "label,fault_events,faulted_ms,qos_sat_in_fault,qos_sat_outside,"
+         "time_to_recover_ms,post_recovery_p95_ms,requeued,dropped,"
+         "pending_at_end\n";
+  for (const auto& [label, r] : rows) {
+    out << label << ',' << r.fault_events << ','
+        << ToMilliseconds(r.faulted_time) << ',' << r.qos_sat_in_fault << ','
+        << r.qos_sat_outside << ','
+        << (r.time_to_recover < 0 ? -1.0 : ToMilliseconds(r.time_to_recover))
+        << ',' << r.post_recovery_p95_ms << ',' << r.requeued << ','
+        << r.dropped << ',' << r.pending_at_end << "\n";
+  }
+  return rows.size();
+}
+
+bool WriteResilienceCsvFile(
+    const std::string& path,
+    const std::vector<std::pair<std::string, ResilienceReport>>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteResilienceCsv(out, rows);
   return static_cast<bool>(out);
 }
 

@@ -5,7 +5,11 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "eval/harness.h"
+#include "fault/fault_plane.h"
 #include "k8s/system.h"
 
 namespace tango::eval {
@@ -20,10 +24,28 @@ bool WriteRecordsCsvFile(const std::string& path,
 
 /// One row per 800 ms period:
 ///   period_start_us,util_total,util_lc,util_be,lc_arrived,lc_completed,
-///   lc_qos_met,lc_abandoned,be_completed
+///   lc_qos_met,lc_abandoned,be_completed,lost_requeued,dropped
 std::size_t WritePeriodsCsv(std::ostream& out,
                             const k8s::EdgeCloudSystem& system);
 bool WritePeriodsCsvFile(const std::string& path,
                          const k8s::EdgeCloudSystem& system);
+
+/// One row per applied fault event (the availability timeline):
+///   at_us,kind,target,workers_alive,masters_alive,active_faults
+std::size_t WriteTimelineCsv(std::ostream& out,
+                             const std::vector<fault::TimelineEntry>& tl);
+bool WriteTimelineCsvFile(const std::string& path,
+                          const std::vector<fault::TimelineEntry>& tl);
+
+/// Labeled resilience rows (one per framework variant under the same fault
+/// script):
+///   label,fault_events,faulted_ms,qos_sat_in_fault,qos_sat_outside,
+///   time_to_recover_ms,post_recovery_p95_ms,requeued,dropped,pending_at_end
+std::size_t WriteResilienceCsv(
+    std::ostream& out,
+    const std::vector<std::pair<std::string, ResilienceReport>>& rows);
+bool WriteResilienceCsvFile(
+    const std::string& path,
+    const std::vector<std::pair<std::string, ResilienceReport>>& rows);
 
 }  // namespace tango::eval

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "common/logging.h"
+#include "common/stats.h"
 
 namespace tango::eval {
 
@@ -37,6 +39,10 @@ ExperimentResult RunExperiment(const ExperimentConfig& cfg,
                                const workload::ServiceCatalog& catalog) {
   k8s::EdgeCloudSystem system(cfg.system, &catalog);
   framework::Assembly assembly = install(system);
+  std::unique_ptr<fault::FaultPlane> plane;
+  if (cfg.faults != nullptr && !cfg.faults->empty()) {
+    plane = std::make_unique<fault::FaultPlane>(&system, *cfg.faults);
+  }
   system.SubmitTrace(cfg.trace);
   system.Run(cfg.duration);
   ExperimentResult r;
@@ -50,7 +56,90 @@ ExperimentResult RunExperiment(const ExperimentConfig& cfg,
         assembly.lc_scheduler()->decision_seconds() * 1000.0 /
         static_cast<double>(assembly.lc_scheduler()->decisions());
   }
+  if (assembly.lc_scheduler() != nullptr) {
+    r.lc_routing = assembly.lc_scheduler()->total_round_stats();
+  }
+  if (plane != nullptr) {
+    r.has_resilience = true;
+    r.resilience = ComputeResilience(system, *plane, cfg.duration,
+                                     cfg.qos_recovery_threshold);
+    r.timeline = plane->timeline();
+  }
   return r;
+}
+
+ResilienceReport ComputeResilience(const k8s::EdgeCloudSystem& system,
+                                   const fault::FaultPlane& plane,
+                                   SimTime horizon, double qos_threshold) {
+  ResilienceReport rep;
+  rep.fault_events = plane.events_injected();
+  rep.requeued = system.fault_requeues();
+  rep.dropped = system.fault_drops();
+
+  const auto windows = plane.Windows(horizon);
+  for (const auto& [start, end] : windows) rep.faulted_time += end - start;
+  const auto in_fault = [&windows](SimTime t) {
+    for (const auto& [start, end] : windows) {
+      if (t >= start && t < end) return true;
+    }
+    return false;
+  };
+
+  SimTime recovery = plane.LastRecoveryTime();
+  if (recovery < 0) recovery = horizon;  // faults active until the end
+
+  int arrived_in = 0, met_in = 0, arrived_out = 0, met_out = 0;
+  std::vector<double> post_latencies;
+  const auto& catalog = system.catalog();
+  for (const auto& rec : system.records()) {
+    if (!rec.request.id.valid()) continue;
+    if (!catalog.Get(rec.request.service).is_lc()) continue;
+    if (rec.outcome == k8s::Outcome::kPending) rep.pending_at_end += 1;
+    const bool met =
+        rec.outcome == k8s::Outcome::kCompleted && rec.qos_met;
+    if (in_fault(rec.request.arrival)) {
+      arrived_in += 1;
+      met_in += met ? 1 : 0;
+    } else {
+      arrived_out += 1;
+      met_out += met ? 1 : 0;
+    }
+    if (rec.outcome == k8s::Outcome::kCompleted &&
+        rec.request.arrival >= recovery) {
+      post_latencies.push_back(ToMilliseconds(rec.latency));
+    }
+  }
+  // BE requests can legitimately still be queued at the horizon, but they
+  // must be *somewhere* accounted: queued, dropped, or completed. Pending
+  // LC requests at the end are counted above and tested against zero well
+  // after the last fault window.
+  rep.qos_sat_in_fault =
+      arrived_in > 0 ? static_cast<double>(met_in) / arrived_in : 0.0;
+  rep.qos_sat_outside =
+      arrived_out > 0 ? static_cast<double>(met_out) / arrived_out : 0.0;
+  rep.post_recovery_p95_ms = Percentile(post_latencies, 0.95);
+
+  rep.time_to_recover = -1;
+  if (plane.LastRecoveryTime() >= 0) {
+    // First period overlapping [recovery, ∞) whose LC QoS satisfaction is
+    // back above the threshold; the period containing the recovery instant
+    // counts as an immediate recovery (distance 0).
+    const auto& periods = system.periods();
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+      const SimTime period_end = i + 1 < periods.size()
+                                     ? periods[i + 1].period_start
+                                     : horizon;
+      if (period_end <= recovery || periods[i].lc_arrived == 0) continue;
+      const double sat = static_cast<double>(periods[i].lc_qos_met) /
+                         periods[i].lc_arrived;
+      if (sat >= qos_threshold) {
+        rep.time_to_recover =
+            std::max<SimDuration>(0, periods[i].period_start - recovery);
+        break;
+      }
+    }
+  }
+  return rep;
 }
 
 void PrintTable(const std::string& title,

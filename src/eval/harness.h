@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plane.h"
 #include "tango/framework.h"
 
 namespace tango::eval {
@@ -23,7 +24,34 @@ struct ExperimentConfig {
   workload::Trace trace;
   SimDuration duration = 60 * kSecond;
   std::string label;
+  /// Optional fault script, armed on a FaultPlane before the run. The
+  /// script must outlive the call.
+  const fault::FaultScript* faults = nullptr;
+  /// Per-period LC QoS satisfaction counted as "recovered" (for
+  /// ResilienceReport::time_to_recover).
+  double qos_recovery_threshold = 0.9;
 };
+
+/// Resilience metrics of one faulted run (all computed from the request
+/// records and the fault plane's availability timeline).
+struct ResilienceReport {
+  int fault_events = 0;           // events actually injected
+  SimDuration faulted_time = 0;   // union of the fault windows
+  double qos_sat_in_fault = 0.0;  // LC QoS over arrivals inside windows
+  double qos_sat_outside = 0.0;   // ... and outside them
+  /// From the last fault healing to the first 800 ms period whose LC QoS
+  /// satisfaction is back above the threshold (-1 = never recovered).
+  SimDuration time_to_recover = -1;
+  double post_recovery_p95_ms = 0.0;  // completed LC arrived after recovery
+  std::int64_t requeued = 0;          // lost-to-a-fault-and-requeued count
+  std::int64_t dropped = 0;           // re-route budget exhausted
+  int pending_at_end = 0;             // silently lost (must be zero)
+};
+
+ResilienceReport ComputeResilience(const k8s::EdgeCloudSystem& system,
+                                   const fault::FaultPlane& plane,
+                                   SimTime horizon,
+                                   double qos_threshold = 0.9);
 
 struct ExperimentResult {
   std::string label;
@@ -31,6 +59,11 @@ struct ExperimentResult {
   std::vector<k8s::PeriodStats> periods;
   std::int64_t scaling_ops = 0;
   double lc_decision_ms_avg = 0.0;  // mean DSS-LC wall time per decision
+  k8s::LcRoundStats lc_routing;     // cumulative routing stats (satellite)
+  /// Filled when ExperimentConfig::faults was set.
+  bool has_resilience = false;
+  ResilienceReport resilience;
+  std::vector<fault::TimelineEntry> timeline;
 };
 
 /// Build a system for `cfg`, let `install` wire schedulers/policies (the

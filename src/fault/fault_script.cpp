@@ -1,0 +1,198 @@
+#include "fault/fault_script.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace tango::fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+    case FaultKind::kNodeRecover:
+      return "node-recover";
+    case FaultKind::kNodeDrain:
+      return "node-drain";
+    case FaultKind::kNodeUndrain:
+      return "node-undrain";
+    case FaultKind::kLinkDegrade:
+      return "link-degrade";
+    case FaultKind::kLinkRestore:
+      return "link-restore";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kMasterFail:
+      return "master-fail";
+    case FaultKind::kMasterRecover:
+      return "master-recover";
+  }
+  return "?";
+}
+
+FaultScript& FaultScript::Add(FaultEvent event) {
+  events_.push_back(event);
+  return *this;
+}
+
+namespace {
+FaultEvent NodeEvent(SimTime at, FaultKind kind, NodeId node) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = kind;
+  e.node = node;
+  return e;
+}
+
+FaultEvent LinkEvent(SimTime at, FaultKind kind, ClusterId a, ClusterId b,
+                     double mult = 1.0, double loss = 0.0) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = kind;
+  e.cluster_a = a;
+  e.cluster_b = b;
+  e.latency_mult = mult;
+  e.loss = loss;
+  return e;
+}
+}  // namespace
+
+FaultScript& FaultScript::CrashNode(SimTime at, NodeId node) {
+  return Add(NodeEvent(at, FaultKind::kNodeCrash, node));
+}
+FaultScript& FaultScript::RecoverNode(SimTime at, NodeId node) {
+  return Add(NodeEvent(at, FaultKind::kNodeRecover, node));
+}
+FaultScript& FaultScript::CrashNodeFor(SimTime at, SimDuration downtime,
+                                       NodeId node) {
+  CrashNode(at, node);
+  return RecoverNode(at + downtime, node);
+}
+FaultScript& FaultScript::DrainNode(SimTime at, NodeId node) {
+  return Add(NodeEvent(at, FaultKind::kNodeDrain, node));
+}
+FaultScript& FaultScript::UndrainNode(SimTime at, NodeId node) {
+  return Add(NodeEvent(at, FaultKind::kNodeUndrain, node));
+}
+FaultScript& FaultScript::DegradeLink(SimTime at, ClusterId a, ClusterId b,
+                                      double latency_mult, double loss) {
+  TANGO_CHECK(latency_mult >= 1.0, "degrade must not speed a link up");
+  TANGO_CHECK(loss >= 0.0 && loss < 1.0, "loss must be in [0,1)");
+  return Add(LinkEvent(at, FaultKind::kLinkDegrade, a, b, latency_mult, loss));
+}
+FaultScript& FaultScript::RestoreLink(SimTime at, ClusterId a, ClusterId b) {
+  return Add(LinkEvent(at, FaultKind::kLinkRestore, a, b));
+}
+FaultScript& FaultScript::Partition(SimTime at, ClusterId a, ClusterId b) {
+  return Add(LinkEvent(at, FaultKind::kPartition, a, b));
+}
+FaultScript& FaultScript::Heal(SimTime at, ClusterId a, ClusterId b) {
+  return Add(LinkEvent(at, FaultKind::kHeal, a, b));
+}
+FaultScript& FaultScript::PartitionFor(SimTime at, SimDuration downtime,
+                                       ClusterId a, ClusterId b) {
+  Partition(at, a, b);
+  return Heal(at + downtime, a, b);
+}
+FaultScript& FaultScript::FailMaster(SimTime at, ClusterId cluster) {
+  return Add(LinkEvent(at, FaultKind::kMasterFail, cluster, ClusterId{}));
+}
+FaultScript& FaultScript::RecoverMaster(SimTime at, ClusterId cluster) {
+  return Add(LinkEvent(at, FaultKind::kMasterRecover, cluster, ClusterId{}));
+}
+FaultScript& FaultScript::FailMasterFor(SimTime at, SimDuration downtime,
+                                        ClusterId cluster) {
+  FailMaster(at, cluster);
+  return RecoverMaster(at + downtime, cluster);
+}
+
+FaultScript& FaultScript::Append(const FaultScript& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  return *this;
+}
+
+std::vector<FaultEvent> FaultScript::events() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+FaultScript GenerateChaos(const ChaosProfile& profile,
+                          const std::vector<NodeId>& workers,
+                          int num_clusters) {
+  TANGO_CHECK(profile.end > profile.start, "chaos window must be non-empty");
+  FaultScript script;
+  Rng rng(profile.seed);
+
+  auto downtime = [&rng](SimDuration lo, SimDuration hi) {
+    return static_cast<SimDuration>(rng.UniformInt(lo, std::max(lo, hi)));
+  };
+  // Each fault family is a Poisson process over [start, end): exponential
+  // inter-fault gaps at the configured per-minute rate.
+  auto next_gap = [&rng](double per_min) {
+    return FromSeconds(rng.Exponential(per_min / 60.0));
+  };
+
+  if (profile.crashes_per_min > 0 && !workers.empty()) {
+    for (SimTime t = profile.start + next_gap(profile.crashes_per_min);
+         t < profile.end; t += next_gap(profile.crashes_per_min)) {
+      const auto pick = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(workers.size()) - 1));
+      script.CrashNodeFor(
+          t, downtime(profile.min_downtime, profile.max_downtime),
+          workers[pick]);
+    }
+  }
+
+  if (profile.link_faults_per_min > 0 && num_clusters > 1) {
+    for (SimTime t = profile.start + next_gap(profile.link_faults_per_min);
+         t < profile.end; t += next_gap(profile.link_faults_per_min)) {
+      const auto a = static_cast<std::int32_t>(
+          rng.UniformInt(0, num_clusters - 1));
+      auto b = static_cast<std::int32_t>(
+          rng.UniformInt(0, num_clusters - 2));
+      if (b >= a) ++b;
+      const SimDuration down =
+          downtime(profile.min_link_downtime, profile.max_link_downtime);
+      if (rng.Bernoulli(profile.partition_fraction)) {
+        script.PartitionFor(t, down, ClusterId{a}, ClusterId{b});
+      } else {
+        script.DegradeLink(t, ClusterId{a}, ClusterId{b},
+                           profile.degraded_latency_mult,
+                           profile.degraded_loss);
+        script.RestoreLink(t + down, ClusterId{a}, ClusterId{b});
+      }
+    }
+  }
+
+  if (profile.master_fails_per_min > 0 && num_clusters > 0) {
+    for (SimTime t = profile.start + next_gap(profile.master_fails_per_min);
+         t < profile.end; t += next_gap(profile.master_fails_per_min)) {
+      const auto c = static_cast<std::int32_t>(
+          rng.UniformInt(0, num_clusters - 1));
+      script.FailMasterFor(
+          t, downtime(profile.min_master_downtime,
+                      profile.max_master_downtime),
+          ClusterId{c});
+    }
+  }
+  return script;
+}
+
+std::vector<NodeId> WorkerIds(const std::vector<k8s::ClusterSpec>& clusters) {
+  std::vector<NodeId> out;
+  std::int32_t next = 0;
+  for (const auto& cl : clusters) {
+    ++next;  // the cluster master takes the first id
+    for (int w = 0; w < cl.num_workers; ++w) out.push_back(NodeId{next++});
+  }
+  return out;
+}
+
+}  // namespace tango::fault

@@ -1,0 +1,120 @@
+// Fault scripts: declarative, deterministic descriptions of *what goes
+// wrong and when* in an edge-cloud run.
+//
+// A FaultScript is an ordered list of FaultEvents — node crash/recovery,
+// worker drain, link degradation (latency multiplier + loss), full link
+// partition, and master failover. Scripts are either written by hand
+// (regression tests, targeted ablations) or generated from a seeded
+// ChaosProfile (random churn with exponential inter-fault gaps), so the same
+// seed + profile always produces the same fault sequence and therefore —
+// on the deterministic simulator — the same run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "k8s/node.h"
+
+namespace tango::fault {
+
+enum class FaultKind {
+  kNodeCrash,     // worker dies; running + queued requests are lost
+  kNodeRecover,   // worker returns empty (BE containers restart, §4.1)
+  kNodeDrain,     // worker stops admitting; queued work is re-routed
+  kNodeUndrain,   // worker admits again
+  kLinkDegrade,   // inter-cluster link: latency × mult, loss probability
+  kLinkRestore,   // link back to nominal
+  kPartition,     // inter-cluster link fully cut
+  kHeal,          // partition healed
+  kMasterFail,    // cluster master dies; its queues/role fail over
+  kMasterRecover, // master returns (central role moves back if applicable)
+};
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  NodeId node;                // node faults
+  ClusterId cluster_a;        // link faults (both), master faults (a only)
+  ClusterId cluster_b;
+  double latency_mult = 1.0;  // kLinkDegrade
+  double loss = 0.0;          // kLinkDegrade, in [0,1)
+};
+
+/// Builder-style container for fault events. Events may be added in any
+/// order; `events()` returns them sorted by (time, insertion order).
+class FaultScript {
+ public:
+  FaultScript& CrashNode(SimTime at, NodeId node);
+  FaultScript& RecoverNode(SimTime at, NodeId node);
+  /// Crash + recover in one call.
+  FaultScript& CrashNodeFor(SimTime at, SimDuration downtime, NodeId node);
+  FaultScript& DrainNode(SimTime at, NodeId node);
+  FaultScript& UndrainNode(SimTime at, NodeId node);
+  FaultScript& DegradeLink(SimTime at, ClusterId a, ClusterId b,
+                           double latency_mult, double loss = 0.0);
+  FaultScript& RestoreLink(SimTime at, ClusterId a, ClusterId b);
+  FaultScript& Partition(SimTime at, ClusterId a, ClusterId b);
+  FaultScript& Heal(SimTime at, ClusterId a, ClusterId b);
+  FaultScript& PartitionFor(SimTime at, SimDuration downtime, ClusterId a,
+                            ClusterId b);
+  FaultScript& FailMaster(SimTime at, ClusterId cluster);
+  FaultScript& RecoverMaster(SimTime at, ClusterId cluster);
+  FaultScript& FailMasterFor(SimTime at, SimDuration downtime,
+                             ClusterId cluster);
+  FaultScript& Add(FaultEvent event);
+
+  /// Merge another script's events into this one.
+  FaultScript& Append(const FaultScript& other);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Events sorted by (time, insertion order) — stable, deterministic.
+  std::vector<FaultEvent> events() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Seeded random chaos: every parameter is an expectation, every draw comes
+/// from one Rng, so a profile is as reproducible as a hand-written script.
+struct ChaosProfile {
+  std::uint64_t seed = 1;
+  /// Faults are injected inside [start, end); recoveries may land later.
+  SimTime start = 0;
+  SimTime end = 60 * kSecond;
+  /// Expected node crashes per minute across the whole system (0 = none).
+  double crashes_per_min = 2.0;
+  /// Downtime of a crashed node, uniform in [min, max].
+  SimDuration min_downtime = 2 * kSecond;
+  SimDuration max_downtime = 10 * kSecond;
+  /// Expected link faults per minute (degradations and partitions).
+  double link_faults_per_min = 1.0;
+  /// Fraction of link faults that are full partitions (rest degrade).
+  double partition_fraction = 0.3;
+  double degraded_latency_mult = 5.0;
+  double degraded_loss = 0.05;
+  SimDuration min_link_downtime = 1 * kSecond;
+  SimDuration max_link_downtime = 8 * kSecond;
+  /// Expected master failures per minute.
+  double master_fails_per_min = 0.0;
+  SimDuration min_master_downtime = 3 * kSecond;
+  SimDuration max_master_downtime = 10 * kSecond;
+};
+
+/// Generate a script over the given worker nodes and clusters. The caller
+/// passes ids (rather than a system reference) so scripts can be generated
+/// before the system exists and reused across framework variants.
+FaultScript GenerateChaos(const ChaosProfile& profile,
+                          const std::vector<NodeId>& workers,
+                          int num_clusters);
+
+/// Worker node ids for a cluster layout as EdgeCloudSystem numbers them
+/// (per cluster: master first, then its workers, ids sequential) — lets a
+/// chaos script target workers before the system is even built.
+std::vector<NodeId> WorkerIds(const std::vector<k8s::ClusterSpec>& clusters);
+
+}  // namespace tango::fault

@@ -22,6 +22,7 @@ void Reassurer::Tick(SimTime now) {
   auto& detector = system_->qos_detector();
   const auto& catalog = system_->catalog();
   for (k8s::WorkerNode* node : system_->AllWorkers()) {
+    if (!node->alive()) continue;  // nothing to reassure on a crashed node
     for (ServiceId svc : catalog.LcServices()) {
       const auto samples =
           detector.SampleCount(now, node->id(), svc);

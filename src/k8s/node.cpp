@@ -43,6 +43,7 @@ ExecSlot WorkerNode::MakeSlot(const workload::Request& r,
 }
 
 void WorkerNode::Enqueue(const workload::Request& request) {
+  TANGO_CHECK(alive_, "enqueue on crashed node %d", spec_.id.value);
   const auto& svc = catalog_->Get(request.service);
   Queued q{request, sim_->Now()};
   if (svc.is_lc()) {
@@ -59,7 +60,48 @@ MiB WorkerNode::MemInUseInternal() const {
   return used;
 }
 
+std::vector<workload::Request> WorkerNode::Crash() {
+  std::vector<workload::Request> lost;
+  if (!alive_) return lost;
+  alive_ = false;
+  draining_ = false;
+  for (auto& r : running_) {
+    if (r.completion != sim::kInvalidEvent) sim_->Cancel(r.completion);
+    if (r.activation != sim::kInvalidEvent) sim_->Cancel(r.activation);
+    workload::Request req;
+    req.id = r.slot.request;
+    req.service = r.slot.service;
+    lost.push_back(req);
+  }
+  running_.clear();
+  for (const auto& q : queue_lc_) lost.push_back(q.request);
+  for (const auto& q : queue_be_) lost.push_back(q.request);
+  queue_lc_.clear();
+  queue_be_.clear();
+  return lost;
+}
+
+void WorkerNode::Recover() { alive_ = true; }
+
+std::vector<workload::Request> WorkerNode::Drain() {
+  std::vector<workload::Request> displaced;
+  if (!alive_) return displaced;
+  draining_ = true;
+  for (const auto& q : queue_lc_) displaced.push_back(q.request);
+  for (const auto& q : queue_be_) displaced.push_back(q.request);
+  queue_lc_.clear();
+  queue_be_.clear();
+  return displaced;
+}
+
+void WorkerNode::Undrain() {
+  if (!alive_) return;
+  draining_ = false;
+  TryAdmit();
+}
+
 void WorkerNode::TryAdmit() {
+  if (!alive_ || draining_) return;
   bool admitted_any = false;
   // LC first — the regulations give LC strict priority (§4.1). Within a
   // class the scan is FIFO but a blocked request does not block the ones
@@ -258,6 +300,7 @@ void WorkerNode::EvictRunning(std::size_t index) {
 }
 
 void WorkerNode::SweepQueues() {
+  if (!alive_) return;
   // Re-run the admission loop; its head checks drop stale entries. Also
   // scan non-head entries for expiry so one stuck head cannot hide them.
   for (auto it = queue_lc_.begin(); it != queue_lc_.end();) {
@@ -327,9 +370,24 @@ metrics::NodeSnapshot WorkerNode::Snapshot(SimTime now) const {
   s.node = spec_.id;
   s.cluster = spec_.cluster;
   s.is_master = false;
+  s.alive = alive_;
+  s.draining = draining_;
   s.cpu_total = spec_.capacity.cpu;
-  s.cpu_available = std::max<Millicores>(0, spec_.capacity.cpu - cpu_in_use());
   s.mem_total = spec_.capacity.mem;
+  s.recorded_at = now;
+  if (!alive_ || draining_) {
+    // Dead: nothing to report. Draining: running work still shows, but no
+    // capacity is advertised so load-based schedulers steer away too.
+    s.cpu_available = 0;
+    s.mem_available = 0;
+    s.cpu_available_lc = 0;
+    s.mem_available_lc = 0;
+    s.running_lc = alive_ ? running_lc() : 0;
+    s.running_be = alive_ ? running_count() - running_lc() : 0;
+    s.queued = alive_ ? queued_count() : 0;
+    return s;
+  }
+  s.cpu_available = std::max<Millicores>(0, spec_.capacity.cpu - cpu_in_use());
   s.mem_available = std::max<MiB>(0, spec_.capacity.mem - mem_in_use());
   if (policy_->PreemptsBeForLc()) {
     // §4.1: LC may take idle resources *and* whatever BE holds — CPU by

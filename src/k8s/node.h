@@ -61,10 +61,31 @@ class WorkerNode {
              NodeTunables tunables = NodeTunables{});
 
   /// A request arrives at the node (already dispatched + transferred).
+  /// Must not be called on a crashed node — the owner checks liveness at
+  /// delivery time and re-queues instead.
   void Enqueue(const workload::Request& request);
 
   /// Swap the allocation policy (used by experiments that toggle HRM).
   void SetPolicy(const AllocationPolicy* policy);
+
+  // ---- Liveness (driven by fault::FaultPlane via the system) -----------
+  bool alive() const { return alive_; }
+  bool draining() const { return draining_; }
+
+  /// Kill the node: every running and queued request is lost and returned
+  /// (id + service only — the owner resolves the full request from its
+  /// records and re-queues or drops it). All pending completion/activation
+  /// events are cancelled so no callback fires into the dead node.
+  std::vector<workload::Request> Crash();
+
+  /// Bring a crashed node back, empty. BE containers restart from scratch
+  /// on their next placement (§4.1 semantics: BE is evictable/restartable).
+  void Recover();
+
+  /// Stop admitting new work; running requests finish, queued requests are
+  /// handed back for rescheduling elsewhere.
+  std::vector<workload::Request> Drain();
+  void Undrain();
 
   const NodeSpec& spec() const { return spec_; }
   NodeId id() const { return spec_.id; }
@@ -128,6 +149,8 @@ class WorkerNode {
   std::deque<Queued> queue_be_;
   std::int64_t scaling_ops_ = 0;
   bool in_recompute_ = false;
+  bool alive_ = true;
+  bool draining_ = false;
 };
 
 }  // namespace tango::k8s

@@ -30,6 +30,18 @@ struct Assignment {
   NodeId target;
 };
 
+/// What the last Schedule() round saw and decided — surfaced so the fault
+/// ablations can attribute QoS loss to routing (workers excluded for
+/// liveness/reachability) vs. capacity (requests left queued).
+struct LcRoundStats {
+  SimTime at = -1;               // when the round ran (-1 = no round yet)
+  int considered = 0;            // snapshots inspected
+  int excluded_dead = 0;         // skipped: crashed or draining
+  int excluded_unreachable = 0;  // skipped: cluster cut off from this master
+  int assigned = 0;              // requests given a target this round
+  int left_queued = 0;           // requests deferred to the next round
+};
+
 class LcScheduler {
  public:
   virtual ~LcScheduler() = default;
@@ -48,6 +60,12 @@ class LcScheduler {
   /// accounting for the §7.2 timing claims).
   virtual double decision_seconds() const { return 0.0; }
   virtual std::int64_t decisions() const { return 0; }
+
+  /// Routing stats of the most recent Schedule() round. Schedulers that do
+  /// not track them return the default (at = -1).
+  virtual LcRoundStats last_round_stats() const { return LcRoundStats{}; }
+  /// Cumulative counterpart across all rounds.
+  virtual LcRoundStats total_round_stats() const { return LcRoundStats{}; }
 };
 
 class BeScheduler {

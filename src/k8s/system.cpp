@@ -23,6 +23,8 @@ EdgeCloudSystem::EdgeCloudSystem(SystemConfig cfg,
   egress_ = net::EgressRegulator(cfg_.egress);
   central_ = cfg_.central_cluster >= 0 ? ClusterId{cfg_.central_cluster}
                                        : topology_.CentralCluster();
+  acting_central_ = central_;
+  master_alive_.assign(cfg_.clusters.size(), true);
   BuildClusters();
   // Periodic state sync and metrics sampling.
   sim::SchedulePeriodic(sim_, cfg_.state_sync_period, cfg_.state_sync_period,
@@ -121,9 +123,21 @@ std::int64_t EdgeCloudSystem::total_scaling_ops() const {
   return total;
 }
 
+LinkFault EdgeCloudSystem::LinkStateOf(ClusterId a, ClusterId b) const {
+  if (a == b) return LinkFault{};  // intra-cluster LANs are not faultable
+  const auto key = std::minmax(a.value, b.value);
+  const auto it = link_faults_.find({key.first, key.second});
+  return it == link_faults_.end() ? LinkFault{} : it->second;
+}
+
 SimDuration EdgeCloudSystem::Transfer(ClusterId from, ClusterId to,
                                       Bytes size, bool is_lc) {
-  const SimDuration propagation = topology_.OneWayDelay(from, to);
+  SimDuration propagation = topology_.OneWayDelay(from, to);
+  const LinkFault lf = LinkStateOf(from, to);
+  if (lf.latency_mult > 1.0) {
+    propagation = static_cast<SimDuration>(
+        static_cast<double>(propagation) * lf.latency_mult);
+  }
   if (!cfg_.regulate_bandwidth) {
     return propagation + TransferTime(size, topology_.Bandwidth(from, to));
   }
@@ -154,25 +168,67 @@ void EdgeCloudSystem::SubmitTrace(const workload::Trace& trace) {
 
 void EdgeCloudSystem::OnArrival(const workload::Request& request) {
   const auto& svc = catalog_->Get(request.service);
-  Cluster& cl = clusters_[static_cast<std::size_t>(request.origin.value)];
   if (svc.is_lc()) {
     CurrentPeriod().lc_arrived += 1;
-    cl.lc_queue.push_back({request, sim_.Now(), 0});
-    ScheduleLcDispatch(cl.spec.id);
+    const ClusterId home = DelegateMaster(request.origin);
+    if (!home.valid()) {
+      // No reachable live master anywhere: counted as dropped, not lost.
+      DropRequest(Record(request.id));
+      return;
+    }
+    if (home == request.origin) {
+      Cluster& cl = clusters_[static_cast<std::size_t>(home.value)];
+      cl.lc_queue.push_back({request, sim_.Now(), 0});
+      ScheduleLcDispatch(home);
+      return;
+    }
+    // Origin master is down: the eAP delegates dispatch to the nearest live
+    // master (cf. delegated orchestration in hierarchical edge systems).
+    RequestRecord& rec = Record(request.id);
+    rec.fault_reroutes += 1;
+    ++fault_requeues_;
+    CurrentPeriod().lost_requeued += 1;
+    const SimDuration fwd =
+        Transfer(request.origin, home, svc.request_size, /*is_lc=*/true);
+    sim_.ScheduleAfter(fwd, [this, request, home]() {
+      clusters_[static_cast<std::size_t>(home.value)].lc_queue.push_back(
+          {request, sim_.Now(), 0});
+      ScheduleLcDispatch(home);
+    });
   } else {
     // BE requests are uniformly forwarded to the central cluster (§3).
-    const SimDuration fwd =
-        Transfer(request.origin, central_, svc.request_size, /*is_lc=*/false);
-    sim_.ScheduleAfter(fwd, [this, request]() {
-      be_queue_.push_back({request, sim_.Now(), 0});
-      ScheduleBeDispatch();
-    });
+    ForwardBeToCentral(request);
   }
+}
+
+void EdgeCloudSystem::ForwardBeToCentral(const workload::Request& request) {
+  if (Record(request.id).outcome != Outcome::kPending) return;
+  const auto& svc = catalog_->Get(request.service);
+  const ClusterId dst = acting_central_;
+  const LinkFault lf = LinkStateOf(request.origin, dst);
+  if (!MasterAlive(dst) || lf.cut) {
+    // Store-and-forward at the eAP until the path or a failover heals it.
+    sim_.ScheduleAfter(cfg_.fault_detect_delay,
+                       [this, request]() { ForwardBeToCentral(request); });
+    return;
+  }
+  const SimDuration fwd =
+      Transfer(request.origin, dst, svc.request_size, /*is_lc=*/false);
+  if (request.origin != dst && lf.loss > 0.0 && rng_.Bernoulli(lf.loss)) {
+    // Lost in flight; the eAP re-sends after a timeout.
+    sim_.ScheduleAfter(fwd + cfg_.fault_detect_delay,
+                       [this, request]() { ForwardBeToCentral(request); });
+    return;
+  }
+  sim_.ScheduleAfter(fwd, [this, request]() {
+    be_queue_.push_back({request, sim_.Now(), 0});
+    ScheduleBeDispatch();
+  });
 }
 
 void EdgeCloudSystem::ScheduleLcDispatch(ClusterId cluster) {
   Cluster& cl = clusters_[static_cast<std::size_t>(cluster.value)];
-  if (cl.lc_dispatch_pending) return;
+  if (cl.lc_dispatch_pending || !MasterAlive(cluster)) return;
   cl.lc_dispatch_pending = true;
   sim_.ScheduleAfter(cfg_.lc_dispatch_interval,
                      [this, cluster]() { DispatchLc(cluster); });
@@ -181,6 +237,7 @@ void EdgeCloudSystem::ScheduleLcDispatch(ClusterId cluster) {
 void EdgeCloudSystem::DispatchLc(ClusterId cluster) {
   Cluster& cl = clusters_[static_cast<std::size_t>(cluster.value)];
   cl.lc_dispatch_pending = false;
+  if (!MasterAlive(cluster)) return;  // queue already failed over
   TANGO_CHECK(lc_sched_ != nullptr, "no LC scheduler installed");
   // Age out requests that can no longer meet any deadline.
   for (auto it = cl.lc_queue.begin(); it != cl.lc_queue.end();) {
@@ -210,17 +267,15 @@ void EdgeCloudSystem::DispatchLc(ClusterId cluster) {
     if (it == cl.lc_queue.end()) continue;  // scheduler returned a stale id
     WorkerNode* target = FindWorker(a.target);
     if (target == nullptr) continue;
+    // Stale state view: target died/drained or its cluster got cut off
+    // after the snapshot — keep the request queued for the next round.
+    if (!target->alive() || target->draining()) continue;
     const workload::Request request = it->request;
+    if (!SendToWorker(cluster, a.target, request, /*is_lc=*/true)) continue;
     cl.lc_queue.erase(it);
     RequestRecord& rec = Record(request.id);
     rec.dispatched = sim_.Now();
     rec.target = a.target;
-    const auto& svc = catalog_->Get(request.service);
-    const SimDuration delay = Transfer(cluster, target->spec().cluster,
-                                       svc.request_size, /*is_lc=*/true);
-    sim_.ScheduleAfter(delay, [target, request]() {
-      target->Enqueue(request);
-    });
   }
   if (!cl.lc_queue.empty()) ScheduleLcDispatch(cluster);
 }
@@ -233,22 +288,31 @@ void EdgeCloudSystem::ScheduleBeDispatch() {
 
 void EdgeCloudSystem::DispatchBe() {
   be_dispatch_pending_ = false;
+  if (!MasterAlive(acting_central_)) return;  // resumes on failover/recovery
   TANGO_CHECK(be_sched_ != nullptr, "no BE scheduler installed");
   while (!be_queue_.empty()) {
     PendingRequest pending = be_queue_.front();
+    if (Record(pending.request.id).outcome != Outcome::kPending) {
+      be_queue_.pop_front();  // dropped while queued
+      continue;
+    }
     const auto target = be_sched_->ScheduleOne(pending, be_storage_, sim_.Now());
     if (!target.has_value()) break;  // nothing placeable right now
     WorkerNode* node = FindWorker(*target);
     if (node == nullptr) break;
+    if (!node->alive() || node->draining() ||
+        !SendToWorker(acting_central_, *target, pending.request,
+                      /*is_lc=*/false)) {
+      // Stale pick (dead/drained target or cut path): rotate it to the back
+      // and retry next interval, when the state view may have caught up.
+      be_queue_.pop_front();
+      be_queue_.push_back(pending);
+      break;
+    }
     be_queue_.pop_front();
-    const workload::Request request = pending.request;
-    RequestRecord& rec = Record(request.id);
+    RequestRecord& rec = Record(pending.request.id);
     rec.dispatched = sim_.Now();
     rec.target = *target;
-    const auto& svc = catalog_->Get(request.service);
-    const SimDuration delay = Transfer(central_, node->spec().cluster,
-                                       svc.request_size, /*is_lc=*/false);
-    sim_.ScheduleAfter(delay, [node, request]() { node->Enqueue(request); });
   }
   if (!be_queue_.empty()) ScheduleBeDispatch();
 }
@@ -257,26 +321,9 @@ void EdgeCloudSystem::OnComplete(const CompletionInfo& info) {
   RequestRecord& rec = Record(info.request.id);
   const workload::Request original = rec.request;
   const auto& svc = catalog_->Get(original.service);
-  const ClusterId from = ClusterOfNode(info.node);
   if (svc.is_lc()) {
     // The result must travel back to the origin before the user sees it.
-    const SimDuration back =
-        Transfer(from, original.origin, svc.response_size, /*is_lc=*/true);
-    const SimTime completed = sim_.Now() + back;
-    const NodeId node = info.node;
-    sim_.ScheduleAfter(back, [this, original, completed, node]() {
-      RequestRecord& r = Record(original.id);
-      if (r.outcome != Outcome::kPending) return;
-      r.outcome = Outcome::kCompleted;
-      r.completed = completed;
-      r.latency = completed - original.arrival;
-      const auto& s = catalog_->Get(original.service);
-      r.qos_met = r.latency <= s.qos_target;
-      PeriodStats& p = CurrentPeriod();
-      p.lc_completed += 1;
-      if (r.qos_met) p.lc_qos_met += 1;
-      qos_detector_.Observe(sim_.Now(), node, original.service, r.latency);
-    });
+    ReturnLcResult(info.node, original);
   } else {
     if (rec.outcome != Outcome::kPending) return;
     rec.outcome = Outcome::kCompleted;
@@ -287,6 +334,36 @@ void EdgeCloudSystem::OnComplete(const CompletionInfo& info) {
       be_sched_->OnBeCompleted(info.node, original, sim_.Now());
     }
   }
+}
+
+void EdgeCloudSystem::ReturnLcResult(NodeId node,
+                                     const workload::Request& original) {
+  if (Record(original.id).outcome != Outcome::kPending) return;
+  const auto& svc = catalog_->Get(original.service);
+  const ClusterId from = ClusterOfNode(node);
+  if (LinkStateOf(from, original.origin).cut) {
+    // Result computed but the way home is cut: retransmit until it heals.
+    sim_.ScheduleAfter(cfg_.fault_detect_delay, [this, node, original]() {
+      ReturnLcResult(node, original);
+    });
+    return;
+  }
+  const SimDuration back =
+      Transfer(from, original.origin, svc.response_size, /*is_lc=*/true);
+  const SimTime completed = sim_.Now() + back;
+  sim_.ScheduleAfter(back, [this, original, completed, node]() {
+    RequestRecord& r = Record(original.id);
+    if (r.outcome != Outcome::kPending) return;
+    r.outcome = Outcome::kCompleted;
+    r.completed = completed;
+    r.latency = completed - original.arrival;
+    const auto& s = catalog_->Get(original.service);
+    r.qos_met = r.latency <= s.qos_target;
+    PeriodStats& p = CurrentPeriod();
+    p.lc_completed += 1;
+    if (r.qos_met) p.lc_qos_met += 1;
+    qos_detector_.Observe(sim_.Now(), node, original.service, r.latency);
+  });
 }
 
 void EdgeCloudSystem::OnAbandon(const workload::Request& request,
@@ -301,35 +378,312 @@ void EdgeCloudSystem::OnBeReturn(NodeId from, const workload::Request& req) {
   RequestRecord& rec = Record(req.id);
   if (rec.outcome != Outcome::kPending) return;
   rec.reschedules += 1;
-  const workload::Request original = rec.request;
+  ReturnBeToCentral(ClusterOfNode(from), rec.request, rec.reschedules);
+}
+
+void EdgeCloudSystem::ReturnBeToCentral(ClusterId from,
+                                        const workload::Request& original,
+                                        int bounces) {
+  if (Record(original.id).outcome != Outcome::kPending) return;
+  const ClusterId dst = acting_central_;
+  if (!MasterAlive(dst) || LinkStateOf(from, dst).cut) {
+    sim_.ScheduleAfter(cfg_.fault_detect_delay,
+                       [this, from, original, bounces]() {
+                         ReturnBeToCentral(from, original, bounces);
+                       });
+    return;
+  }
   const auto& svc = catalog_->Get(original.service);
-  const SimDuration back = Transfer(ClusterOfNode(from), central_,
-                                    svc.request_size, /*is_lc=*/false);
-  const int bounces = rec.reschedules;
+  const SimDuration back =
+      Transfer(from, dst, svc.request_size, /*is_lc=*/false);
   sim_.ScheduleAfter(back, [this, original, bounces]() {
     be_queue_.push_back({original, sim_.Now(), bounces});
     ScheduleBeDispatch();
   });
 }
 
+bool EdgeCloudSystem::SendToWorker(ClusterId from, NodeId target,
+                                   const workload::Request& request,
+                                   bool is_lc) {
+  const ClusterId to = ClusterOfNode(target);
+  const LinkFault lf = LinkStateOf(from, to);
+  if (lf.cut) return false;  // path down: caller keeps the request queued
+  const auto& svc = catalog_->Get(request.service);
+  const SimDuration delay = Transfer(from, to, svc.request_size, is_lc);
+  if (from != to && lf.loss > 0.0 && rng_.Bernoulli(lf.loss)) {
+    // Lost in flight; the master detects the missed delivery ack after a
+    // timeout and puts the request back on a scheduling queue.
+    const RequestId id = request.id;
+    sim_.ScheduleAfter(delay + cfg_.fault_detect_delay,
+                       [this, id]() { RequeueLost(id); });
+    return true;  // from the dispatcher's view the send happened
+  }
+  sim_.ScheduleAfter(delay, [this, target, request]() {
+    DeliverToWorker(target, request);
+  });
+  return true;
+}
+
+void EdgeCloudSystem::DeliverToWorker(NodeId target,
+                                      const workload::Request& request) {
+  if (Record(request.id).outcome != Outcome::kPending) return;
+  WorkerNode* node = FindWorker(target);
+  TANGO_CHECK(node != nullptr, "unknown worker %d", target.value);
+  const RequestId id = request.id;
+  if (!node->alive()) {
+    // Target died while the request was in flight; detected by timeout.
+    sim_.ScheduleAfter(cfg_.fault_detect_delay,
+                       [this, id]() { RequeueLost(id); });
+    return;
+  }
+  if (node->draining()) {
+    // A draining node refuses admission immediately (graceful NACK).
+    RequeueLost(id);
+    return;
+  }
+  node->Enqueue(request);
+}
+
+void EdgeCloudSystem::RequeueLost(RequestId id) {
+  RequestRecord& rec = Record(id);
+  if (rec.outcome != Outcome::kPending) return;
+  rec.fault_reroutes += 1;
+  if (rec.fault_reroutes > cfg_.max_fault_reroutes) {
+    DropRequest(rec);
+    return;
+  }
+  ++fault_requeues_;
+  CurrentPeriod().lost_requeued += 1;
+  const workload::Request request = rec.request;
+  const auto& svc = catalog_->Get(request.service);
+  if (svc.is_lc()) {
+    const ClusterId home = DelegateMaster(request.origin);
+    if (!home.valid()) {
+      DropRequest(rec);
+      return;
+    }
+    Cluster& cl = clusters_[static_cast<std::size_t>(home.value)];
+    cl.lc_queue.push_back({request, sim_.Now(), 0});
+    ScheduleLcDispatch(home);
+  } else {
+    // BE work restarts from the central queue (§4.1 restart semantics).
+    be_queue_.push_back({request, sim_.Now(), rec.reschedules});
+    ScheduleBeDispatch();
+  }
+}
+
+void EdgeCloudSystem::HandleLost(std::vector<workload::Request> lost,
+                                 SimDuration delay) {
+  for (const workload::Request& r : lost) {
+    const RequestId id = r.id;
+    if (delay <= 0) {
+      RequeueLost(id);
+    } else {
+      sim_.ScheduleAfter(delay, [this, id]() { RequeueLost(id); });
+    }
+  }
+}
+
+void EdgeCloudSystem::DropRequest(RequestRecord& rec) {
+  if (rec.outcome != Outcome::kPending) return;
+  rec.outcome = Outcome::kDropped;
+  rec.completed = sim_.Now();
+  ++fault_drops_;
+  CurrentPeriod().dropped += 1;
+}
+
+ClusterId EdgeCloudSystem::DelegateMaster(ClusterId cluster) const {
+  if (MasterAlive(cluster)) return cluster;
+  ClusterId best{};
+  SimDuration best_rtt = 0;
+  for (const auto& cl : clusters_) {
+    const ClusterId c = cl.spec.id;
+    if (!MasterAlive(c)) continue;
+    if (LinkStateOf(cluster, c).cut) continue;  // unreachable from the eAP
+    const SimDuration rtt = topology_.Rtt(cluster, c);
+    if (!best.valid() || rtt < best_rtt) {
+      best = c;
+      best_rtt = rtt;
+    }
+  }
+  return best;
+}
+
+ClusterId EdgeCloudSystem::ElectCentral() const {
+  if (MasterAlive(central_)) return central_;
+  // Nearest live master to the geographic centre takes over BE dispatch.
+  ClusterId best{};
+  SimDuration best_rtt = 0;
+  for (const auto& cl : clusters_) {
+    const ClusterId c = cl.spec.id;
+    if (!MasterAlive(c)) continue;
+    const SimDuration rtt = topology_.Rtt(central_, c);
+    if (!best.valid() || rtt < best_rtt) {
+      best = c;
+      best_rtt = rtt;
+    }
+  }
+  return best;
+}
+
+void EdgeCloudSystem::CrashWorker(NodeId id) {
+  WorkerNode* w = FindWorker(id);
+  TANGO_CHECK(w != nullptr, "unknown worker %d", id.value);
+  if (!w->alive()) return;
+  HandleLost(w->Crash(), cfg_.fault_detect_delay);
+}
+
+void EdgeCloudSystem::RecoverWorker(NodeId id) {
+  WorkerNode* w = FindWorker(id);
+  TANGO_CHECK(w != nullptr, "unknown worker %d", id.value);
+  if (w->alive()) return;
+  w->Recover();
+  // A node-ready event pushes fresh state at once (like a kubelet
+  // re-registering), so schedulers can use the node without waiting for
+  // the next sync period; BE dispatch restarts evicted work immediately.
+  SyncState(sim_.Now());
+  ScheduleBeDispatch();
+  for (auto& cl : clusters_) {
+    if (!cl.lc_queue.empty()) ScheduleLcDispatch(cl.spec.id);
+  }
+}
+
+void EdgeCloudSystem::DrainWorker(NodeId id) {
+  WorkerNode* w = FindWorker(id);
+  TANGO_CHECK(w != nullptr, "unknown worker %d", id.value);
+  if (!w->alive() || w->draining()) return;
+  // Graceful: queued work is re-routed now, running work finishes in place.
+  HandleLost(w->Drain(), 0);
+  SyncState(sim_.Now());
+}
+
+void EdgeCloudSystem::UndrainWorker(NodeId id) {
+  WorkerNode* w = FindWorker(id);
+  TANGO_CHECK(w != nullptr, "unknown worker %d", id.value);
+  if (!w->draining()) return;
+  w->Undrain();
+  SyncState(sim_.Now());
+  ScheduleBeDispatch();
+}
+
+void EdgeCloudSystem::SetLinkFault(ClusterId a, ClusterId b, LinkFault fault) {
+  TANGO_CHECK(a != b, "cannot fault an intra-cluster LAN");
+  const auto key = std::minmax(a.value, b.value);
+  if (fault.faulty()) {
+    link_faults_[{key.first, key.second}] = fault;
+  } else {
+    link_faults_.erase({key.first, key.second});
+  }
+  SyncState(sim_.Now());
+}
+
+void EdgeCloudSystem::ClearLinkFault(ClusterId a, ClusterId b) {
+  SetLinkFault(a, b, LinkFault{});
+  // A healed path may unblock queued work on both sides.
+  ScheduleBeDispatch();
+  for (auto& cl : clusters_) {
+    if (!cl.lc_queue.empty()) ScheduleLcDispatch(cl.spec.id);
+  }
+}
+
+void EdgeCloudSystem::FailMaster(ClusterId cluster) {
+  const auto idx = static_cast<std::size_t>(cluster.value);
+  if (!master_alive_[idx]) return;
+  master_alive_[idx] = false;
+  Cluster& cl = clusters_[idx];
+  // LC requests queued at the dead master fail over to the nearest live
+  // master once the failure detector notices.
+  std::vector<workload::Request> lost;
+  lost.reserve(cl.lc_queue.size());
+  for (const auto& p : cl.lc_queue) lost.push_back(p.request);
+  cl.lc_queue.clear();
+  HandleLost(std::move(lost), cfg_.fault_detect_delay);
+  if (cluster == acting_central_) {
+    // The BE central died with its queue; elect a new central and restart
+    // the queued BE work there after detection.
+    std::vector<workload::Request> be_lost;
+    be_lost.reserve(be_queue_.size());
+    for (const auto& p : be_queue_) be_lost.push_back(p.request);
+    be_queue_.clear();
+    acting_central_ = ElectCentral();
+    HandleLost(std::move(be_lost), cfg_.fault_detect_delay);
+  }
+}
+
+void EdgeCloudSystem::RecoverMaster(ClusterId cluster) {
+  const auto idx = static_cast<std::size_t>(cluster.value);
+  if (master_alive_[idx]) return;
+  master_alive_[idx] = true;
+  // The original central reclaims the BE dispatcher role on recovery; a
+  // graceful handover migrates the queue without loss.
+  acting_central_ = ElectCentral();
+  SyncState(sim_.Now());
+  ScheduleLcDispatch(cluster);
+  ScheduleBeDispatch();
+}
+
+bool EdgeCloudSystem::WorkerAlive(NodeId id) const {
+  const auto it = workers_.find(id);
+  return it != workers_.end() && it->second->alive();
+}
+
+int EdgeCloudSystem::workers_alive() const {
+  int n = 0;
+  for (const auto& [id, node] : workers_) n += node->alive() ? 1 : 0;
+  return n;
+}
+
+int EdgeCloudSystem::masters_alive() const {
+  int n = 0;
+  for (const bool b : master_alive_) n += b ? 1 : 0;
+  return n;
+}
+
 void EdgeCloudSystem::SyncState(SimTime now) {
   // Per-cluster LC storage: own + geo-nearby workers, plus RTT estimates.
+  // A cut link freezes the snapshots of the far side and marks its nodes
+  // unreachable in the viewing master's storage.
   for (auto& cl : clusters_) {
+    if (!MasterAlive(cl.spec.id)) continue;  // a dead master syncs nothing
     std::vector<ClusterId> scope = topology_.NearbyClusters(
         cl.spec.id, cfg_.lc_nearby_radius_km);
     scope.push_back(cl.spec.id);
     for (ClusterId c : scope) {
+      const LinkFault lf = LinkStateOf(cl.spec.id, c);
+      if (lf.cut) {
+        cl.lc_storage.MarkClusterReachability(c, false);
+        continue;
+      }
       const Cluster& other = clusters_[static_cast<std::size_t>(c.value)];
       for (const auto& w : other.workers) {
         cl.lc_storage.Update(w->Snapshot(now));
       }
-      cl.lc_storage.UpdateRtt(c, topology_.Rtt(cl.spec.id, c));
+      cl.lc_storage.MarkClusterReachability(c, true);
+      SimDuration rtt = topology_.Rtt(cl.spec.id, c);
+      if (lf.latency_mult > 1.0) {
+        rtt = static_cast<SimDuration>(static_cast<double>(rtt) *
+                                       lf.latency_mult);
+      }
+      cl.lc_storage.UpdateRtt(c, rtt);
     }
   }
-  // Central BE storage sees everything.
-  for (auto& cl : clusters_) {
-    for (const auto& w : cl.workers) be_storage_.Update(w->Snapshot(now));
-    be_storage_.UpdateRtt(cl.spec.id, topology_.Rtt(central_, cl.spec.id));
+  // The acting central's BE storage sees every reachable cluster.
+  if (MasterAlive(acting_central_)) {
+    for (auto& cl : clusters_) {
+      const LinkFault lf = LinkStateOf(acting_central_, cl.spec.id);
+      if (lf.cut) {
+        be_storage_.MarkClusterReachability(cl.spec.id, false);
+        continue;
+      }
+      for (const auto& w : cl.workers) be_storage_.Update(w->Snapshot(now));
+      be_storage_.MarkClusterReachability(cl.spec.id, true);
+      SimDuration rtt = topology_.Rtt(acting_central_, cl.spec.id);
+      if (lf.latency_mult > 1.0) {
+        rtt = static_cast<SimDuration>(static_cast<double>(rtt) *
+                                       lf.latency_mult);
+      }
+      be_storage_.UpdateRtt(cl.spec.id, rtt);
+    }
   }
 }
 
@@ -367,12 +721,16 @@ RunSummary EdgeCloudSystem::Summary() const {
         lc_latencies.push_back(ToMilliseconds(rec.latency));
       } else if (rec.outcome == Outcome::kAbandoned) {
         s.lc_abandoned += 1;
+      } else if (rec.outcome == Outcome::kDropped) {
+        s.lc_dropped += 1;
       }
     } else {
       s.be_total += 1;
       if (rec.outcome == Outcome::kCompleted) s.be_completed += 1;
+      if (rec.outcome == Outcome::kDropped) s.be_dropped += 1;
     }
   }
+  s.fault_requeues = fault_requeues_;
   s.qos_satisfaction =
       s.lc_total > 0
           ? static_cast<double>(s.lc_qos_met) / static_cast<double>(s.lc_total)

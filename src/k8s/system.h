@@ -53,10 +53,25 @@ struct SystemConfig {
   bool regulate_bandwidth = true;
   net::EgressConfig egress{};
   std::uint64_t seed = 1234;
+  /// How long until a master's failure detector notices lost in-flight
+  /// work (missed heartbeat / delivery timeout) and re-queues it.
+  SimDuration fault_detect_delay = 100 * kMillisecond;
+  /// A request lost this many times is dropped (counted, never silent).
+  int max_fault_reroutes = 16;
 };
 
-/// Final outcome of one request.
-enum class Outcome { kPending, kCompleted, kAbandoned };
+/// Dynamic state of one inter-cluster link under fault injection.
+struct LinkFault {
+  double latency_mult = 1.0;  // scales propagation delay
+  double loss = 0.0;          // per-transfer loss probability, [0,1)
+  bool cut = false;           // full partition: nothing gets through
+  bool faulty() const { return cut || latency_mult > 1.0 || loss > 0.0; }
+};
+
+/// Final outcome of one request. kDropped is fault-induced: the request was
+/// lost more often than `max_fault_reroutes` allows, or arrived while no
+/// master was reachable — it is counted, never silently discarded.
+enum class Outcome { kPending, kCompleted, kAbandoned, kDropped };
 
 struct RequestRecord {
   workload::Request request;
@@ -67,6 +82,7 @@ struct RequestRecord {
   SimDuration latency = 0;       // end-to-end, incl. result return
   bool qos_met = false;          // LC only
   int reschedules = 0;           // BE bounce count
+  int fault_reroutes = 0;        // times lost to a fault and re-queued
 };
 
 /// Per-800ms-period aggregate row (the unit of every time-series figure).
@@ -80,6 +96,8 @@ struct PeriodStats {
   int lc_qos_met = 0;
   int lc_abandoned = 0;
   int be_completed = 0;
+  int lost_requeued = 0;  // requests lost to a fault and re-queued
+  int dropped = 0;        // requests dropped (re-route budget exhausted)
 };
 
 /// End-of-run summary (the paper's three headline metrics).
@@ -90,6 +108,9 @@ struct RunSummary {
   int lc_abandoned = 0;
   int be_total = 0;
   int be_completed = 0;
+  int lc_dropped = 0;
+  int be_dropped = 0;
+  std::int64_t fault_requeues = 0;  // lost-and-requeued transitions
   double qos_satisfaction = 0.0;  // φ  = met / arrived LC
   double be_throughput = 0.0;     // φ' = completed BE
   double mean_util = 0.0;
@@ -112,6 +133,39 @@ class EdgeCloudSystem {
 
   /// Advance virtual time.
   void Run(SimTime until);
+
+  // ---- Fault injection (driven by fault::FaultPlane) ---------------------
+  // All calls are idempotent; each takes effect at the current virtual time.
+
+  /// Kill a worker. Running and queued requests are lost; the owning master
+  /// re-queues them after `fault_detect_delay`.
+  void CrashWorker(NodeId id);
+  /// Bring a crashed worker back, empty; schedulers see it at once and the
+  /// BE dispatcher restarts evicted BE work on it (§4.1 restart semantics).
+  void RecoverWorker(NodeId id);
+  /// Gracefully drain a worker: stop admitting, re-route its queue now.
+  void DrainWorker(NodeId id);
+  void UndrainWorker(NodeId id);
+  /// Install / clear a link fault between two clusters (order-insensitive).
+  void SetLinkFault(ClusterId a, ClusterId b, LinkFault fault);
+  void ClearLinkFault(ClusterId a, ClusterId b);
+  /// Kill / recover a cluster master. A dead master's LC queue fails over
+  /// to the nearest live master; if the acting BE central dies, a new
+  /// central is elected (original central reclaims the role on recovery).
+  void FailMaster(ClusterId cluster);
+  void RecoverMaster(ClusterId cluster);
+
+  bool WorkerAlive(NodeId id) const;
+  bool MasterAlive(ClusterId cluster) const {
+    return cluster.valid() &&
+           master_alive_[static_cast<std::size_t>(cluster.value)];
+  }
+  int workers_alive() const;
+  int masters_alive() const;
+  ClusterId acting_central() const { return acting_central_; }
+  LinkFault LinkStateOf(ClusterId a, ClusterId b) const;
+  std::int64_t fault_requeues() const { return fault_requeues_; }
+  std::int64_t fault_drops() const { return fault_drops_; }
 
   // ---- Introspection -----------------------------------------------------
   sim::Simulator& simulator() { return sim_; }
@@ -163,8 +217,32 @@ class EdgeCloudSystem {
   void OnBeReturn(NodeId from, const workload::Request& request);
   void SyncState(SimTime now);
   void SampleMetrics(SimTime now);
-  /// Transfer delay via the topology plus the egress regulator.
+  /// Transfer delay via the topology plus the egress regulator (link-fault
+  /// latency multipliers included).
   SimDuration Transfer(ClusterId from, ClusterId to, Bytes size, bool is_lc);
+  /// Ship a request towards a worker, honoring link cuts (returns false:
+  /// caller keeps it queued) and lossy links (lost in flight, detected and
+  /// re-queued after a timeout).
+  bool SendToWorker(ClusterId from, NodeId target,
+                    const workload::Request& request, bool is_lc);
+  /// Delivery-time hand-off: re-queues instead if the target died en route.
+  void DeliverToWorker(NodeId target, const workload::Request& request);
+  /// Forward a BE request from its origin eAP to the acting central master,
+  /// retrying while the path or the master is down.
+  void ForwardBeToCentral(const workload::Request& request);
+  void ReturnBeToCentral(ClusterId from, const workload::Request& original,
+                         int bounces);
+  void ReturnLcResult(NodeId node, const workload::Request& original);
+  /// Put a fault-lost request back into the right scheduling queue (or drop
+  /// it once its re-route budget is spent).
+  void RequeueLost(RequestId id);
+  void HandleLost(std::vector<workload::Request> lost, SimDuration delay);
+  void DropRequest(RequestRecord& rec);
+  /// The master that serves `cluster`'s LC arrivals: itself when alive,
+  /// else the nearest reachable live master (invalid id if none).
+  ClusterId DelegateMaster(ClusterId cluster) const;
+  /// The cluster that should host the central BE dispatcher right now.
+  ClusterId ElectCentral() const;
   RequestRecord& Record(RequestId id);
   PeriodStats& CurrentPeriod();
 
@@ -182,9 +260,16 @@ class EdgeCloudSystem {
   const AllocationPolicy* default_policy_;
   std::unique_ptr<NativeAllocationPolicy> native_policy_;
 
-  std::deque<PendingRequest> be_queue_;  // at the central master
+  std::deque<PendingRequest> be_queue_;  // at the acting central master
   bool be_dispatch_pending_ = false;
   metrics::StateStorage be_storage_;
+
+  // Fault-plane state.
+  std::vector<bool> master_alive_;
+  ClusterId acting_central_;
+  std::map<std::pair<std::int32_t, std::int32_t>, LinkFault> link_faults_;
+  std::int64_t fault_requeues_ = 0;
+  std::int64_t fault_drops_ = 0;
 
   net::EgressRegulator egress_;
   metrics::QosDetector qos_detector_;

@@ -9,6 +9,13 @@ void StateStorage::Update(const NodeSnapshot& snap) {
   }
 }
 
+void StateStorage::MarkClusterReachability(ClusterId cluster,
+                                           bool reachable) {
+  for (auto& [id, snap] : nodes_) {
+    if (snap.cluster == cluster) snap.reachable = reachable;
+  }
+}
+
 const NodeSnapshot* StateStorage::Find(NodeId node) const {
   auto it = nodes_.find(node);
   return it == nodes_.end() ? nullptr : &it->second;

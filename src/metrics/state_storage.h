@@ -41,6 +41,14 @@ struct NodeSnapshot {
   int running_lc = 0;
   int running_be = 0;
   int queued = 0;
+  /// Liveness as seen by the monitoring stack: a crashed node's last
+  /// snapshot is kept but flagged dead; a node behind a cut link is flagged
+  /// unreachable by the viewing master's failure detector. Schedulers must
+  /// not route to nodes that fail `Usable()`.
+  bool alive = true;
+  bool reachable = true;
+  bool draining = false;
+  bool Usable() const { return alive && reachable && !draining; }
   /// Most recent slack score reported by the QoS detector (min over
   /// services; +1 when idle).
   double slack_score = 1.0;
@@ -60,6 +68,11 @@ class StateStorage {
 
   /// Snapshots restricted to one cluster.
   std::vector<NodeSnapshot> ForCluster(ClusterId cluster) const;
+
+  /// Flip the reachability flag on every stored snapshot of one cluster —
+  /// the viewing master's failure detector marking a partition (snapshots
+  /// are preserved so the view heals instantly when the link does).
+  void MarkClusterReachability(ClusterId cluster, bool reachable);
 
   /// Record the measured RTT from this master's cluster to another cluster.
   void UpdateRtt(ClusterId to, SimDuration rtt) { rtt_[to] = rtt; }

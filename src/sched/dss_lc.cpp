@@ -87,7 +87,25 @@ std::vector<Assignment> DssLcScheduler::Schedule(
   std::map<ServiceId, std::vector<const PendingRequest*>> by_type;
   for (const auto& p : queue) by_type[p.request.service].push_back(&p);
 
-  const auto snapshots = storage.All();
+  // Workers the fault plane took out (crashed, draining, or behind a cut
+  // link) are excluded up front — dispatching to them would strand the
+  // request until the failure detector re-queues it.
+  k8s::LcRoundStats round;
+  round.at = now;
+  std::vector<metrics::NodeSnapshot> snapshots;
+  for (const auto& s : storage.All()) {
+    if (s.is_master) continue;
+    round.considered += 1;
+    if (!s.alive || s.draining) {
+      round.excluded_dead += 1;
+      continue;
+    }
+    if (!s.reachable) {
+      round.excluded_unreachable += 1;
+      continue;
+    }
+    snapshots.push_back(s);
+  }
   for (auto& [svc_id, requests] : by_type) {
     const auto& svc = catalog_->Get(svc_id);
     // Build the worker capacity view (Eq. 2 / Eq. 7).
@@ -212,6 +230,16 @@ std::vector<Assignment> DssLcScheduler::Schedule(
       }
     }
   }
+
+  round.assigned = static_cast<int>(out.size());
+  round.left_queued = static_cast<int>(queue.size()) - round.assigned;
+  last_round_ = round;
+  total_round_.at = now;
+  total_round_.considered += round.considered;
+  total_round_.excluded_dead += round.excluded_dead;
+  total_round_.excluded_unreachable += round.excluded_unreachable;
+  total_round_.assigned += round.assigned;
+  total_round_.left_queued += round.left_queued;
 
   const auto t1 = std::chrono::steady_clock::now();
   decision_seconds_ +=

@@ -45,6 +45,10 @@ class DssLcScheduler : public k8s::LcScheduler {
   std::string name() const override { return "DSS-LC"; }
   double decision_seconds() const override { return decision_seconds_; }
   std::int64_t decisions() const override { return decisions_; }
+  k8s::LcRoundStats last_round_stats() const override { return last_round_; }
+  k8s::LcRoundStats total_round_stats() const override {
+    return total_round_;
+  }
 
   /// λ of the most recent overload split (0 when no split happened) —
   /// exposed for tests of Eq. 8.
@@ -73,6 +77,8 @@ class DssLcScheduler : public k8s::LcScheduler {
   std::int64_t decisions_ = 0;
   double last_lambda_ = 0.0;
   std::int64_t overflow_routed_ = 0;
+  k8s::LcRoundStats last_round_;
+  k8s::LcRoundStats total_round_;
   /// CPU/memory the dispatcher has committed per node since the last
   /// state-storage refresh (decays with the sync period): without it, every
   /// dispatch round between refreshes re-routes onto the same stale

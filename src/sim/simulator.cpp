@@ -69,18 +69,28 @@ std::function<void()> SchedulePeriodic(Simulator& sim, SimTime start,
                                        SimDuration period,
                                        std::function<void(SimTime)> tick) {
   TANGO_CHECK(period > 0, "periodic tick needs a positive period");
+  // The queued callback owns the state; the state never refers back to the
+  // callback, so there is no shared_ptr cycle and everything is reclaimed
+  // once the last queued firing runs (or the queue is destroyed).
   struct State {
+    Simulator* sim;
+    SimDuration period;
     bool stopped = false;
+    std::function<void(SimTime)> tick;
+  };
+  struct Fire {
+    std::shared_ptr<State> s;
+    void operator()() const {
+      if (s->stopped) return;
+      s->tick(s->sim->Now());
+      if (!s->stopped) s->sim->ScheduleAfter(s->period, Fire{s});
+    }
   };
   auto state = std::make_shared<State>();
-  auto fire = std::make_shared<std::function<void()>>();
-  auto tick_fn = std::make_shared<std::function<void(SimTime)>>(std::move(tick));
-  *fire = [&sim, period, state, fire, tick_fn]() {
-    if (state->stopped) return;
-    (*tick_fn)(sim.Now());
-    if (!state->stopped) sim.ScheduleAfter(period, *fire);
-  };
-  sim.ScheduleAt(start, *fire);
+  state->sim = &sim;
+  state->period = period;
+  state->tick = std::move(tick);
+  sim.ScheduleAt(start, Fire{state});
   return [state]() { state->stopped = true; };
 }
 

@@ -1,0 +1,293 @@
+// FaultPlane subsystem tests: deterministic injection, no silently-lost
+// requests, recovery back to QoS, and scheduler reaction to faults.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/harness.h"
+#include "fault/fault_plane.h"
+#include "fault/fault_script.h"
+
+namespace tango {
+namespace {
+
+workload::Trace MakeTrace(const workload::ServiceCatalog& catalog,
+                          int num_clusters, SimDuration duration,
+                          double lc_rps, double be_rps,
+                          std::uint64_t seed) {
+  workload::TraceConfig tc;
+  tc.catalog = &catalog;
+  tc.num_clusters = num_clusters;
+  tc.duration = duration;
+  tc.lc_rps = lc_rps;
+  tc.be_rps = be_rps;
+  tc.seed = seed;
+  return workload::GeneratePattern(workload::Pattern::kP1, tc);
+}
+
+k8s::SystemConfig MakeSystem(int clusters, std::uint64_t seed) {
+  k8s::SystemConfig sys;
+  sys.clusters = eval::PhysicalClusters(clusters);
+  sys.region_km = 400.0;
+  sys.seed = seed;
+  return sys;
+}
+
+struct RunOutput {
+  std::vector<k8s::Outcome> outcomes;
+  std::vector<SimDuration> latencies;
+  std::vector<fault::TimelineEntry> timeline;
+  k8s::RunSummary summary;
+  ClusterId acting_central_at_end;
+};
+
+RunOutput RunWithFaults(const fault::FaultScript& script, SimDuration horizon,
+                        framework::FrameworkKind kind =
+                            framework::FrameworkKind::kTango) {
+  const auto catalog = workload::ServiceCatalog::Standard();
+  const workload::Trace trace =
+      MakeTrace(catalog, 3, horizon - 20 * kSecond, 50.0, 10.0, 11);
+  k8s::EdgeCloudSystem system(MakeSystem(3, 5), &catalog);
+  framework::Assembly a = framework::InstallFramework(system, kind);
+  fault::FaultPlane plane(&system, script);
+  system.SubmitTrace(trace);
+  system.Run(horizon);
+  RunOutput out;
+  for (const auto& rec : system.records()) {
+    out.outcomes.push_back(rec.outcome);
+    out.latencies.push_back(rec.latency);
+  }
+  out.timeline = plane.timeline();
+  out.summary = system.Summary();
+  out.acting_central_at_end = system.acting_central();
+  return out;
+}
+
+TEST(FaultScriptTest, ChaosGenerationIsSeedDeterministic) {
+  fault::ChaosProfile profile;
+  profile.seed = 42;
+  profile.end = 30 * kSecond;
+  profile.crashes_per_min = 6.0;
+  profile.link_faults_per_min = 4.0;
+  profile.master_fails_per_min = 1.0;
+  std::vector<NodeId> workers;
+  for (int i = 1; i <= 12; ++i) workers.push_back(NodeId{i});
+
+  const auto a = fault::GenerateChaos(profile, workers, 3).events();
+  const auto b = fault::GenerateChaos(profile, workers, 3).events();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty()) << "profile should generate at least one fault";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].cluster_a, b[i].cluster_a);
+    EXPECT_EQ(a[i].cluster_b, b[i].cluster_b);
+  }
+
+  profile.seed = 43;
+  const auto c = fault::GenerateChaos(profile, workers, 3).events();
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].at != c[i].at || a[i].kind != c[i].kind;
+  }
+  EXPECT_TRUE(differs) << "different seeds should give different chaos";
+}
+
+TEST(FaultPlaneTest, SameSeedAndScriptGiveIdenticalRuns) {
+  fault::ChaosProfile profile;
+  profile.seed = 7;
+  profile.start = 2 * kSecond;
+  profile.end = 20 * kSecond;
+  profile.crashes_per_min = 8.0;
+  profile.link_faults_per_min = 4.0;
+  std::vector<NodeId> workers;
+  for (int c = 0; c < 3; ++c) {
+    for (int w = 1; w <= 4; ++w) workers.push_back(NodeId{c * 5 + w});
+  }
+  const fault::FaultScript script =
+      fault::GenerateChaos(profile, workers, 3);
+  ASSERT_FALSE(script.empty());
+
+  const RunOutput a = RunWithFaults(script, 50 * kSecond);
+  const RunOutput b = RunWithFaults(script, 50 * kSecond);
+
+  // Identical availability timeline...
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].at, b.timeline[i].at);
+    EXPECT_EQ(a.timeline[i].kind, b.timeline[i].kind);
+    EXPECT_EQ(a.timeline[i].target, b.timeline[i].target);
+    EXPECT_EQ(a.timeline[i].workers_alive, b.timeline[i].workers_alive);
+    EXPECT_EQ(a.timeline[i].active_faults, b.timeline[i].active_faults);
+  }
+  // ...and identical per-request outcomes, down to the microsecond.
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.latencies, b.latencies);
+}
+
+TEST(FaultPlaneTest, CrashRecoveryMeetsQosAndLosesNothing) {
+  const SimTime horizon = 60 * kSecond;
+  // Take out two workers of cluster 0 mid-run, then bring them back.
+  fault::FaultScript script;
+  script.CrashNodeFor(5 * kSecond, 6 * kSecond, NodeId{1});
+  script.CrashNodeFor(7 * kSecond, 5 * kSecond, NodeId{2});
+
+  const auto catalog = workload::ServiceCatalog::Standard();
+  const workload::Trace trace =
+      MakeTrace(catalog, 3, 30 * kSecond, 60.0, 10.0, 3);
+  k8s::EdgeCloudSystem system(MakeSystem(3, 9), &catalog);
+  framework::Assembly a = framework::InstallFramework(
+      system, framework::FrameworkKind::kTango);
+  fault::FaultPlane plane(&system, script);
+  system.SubmitTrace(trace);
+  system.Run(horizon);
+
+  // Zero silently-lost requests: every record reached a terminal state.
+  for (const auto& rec : system.records()) {
+    if (!rec.request.id.valid()) continue;
+    EXPECT_NE(rec.outcome, k8s::Outcome::kPending)
+        << "request " << rec.request.id.value << " silently lost";
+  }
+
+  // The plane saw both crashes and both recoveries, then went fault-free.
+  EXPECT_EQ(plane.events_injected(), 4);
+  EXPECT_EQ(plane.active_faults(), 0);
+  const SimTime recovered = plane.LastRecoveryTime();
+  ASSERT_GE(recovered, 0);
+
+  // Post-recovery p95 back under the loosest LC QoS target γ.
+  const eval::ResilienceReport rep =
+      eval::ComputeResilience(system, plane, horizon);
+  double max_gamma_ms = 0.0;
+  for (ServiceId svc : catalog.LcServices()) {
+    max_gamma_ms = std::max(
+        max_gamma_ms, ToMilliseconds(catalog.Get(svc).qos_target));
+  }
+  EXPECT_GT(rep.post_recovery_p95_ms, 0.0);
+  EXPECT_LE(rep.post_recovery_p95_ms, max_gamma_ms);
+  EXPECT_EQ(rep.pending_at_end, 0);
+  // Lost work was re-queued, and the budget was never exhausted here.
+  EXPECT_GT(rep.requeued, 0);
+  EXPECT_EQ(rep.dropped, 0);
+  EXPECT_EQ(rep.fault_events, 4);
+  EXPECT_GT(rep.faulted_time, 0);
+}
+
+TEST(FaultPlaneTest, DrainedWorkerReceivesNoNewWork) {
+  const NodeId drained{3};
+  const SimTime drain_at = 4 * kSecond;
+  const SimTime undrain_at = 14 * kSecond;
+  fault::FaultScript script;
+  script.DrainNode(drain_at, drained).UndrainNode(undrain_at, drained);
+
+  const auto catalog = workload::ServiceCatalog::Standard();
+  const workload::Trace trace =
+      MakeTrace(catalog, 3, 20 * kSecond, 80.0, 15.0, 21);
+  k8s::EdgeCloudSystem system(MakeSystem(3, 13), &catalog);
+  framework::Assembly a = framework::InstallFramework(
+      system, framework::FrameworkKind::kTango);
+  fault::FaultPlane plane(&system, script);
+  system.SubmitTrace(trace);
+  system.Run(40 * kSecond);
+
+  // Nothing may be dispatched *to* the drained node inside the window
+  // (allow the state-sync staleness the paper models: one sync period).
+  const SimTime visible = drain_at + 100 * kMillisecond;
+  for (const auto& rec : system.records()) {
+    if (!rec.request.id.valid() || rec.dispatched < 0) continue;
+    if (rec.target == drained && rec.dispatched >= visible &&
+        rec.dispatched < undrain_at) {
+      ADD_FAILURE() << "request " << rec.request.id.value
+                    << " dispatched to drained node at " << rec.dispatched;
+    }
+  }
+  // The node is used again after undrain (it is a quarter of cluster 0).
+  bool used_after = false;
+  for (const auto& rec : system.records()) {
+    if (rec.target == drained && rec.dispatched >= undrain_at) {
+      used_after = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(used_after);
+}
+
+TEST(FaultPlaneTest, PartitionHealsAndWorkIsRequeuedNotLost) {
+  // Cut cluster 1 off from the other two for a while.
+  fault::FaultScript script;
+  script.PartitionFor(5 * kSecond, 6 * kSecond, ClusterId{0}, ClusterId{1});
+  script.PartitionFor(5 * kSecond, 6 * kSecond, ClusterId{1}, ClusterId{2});
+
+  const RunOutput out = RunWithFaults(script, 70 * kSecond);
+  for (const auto& o : out.outcomes) {
+    EXPECT_NE(o, k8s::Outcome::kPending);
+  }
+  EXPECT_GT(out.summary.lc_completed, 0);
+  EXPECT_GT(out.summary.be_completed, 0);
+  // Requests were lost to the cut and detected, not silently dropped.
+  EXPECT_EQ(out.summary.lc_dropped + out.summary.be_dropped, 0);
+}
+
+TEST(FaultPlaneTest, MasterFailoverElectsNewCentralAndRecovers) {
+  const auto catalog = workload::ServiceCatalog::Standard();
+  const workload::Trace trace =
+      MakeTrace(catalog, 3, 25 * kSecond, 40.0, 15.0, 31);
+  k8s::EdgeCloudSystem system(MakeSystem(3, 17), &catalog);
+  const ClusterId central = system.central_cluster();
+  fault::FaultScript script;
+  script.FailMasterFor(6 * kSecond, 8 * kSecond, central);
+
+  framework::Assembly a = framework::InstallFramework(
+      system, framework::FrameworkKind::kTango);
+  fault::FaultPlane plane(&system, script);
+
+  // Probe the elected central mid-failure: must differ from the original.
+  ClusterId elected_during{};
+  system.simulator().ScheduleAt(10 * kSecond, [&]() {
+    elected_during = system.acting_central();
+  });
+  system.SubmitTrace(trace);
+  system.Run(60 * kSecond);
+
+  EXPECT_TRUE(elected_during.valid());
+  EXPECT_NE(elected_during, central) << "no failover happened";
+  // The original central reclaims its role on recovery.
+  EXPECT_EQ(system.acting_central(), central);
+  EXPECT_TRUE(system.MasterAlive(central));
+
+  // BE work kept flowing through the replacement central: nothing lost.
+  const k8s::RunSummary s = system.Summary();
+  EXPECT_GT(s.be_completed, 0);
+  for (const auto& rec : system.records()) {
+    if (!rec.request.id.valid()) continue;
+    EXPECT_NE(rec.outcome, k8s::Outcome::kPending);
+  }
+}
+
+TEST(FaultPlaneTest, DssLcRoundStatsSeeExclusions) {
+  fault::FaultScript script;
+  script.CrashNodeFor(3 * kSecond, 10 * kSecond, NodeId{1});
+  script.CrashNodeFor(3 * kSecond, 10 * kSecond, NodeId{2});
+
+  const auto catalog = workload::ServiceCatalog::Standard();
+  const workload::Trace trace =
+      MakeTrace(catalog, 3, 18 * kSecond, 60.0, 10.0, 41);
+  k8s::EdgeCloudSystem system(MakeSystem(3, 23), &catalog);
+  framework::Assembly a = framework::InstallFramework(
+      system, framework::FrameworkKind::kTango);
+  fault::FaultPlane plane(&system, script);
+  system.SubmitTrace(trace);
+  system.Run(40 * kSecond);
+
+  ASSERT_NE(a.lc_scheduler(), nullptr);
+  const k8s::LcRoundStats total = a.lc_scheduler()->total_round_stats();
+  EXPECT_GT(total.considered, 0);
+  EXPECT_GT(total.excluded_dead, 0)
+      << "scheduler never saw the crashed workers as dead";
+  EXPECT_GT(total.assigned, 0);
+}
+
+}  // namespace
+}  // namespace tango

@@ -149,6 +149,99 @@ TEST(Simulator, PeriodicTickStoppedFromInsideCallback) {
   EXPECT_EQ(count, 3);
 }
 
+TEST(Simulator, CancelManyInterleavedCompactsTombstones) {
+  // Cancel every other event out of a large batch: the lazy tombstone list
+  // must skip exactly the cancelled ones and consume each tombstone on pop.
+  Simulator sim;
+  std::vector<int> ran;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(sim.ScheduleAt(i, [&ran, i] { ran.push_back(i); }));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) sim.Cancel(handles[i]);
+  sim.RunAll();
+  ASSERT_EQ(ran.size(), 100u);
+  for (std::size_t i = 0; i < ran.size(); ++i) {
+    EXPECT_EQ(ran[i], static_cast<int>(2 * i + 1));
+  }
+  EXPECT_EQ(sim.executed_events(), 100u);
+}
+
+TEST(Simulator, DoubleCancelConsumesOnlyOneTombstone) {
+  // Cancelling the same handle twice must not leave a stale tombstone that
+  // could swallow an unrelated future event.
+  Simulator sim;
+  bool cancelled_ran = false, later_ran = false;
+  const EventHandle h = sim.ScheduleAt(10, [&] { cancelled_ran = true; });
+  sim.Cancel(h);
+  sim.Cancel(h);
+  sim.ScheduleAt(20, [&] { later_ran = true; });
+  sim.RunAll();
+  EXPECT_FALSE(cancelled_ran);
+  EXPECT_TRUE(later_ran);
+}
+
+TEST(Simulator, CancelAfterFireDoesNotAffectLaterEvents) {
+  // A tombstone for an already-fired handle must never match a live event,
+  // even after the list is re-sorted by subsequent cancels.
+  Simulator sim;
+  int fired = 0;
+  const EventHandle early = sim.ScheduleAt(1, [&] { ++fired; });
+  sim.RunAll();
+  sim.Cancel(early);  // stale: the event already fired
+  const EventHandle doomed = sim.ScheduleAt(5, [&] { ++fired; });
+  sim.ScheduleAt(6, [&] { ++fired; });
+  sim.Cancel(doomed);  // forces a re-sort with the stale tombstone present
+  sim.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelFromCallbackAtSameTimestamp) {
+  // An event may cancel a simultaneous event that is still queued behind it.
+  Simulator sim;
+  bool victim_ran = false;
+  EventHandle victim = kInvalidEvent;
+  sim.ScheduleAt(10, [&] { sim.Cancel(victim); });
+  victim = sim.ScheduleAt(10, [&] { victim_ran = true; });
+  sim.RunAll();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Simulator, PeriodicStopBeforeFirstTick) {
+  Simulator sim;
+  int count = 0;
+  auto stop = SchedulePeriodic(sim, 100, 50, [&](SimTime) { ++count; });
+  stop();  // stopped while the first tick is still pending
+  sim.RunUntil(1000);
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Simulator, PeriodicStopIsIdempotent) {
+  Simulator sim;
+  int count = 0;
+  auto stop = SchedulePeriodic(sim, 10, 10, [&](SimTime) { ++count; });
+  sim.RunUntil(35);
+  stop();
+  stop();  // second call must be a harmless no-op
+  sim.RunUntil(1000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, TwoPeriodicsStopIndependently) {
+  Simulator sim;
+  int a = 0, b = 0;
+  auto stop_a = SchedulePeriodic(sim, 10, 10, [&](SimTime) { ++a; });
+  auto stop_b = SchedulePeriodic(sim, 10, 10, [&](SimTime) { ++b; });
+  sim.RunUntil(30);
+  stop_a();
+  sim.RunUntil(60);
+  stop_b();
+  sim.RunUntil(1000);
+  EXPECT_EQ(a, 3);
+  EXPECT_EQ(b, 6);
+}
+
 TEST(Simulator, PendingEventCountTracksQueue) {
   Simulator sim;
   EXPECT_EQ(sim.pending_events(), 0u);

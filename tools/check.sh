@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Build and test the project twice: a plain RelWithDebInfo configure, then an
+# ASan+UBSan configure (-DTANGO_SANITIZE=ON). Both must pass for check.sh to
+# exit 0. Run from anywhere; all paths are relative to the repo root.
+#
+#   $ tools/check.sh            # both configs
+#   $ tools/check.sh plain      # only the plain config
+#   $ tools/check.sh sanitize   # only the sanitized config
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+what="${1:-all}"
+case "$what" in
+  all|plain|sanitize) ;;
+  *)
+    echo "usage: tools/check.sh [all|plain|sanitize]" >&2
+    exit 2
+    ;;
+esac
+
+run_config() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "== [$name] configure =="
+  cmake -S "$repo_root" -B "$build_dir" "$@" >/dev/null
+  echo "== [$name] build =="
+  cmake --build "$build_dir" -j "$jobs"
+  echo "== [$name] ctest =="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+if [[ "$what" == "all" || "$what" == "plain" ]]; then
+  run_config plain "$repo_root/build"
+fi
+
+if [[ "$what" == "all" || "$what" == "sanitize" ]]; then
+  # halt_on_error keeps a UBSan report from being a silent warning.
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+  run_config sanitize "$repo_root/build-asan" -DTANGO_SANITIZE=ON
+fi
+
+echo "== all checks passed =="

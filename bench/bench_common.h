@@ -66,6 +66,34 @@ inline eval::ExperimentResult RunPair(
       Catalog());
 }
 
+/// Run the same framework pair over several system seeds as independent
+/// repetitions, concurrently on a thread pool (num_threads: 1 = serial,
+/// 0 = hardware concurrency). Results come back in seed order.
+inline std::vector<eval::ExperimentResult> RunPairSeeds(
+    const workload::Trace& trace, int clusters, framework::LcAlgo lc,
+    framework::BeAlgo be, bool with_hrm, SimDuration duration,
+    const std::vector<std::uint64_t>& seeds, int num_threads = 0,
+    const framework::FrameworkOptions& opts = {}) {
+  std::vector<eval::ExperimentJob> jobs;
+  jobs.reserve(seeds.size());
+  for (const auto seed : seeds) {
+    eval::ExperimentJob job;
+    job.cfg.system.clusters = eval::PhysicalClusters(clusters);
+    job.cfg.system.region_km = 450.0;
+    job.cfg.system.seed = seed;
+    job.cfg.trace = trace;
+    job.cfg.duration = duration;
+    job.cfg.label = std::string(framework::LcAlgoName(lc)) + "+" +
+                    framework::BeAlgoName(be) + (with_hrm ? "+HRM" : "") +
+                    " seed=" + std::to_string(seed);
+    job.install = [lc, be, with_hrm, opts](k8s::EdgeCloudSystem& s) {
+      return framework::InstallPair(s, lc, be, with_hrm, opts);
+    };
+    jobs.push_back(std::move(job));
+  }
+  return eval::RunExperiments(jobs, Catalog(), num_threads);
+}
+
 /// Print a "paper vs measured" check line.
 inline void PaperCheck(const char* what, const char* paper,
                        const std::string& measured, bool holds) {

@@ -12,15 +12,26 @@
 
 namespace tango {
 
+/// Nearest-rank percentile computed in place (q in [0,1]): a single
+/// nth_element partial select, O(n), reordering `values`. Returns 0 for an
+/// empty sample. This is the allocation-free hot-path primitive — the QoS
+/// detector calls it per node × per service × per 100 ms window.
+template <class T>
+T PercentileInPlace(std::vector<T>& values, double q) {
+  if (values.empty()) return T{};
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(q * (values.size() - 1) + 0.5);
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(rank),
+                   values.end());
+  return values[rank];
+}
+
 /// Percentile of a sample set (nearest-rank on a copy; q in [0,1]).
 /// Returns 0 for an empty sample.
 template <class T>
 T Percentile(std::vector<T> values, double q) {
-  if (values.empty()) return T{};
-  q = std::clamp(q, 0.0, 1.0);
-  const auto rank = static_cast<std::size_t>(q * (values.size() - 1) + 0.5);
-  std::nth_element(values.begin(), values.begin() + rank, values.end());
-  return values[rank];
+  return PercentileInPlace(values, q);
 }
 
 /// Mean of a sample set; 0 for empty input.
@@ -54,10 +65,12 @@ class WindowedSamples {
   bool empty() const { return samples_.empty(); }
 
   double Percentile(double q) const {
-    std::vector<double> v;
-    v.reserve(samples_.size());
-    for (const auto& s : samples_) v.push_back(s.value);
-    return tango::Percentile(std::move(v), q);
+    // The scratch buffer persists across queries, so the per-window
+    // percentile (QoS detector hot path) stops allocating once it has
+    // grown to the window's high-water mark.
+    scratch_.clear();
+    for (const auto& s : samples_) scratch_.push_back(s.value);
+    return PercentileInPlace(scratch_, q);
   }
 
   double Mean() const {
@@ -74,6 +87,7 @@ class WindowedSamples {
   };
   SimDuration window_;
   std::deque<Sample> samples_;
+  mutable std::vector<double> scratch_;  // reused by Percentile()
 };
 
 /// Running mean/min/max without storing samples.

@@ -1,0 +1,125 @@
+#include "common/thread_pool.h"
+
+#include <exception>
+
+namespace tango {
+
+/// One ParallelFor invocation. Workers claim item indices under `mu`; the
+/// caller waits on `done_cv` until every claimed item has finished and no
+/// claimable item remains.
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t, int)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t next = 0;    // next unclaimed item
+  int in_flight = 0;       // items currently executing
+  bool abandon = false;    // a task threw: stop claiming new items
+  std::exception_ptr error;
+
+  void Run(int worker) {
+    std::unique_lock<std::mutex> lk(mu);
+    while (!abandon && next < n) {
+      const std::size_t item = next++;
+      ++in_flight;
+      lk.unlock();
+      try {
+        (*fn)(item, worker);
+      } catch (...) {
+        lk.lock();
+        if (!error) error = std::current_exception();
+        abandon = true;
+        --in_flight;
+        continue;
+      }
+      lk.lock();
+      --in_flight;
+    }
+    if (in_flight == 0) done_cv.notify_all();
+  }
+
+  void AwaitDone() {
+    std::unique_lock<std::mutex> lk(mu);
+    done_cv.wait(lk,
+                 [this] { return in_flight == 0 && (abandon || next >= n); });
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+    num_threads = hw > 1 ? hw - 1 : 1;  // the caller is the extra worker
+  }
+  threads_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+void ThreadPool::WorkerLoop(int worker_id) {
+  // Generation counting (not pointer comparison) distinguishes successive
+  // batches: a fresh stack Batch can reuse the previous one's address.
+  std::uint64_t seen_gen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(
+        lk, [&] { return stop_ || (batch_ != nullptr && gen_ != seen_gen); });
+    if (batch_ == nullptr || gen_ == seen_gen) return;  // stopped, no new work
+    Batch* b = batch_;
+    seen_gen = gen_;
+    ++attached_;  // keeps the caller from retiring b while we hold it
+    lk.unlock();
+    b->Run(worker_id);
+    lk.lock();
+    if (--attached_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t, int)>& fn) {
+  if (n == 0) return;
+  Batch b;
+  b.n = n;
+  b.fn = &fn;
+  bool pooled;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    pooled = !stop_ && !threads_.empty() && n > 1;
+    if (pooled) {
+      batch_ = &b;
+      ++gen_;
+    }
+  }
+  if (!pooled) {
+    // Degraded path (shut down, zero threads, or a single item): the
+    // calling thread does everything as worker slot size().
+    for (std::size_t i = 0; i < n; ++i) fn(i, size());
+    return;
+  }
+  work_cv_.notify_all();
+  b.Run(size());  // the caller is worker slot size()
+  b.AwaitDone();
+  {
+    // A worker may have grabbed &b but not yet entered Run; b must outlive
+    // it. AwaitDone already guarantees no items remain, so this is brief.
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this] { return attached_ == 0; });
+    batch_ = nullptr;
+  }
+  if (b.error) std::rethrow_exception(b.error);
+}
+
+}  // namespace tango

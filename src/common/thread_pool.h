@@ -1,0 +1,70 @@
+// A small fixed-size thread pool with deterministic join semantics.
+//
+// The scheduler and the evaluation harness only need structured fan-out:
+// run N independent tasks, wait for all of them, surface the first
+// exception. ParallelFor provides exactly that — it blocks until every
+// task has finished (or been abandoned after an exception elsewhere), so
+// callers never observe a partially-completed batch. Each task receives a
+// stable worker index in [0, size()] which callers use to index per-worker
+// scratch state (e.g. the DSS-LC solver pool); index size() is the calling
+// thread, which always participates in the work.
+//
+// Determinism note: the pool never introduces nondeterminism by itself —
+// which worker runs which task varies, but tasks must depend only on their
+// item index (per-item RNG streams, per-worker interchangeable scratch).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tango {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers; 0 picks the hardware concurrency minus
+  /// one (the calling thread is always the extra worker), at least 1.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of pool threads (the calling thread adds one more worker slot).
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Worker slots a ParallelFor can use, including the calling thread.
+  int concurrency() const { return size() + 1; }
+
+  /// Run fn(item, worker) for every item in [0, n). Blocks until all items
+  /// are done. `worker` ∈ [0, size()] identifies the executing slot (size()
+  /// = the calling thread). If any task throws, the first exception is
+  /// rethrown here after every in-flight task has finished; remaining
+  /// unstarted items are abandoned. After Shutdown() the loop degrades to
+  /// serial in-caller execution (worker = size()).
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t, int)>& fn);
+
+  /// Join all pool threads. Idempotent; implied by the destructor. A pool
+  /// that is shut down still accepts ParallelFor (runs serially).
+  void Shutdown();
+
+ private:
+  struct Batch;
+  void WorkerLoop(int worker_id);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  int attached_ = 0;         // workers holding the current batch pointer
+  Batch* batch_ = nullptr;   // guarded by mu_
+  std::uint64_t gen_ = 0;    // bumped per batch; guarded by mu_
+  bool stop_ = false;        // guarded by mu_
+};
+
+}  // namespace tango

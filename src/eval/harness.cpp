@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace tango::eval {
 
@@ -66,6 +67,22 @@ ExperimentResult RunExperiment(const ExperimentConfig& cfg,
     r.timeline = plane->timeline();
   }
   return r;
+}
+
+std::vector<ExperimentResult> RunExperiments(
+    const std::vector<ExperimentJob>& jobs,
+    const workload::ServiceCatalog& catalog, int num_threads) {
+  std::vector<ExperimentResult> results(jobs.size());
+  const auto run_one = [&](std::size_t i, int /*worker*/) {
+    results[i] = RunExperiment(jobs[i].cfg, jobs[i].install, catalog);
+  };
+  if (num_threads == 1 || jobs.size() <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i, 0);
+    return results;
+  }
+  ThreadPool pool(num_threads == 0 ? 0 : num_threads - 1);
+  pool.ParallelFor(jobs.size(), run_one);
+  return results;
 }
 
 ResilienceReport ComputeResilience(const k8s::EdgeCloudSystem& system,

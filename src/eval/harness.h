@@ -74,6 +74,21 @@ ExperimentResult RunExperiment(const ExperimentConfig& cfg,
                                const InstallFn& install,
                                const workload::ServiceCatalog& catalog);
 
+/// One experiment of a concurrent batch: a config plus its installer.
+struct ExperimentJob {
+  ExperimentConfig cfg;
+  InstallFn install;
+};
+
+/// Run independent experiments (each builds its own EdgeCloudSystem) on a
+/// fixed-size thread pool and return the results in job order, regardless
+/// of completion order. `num_threads`: 1 = serial, 0 = hardware
+/// concurrency, N = N worker slots. Give each job its own seed — the jobs
+/// share nothing but the (immutable) catalog.
+std::vector<ExperimentResult> RunExperiments(
+    const std::vector<ExperimentJob>& jobs,
+    const workload::ServiceCatalog& catalog, int num_threads = 0);
+
 // ---- Plain-text reporting -------------------------------------------------
 
 /// Print an aligned table: `rows[i][j]` under `headers[j]`.

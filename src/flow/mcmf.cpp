@@ -1,19 +1,48 @@
 #include "flow/mcmf.h"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 
 #include "common/logging.h"
 
 namespace tango::flow {
 
-MinCostMaxFlow::MinCostMaxFlow(int num_nodes)
-    : first_out_(static_cast<std::size_t>(num_nodes), -1),
-      potential_(static_cast<std::size_t>(num_nodes), 0),
-      dist_(static_cast<std::size_t>(num_nodes), kInfCost),
-      prev_arc_(static_cast<std::size_t>(num_nodes), -1),
-      visited_(static_cast<std::size_t>(num_nodes), false) {
+MinCostMaxFlow::MinCostMaxFlow(int num_nodes) { Reset(num_nodes); }
+
+void MinCostMaxFlow::Reset(int num_nodes) {
   TANGO_CHECK(num_nodes > 0, "graph needs at least one node");
+  const auto n = static_cast<std::size_t>(num_nodes);
+  arcs_.clear();
+  initial_cap_.clear();
+  AssignCounted(first_out_, n, -1);
+  AssignCounted(potential_, n, CostUnit{0});
+  AssignCounted(dist_, n, kInfCost);
+  AssignCounted(prev_arc_, n, -1);
+  AssignCounted(visited_, n, char{0});
+  AssignCounted(in_queue_, n, char{0});
+  // SPFA ring buffer: a node is enqueued at most once at a time, so
+  // num_nodes + 1 slots always suffice.
+  AssignCounted(spfa_queue_, n + 1, 0);
+}
+
+void MinCostMaxFlow::ReserveArcs(std::size_t num_arcs) {
+  if (2 * num_arcs > arcs_.capacity()) {
+    ++alloc_events_;
+    arcs_.reserve(2 * num_arcs);
+  }
+  if (num_arcs > initial_cap_.capacity()) {
+    ++alloc_events_;
+    initial_cap_.reserve(num_arcs);
+  }
+  // Dijkstra pushes at most once per successful relaxation, so the heap
+  // never outgrows the residual arc count (+1 for the source seed).
+  // Reserving here makes the capacity deterministic: without it the heap
+  // grows with solve history, which differs run-to-run in parallel mode.
+  const std::size_t heap_bound = 2 * num_arcs + 1;
+  if (heap_bound > heap_.capacity()) {
+    ++alloc_events_;
+    heap_.reserve(heap_bound);
+  }
 }
 
 int MinCostMaxFlow::AddArc(int from, int to, FlowUnit capacity,
@@ -22,6 +51,8 @@ int MinCostMaxFlow::AddArc(int from, int to, FlowUnit capacity,
               "arc endpoints out of range: %d -> %d", from, to);
   TANGO_CHECK(capacity >= 0, "negative capacity");
   const int id = static_cast<int>(arcs_.size());
+  if (arcs_.size() + 2 > arcs_.capacity()) ++alloc_events_;
+  if (initial_cap_.size() + 1 > initial_cap_.capacity()) ++alloc_events_;
   arcs_.push_back({to, first_out_[static_cast<std::size_t>(from)], capacity,
                    cost});
   first_out_[static_cast<std::size_t>(from)] = id;
@@ -50,15 +81,18 @@ void MinCostMaxFlow::ResetFlow() {
 
 bool MinCostMaxFlow::BellmanFord(int source) {
   std::fill(dist_.begin(), dist_.end(), kInfCost);
+  std::fill(in_queue_.begin(), in_queue_.end(), char{0});
   dist_[static_cast<std::size_t>(source)] = 0;
-  // SPFA queue-based relaxation.
-  std::deque<int> queue{source};
-  std::vector<bool> in_queue(static_cast<std::size_t>(num_nodes()), false);
-  in_queue[static_cast<std::size_t>(source)] = true;
-  while (!queue.empty()) {
-    const int u = queue.front();
-    queue.pop_front();
-    in_queue[static_cast<std::size_t>(u)] = false;
+  // SPFA queue-based relaxation over the preallocated ring buffer.
+  const std::size_t ring = spfa_queue_.size();
+  std::size_t head = 0, tail = 0;
+  spfa_queue_[tail] = source;
+  tail = (tail + 1) % ring;
+  in_queue_[static_cast<std::size_t>(source)] = 1;
+  while (head != tail) {
+    const int u = spfa_queue_[head];
+    head = (head + 1) % ring;
+    in_queue_[static_cast<std::size_t>(u)] = 0;
     for (int a = first_out_[static_cast<std::size_t>(u)]; a != -1;
          a = arcs_[static_cast<std::size_t>(a)].next) {
       const Arc& arc = arcs_[static_cast<std::size_t>(a)];
@@ -66,9 +100,10 @@ bool MinCostMaxFlow::BellmanFord(int source) {
       const CostUnit nd = dist_[static_cast<std::size_t>(u)] + arc.cost;
       if (nd < dist_[static_cast<std::size_t>(arc.to)]) {
         dist_[static_cast<std::size_t>(arc.to)] = nd;
-        if (!in_queue[static_cast<std::size_t>(arc.to)]) {
-          queue.push_back(arc.to);
-          in_queue[static_cast<std::size_t>(arc.to)] = true;
+        if (!in_queue_[static_cast<std::size_t>(arc.to)]) {
+          spfa_queue_[tail] = arc.to;
+          tail = (tail + 1) % ring;
+          in_queue_[static_cast<std::size_t>(arc.to)] = 1;
         }
       }
     }
@@ -85,16 +120,23 @@ bool MinCostMaxFlow::BellmanFord(int source) {
 bool MinCostMaxFlow::DijkstraReduced(int source, int sink) {
   std::fill(dist_.begin(), dist_.end(), kInfCost);
   std::fill(prev_arc_.begin(), prev_arc_.end(), -1);
-  std::fill(visited_.begin(), visited_.end(), false);
-  using Entry = std::pair<CostUnit, int>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  std::fill(visited_.begin(), visited_.end(), char{0});
+  // Min-heap over the persistent scratch vector (no per-call allocation
+  // once it has grown to the solve's working-set size).
+  heap_.clear();
+  const auto heap_push = [this](CostUnit d, int v) {
+    if (heap_.size() + 1 > heap_.capacity()) ++alloc_events_;
+    heap_.emplace_back(d, v);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  };
   dist_[static_cast<std::size_t>(source)] = 0;
-  pq.push({0, source});
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
+  heap_push(0, source);
+  while (!heap_.empty()) {
+    const auto [d, u] = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
     if (visited_[static_cast<std::size_t>(u)]) continue;
-    visited_[static_cast<std::size_t>(u)] = true;
+    visited_[static_cast<std::size_t>(u)] = 1;
     for (int a = first_out_[static_cast<std::size_t>(u)]; a != -1;
          a = arcs_[static_cast<std::size_t>(a)].next) {
       const Arc& arc = arcs_[static_cast<std::size_t>(a)];
@@ -108,7 +150,7 @@ bool MinCostMaxFlow::DijkstraReduced(int source, int sink) {
       if (nd < dist_[static_cast<std::size_t>(arc.to)]) {
         dist_[static_cast<std::size_t>(arc.to)] = nd;
         prev_arc_[static_cast<std::size_t>(arc.to)] = a;
-        pq.push({nd, arc.to});
+        heap_push(nd, arc.to);
       }
     }
   }
@@ -125,6 +167,7 @@ bool MinCostMaxFlow::DijkstraReduced(int source, int sink) {
 MinCostMaxFlow::Result MinCostMaxFlow::Solve(int source, int sink,
                                              FlowUnit amount) {
   TANGO_CHECK(source != sink, "source == sink");
+  TANGO_CHECK(num_nodes() > 0, "Reset(num_nodes) before Solve");
   Result result;
   // Admit negative costs once, then switch to Dijkstra on reduced costs.
   BellmanFord(source);

@@ -6,10 +6,18 @@
 // runs Dijkstra on reduced costs. For the integer MCNF instances DSS-LC
 // builds (unit "request" commodities, delay costs), this returns the same
 // optimum OR-Tools' SimpleMinCostFlow would.
+//
+// Solvers are reusable: Reset(num_nodes) clears the graph while keeping every
+// internal vector's heap storage, so a solver that is Reset and refilled with
+// a same-shaped graph performs zero allocations. DSS-LC keeps one solver per
+// worker thread and reuses it every dispatch round; alloc_events() exposes
+// how often any internal buffer actually had to grow, which the perf bench
+// uses to prove steady-state rounds allocate nothing.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 namespace tango::flow {
@@ -21,8 +29,20 @@ constexpr CostUnit kInfCost = std::numeric_limits<CostUnit>::max() / 4;
 
 class MinCostMaxFlow {
  public:
+  /// An empty solver; call Reset(num_nodes) before adding arcs.
+  MinCostMaxFlow() = default;
+
   /// Create a solver over `num_nodes` graph nodes (0-based indices).
   explicit MinCostMaxFlow(int num_nodes);
+
+  /// Drop all arcs and resize to `num_nodes` nodes, retaining the heap
+  /// storage of every internal vector so subsequent AddArc/Solve calls on a
+  /// graph no larger than any previously-seen one allocate nothing.
+  void Reset(int num_nodes);
+
+  /// Pre-size arc storage for `num_arcs` forward arcs (e.g. the previous
+  /// round's count) so AddArc never has to grow mid-build.
+  void ReserveArcs(std::size_t num_arcs);
 
   /// Add a directed arc; returns an arc id usable with Flow(arc).
   /// Capacity must be >= 0. Cost may be negative.
@@ -52,6 +72,10 @@ class MinCostMaxFlow {
   /// Reset all flow (keeps the graph).
   void ResetFlow();
 
+  /// Times any internal vector's capacity grew (construction included).
+  /// Flat across Reset/AddArc/Solve cycles ⇔ the solver is allocation-free.
+  std::int64_t alloc_events() const { return alloc_events_; }
+
  private:
   struct Arc {
     int to;
@@ -63,13 +87,26 @@ class MinCostMaxFlow {
   bool BellmanFord(int source);
   bool DijkstraReduced(int source, int sink);
 
+  /// assign() that counts a capacity growth as an allocation event.
+  template <class V, class T>
+  void AssignCounted(V& v, std::size_t n, const T& value) {
+    if (n > v.capacity()) ++alloc_events_;
+    v.assign(n, value);
+  }
+
   std::vector<Arc> arcs_;         // arc 2i is forward, 2i+1 its reverse
   std::vector<FlowUnit> initial_cap_;  // per forward arc id
   std::vector<int> first_out_;
   std::vector<CostUnit> potential_;
   std::vector<CostUnit> dist_;
   std::vector<int> prev_arc_;
-  std::vector<bool> visited_;
+  std::vector<char> visited_;
+  // Per-solve scratch kept across calls so Solve allocates nothing once the
+  // buffers have grown to the working-set size.
+  std::vector<int> spfa_queue_;
+  std::vector<char> in_queue_;
+  std::vector<std::pair<CostUnit, int>> heap_;
+  std::int64_t alloc_events_ = 0;
 };
 
 }  // namespace tango::flow

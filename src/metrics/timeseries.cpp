@@ -14,15 +14,17 @@ double Series::At(SimTime t) const {
 }
 
 double Series::MeanOver(SimTime from, SimTime to) const {
-  double sum = 0.0;
-  std::size_t n = 0;
-  for (const auto& s : samples_) {
-    if (s.time > from && s.time <= to) {
-      sum += s.value;
-      ++n;
-    }
-  }
-  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  // (from, to] ⇒ [first time > from, first time > to).
+  const auto after = [](SimTime lhs, const Sample& s) { return lhs < s.time; };
+  const auto lo =
+      std::upper_bound(samples_.begin(), samples_.end(), from, after);
+  const auto hi = std::upper_bound(lo, samples_.end(), to, after);
+  if (lo == hi) return 0.0;
+  const auto lo_i = static_cast<std::size_t>(lo - samples_.begin());
+  const auto hi_i = static_cast<std::size_t>(hi - samples_.begin());
+  const double sum =
+      prefix_[hi_i - 1] - (lo_i == 0 ? 0.0 : prefix_[lo_i - 1]);
+  return sum / static_cast<double>(hi_i - lo_i);
 }
 
 std::vector<std::string> TimeSeriesStore::Names() const {

@@ -20,7 +20,12 @@ struct Sample {
 
 class Series {
  public:
-  void Append(SimTime t, double v) { samples_.push_back({t, v}); }
+  /// Append a sample. Times must be non-decreasing (simulation time is
+  /// monotone); At() and MeanOver() binary-search on that order.
+  void Append(SimTime t, double v) {
+    samples_.push_back({t, v});
+    prefix_.push_back((prefix_.empty() ? 0.0 : prefix_.back()) + v);
+  }
   const std::vector<Sample>& samples() const { return samples_; }
   bool empty() const { return samples_.empty(); }
 
@@ -28,11 +33,13 @@ class Series {
   double At(SimTime t) const;
   double Latest() const { return samples_.empty() ? 0.0 : samples_.back().value; }
 
-  /// Mean of samples in (from, to].
+  /// Mean of samples in (from, to]. O(log n): window bounds by binary
+  /// search, window sum from the running prefix sums.
   double MeanOver(SimTime from, SimTime to) const;
 
  private:
   std::vector<Sample> samples_;
+  std::vector<double> prefix_;  // prefix_[i] = Σ samples_[0..i].value
 };
 
 class TimeSeriesStore {

@@ -3,15 +3,30 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <map>
 
 #include "common/logging.h"
-#include "flow/mcmf.h"
 
 namespace tango::sched {
 
 using k8s::Assignment;
 using k8s::PendingRequest;
+
+namespace {
+
+/// Commitments decayed below this are dropped from the per-node maps so
+/// they stay bounded by the active node set, not every node ever seen.
+constexpr double kCommitEpsilon = 1e-6;
+
+/// Independent per-(type, round) RNG stream: the Rng constructor splitmixes
+/// the seed, so a distinct linear combination per stream is sufficient.
+std::uint64_t TypeStreamSeed(std::uint64_t seed, ServiceId svc,
+                             std::uint64_t round) {
+  return seed + 0x9E3779B97F4A7C15ULL *
+                    (static_cast<std::uint64_t>(svc.value) + 1) +
+         0x94D049BB133111EBULL * (round + 1);
+}
+
+}  // namespace
 
 const char* SplitPolicyName(SplitPolicy p) {
   switch (p) {
@@ -27,16 +42,26 @@ const char* SplitPolicyName(SplitPolicy p) {
 
 DssLcScheduler::DssLcScheduler(const workload::ServiceCatalog* catalog,
                                DssLcConfig cfg)
-    : catalog_(catalog), cfg_(cfg), rng_(cfg.seed) {
+    : catalog_(catalog), cfg_(cfg) {
   TANGO_CHECK(catalog_ != nullptr, "catalog required");
+  if (cfg_.num_threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        cfg_.num_threads == 0 ? 0 : cfg_.num_threads - 1);
+  }
+  solvers_.resize(static_cast<std::size_t>(concurrency()));
+  for (auto& s : solvers_) s = std::make_unique<flow::MinCostMaxFlow>();
 }
 
 std::vector<std::int64_t> DssLcScheduler::Route(
-    const std::vector<WorkerCap>& workers, std::int64_t amount,
-    bool use_total, double lambda) {
+    flow::MinCostMaxFlow& mcmf, const std::vector<WorkerCap>& workers,
+    std::int64_t amount, bool use_total, double lambda) {
   // Node layout: 0 = source, 1 = master, 2..n+1 = workers, n+2 = sink.
   const int n = static_cast<int>(workers.size());
-  flow::MinCostMaxFlow mcmf(n + 3);
+  mcmf.Reset(n + 3);
+  // Exact arc bound: source→master plus two arcs per eligible worker. The
+  // reserve keeps AddArc from growing storage mid-build; once the solver
+  // has seen its largest round, later rounds reuse that capacity.
+  mcmf.ReserveArcs(static_cast<std::size_t>(2 * n + 1));
   const int source = 0, master = 1, sink = n + 2;
   mcmf.AddArc(source, master, amount, 0);
   std::vector<int> worker_arcs(static_cast<std::size_t>(n), -1);
@@ -56,6 +81,7 @@ std::vector<std::int64_t> DssLcScheduler::Route(
     mcmf.AddArc(2 + i, sink, cap, 0);
   }
   mcmf.Solve(source, sink, amount);
+  solves_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::int64_t> out(static_cast<std::size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
     if (worker_arcs[static_cast<std::size_t>(i)] >= 0) {
@@ -66,6 +92,152 @@ std::vector<std::int64_t> DssLcScheduler::Route(
   return out;
 }
 
+DssLcScheduler::TypeOutcome DssLcScheduler::ScheduleType(
+    ServiceId svc_id, const std::vector<const PendingRequest*>& requests,
+    const std::vector<metrics::NodeSnapshot>& snapshots,
+    const metrics::StateStorage& storage, SimTime now, std::uint64_t round,
+    int worker_slot) {
+  (void)now;
+  TypeOutcome outcome;
+  const auto& svc = catalog_->Get(svc_id);
+  flow::MinCostMaxFlow& solver =
+      *solvers_[static_cast<std::size_t>(worker_slot)];
+
+  // Build the worker capacity view (Eq. 2 / Eq. 7) against the round-start
+  // state: commitments made by sibling types this round are intentionally
+  // invisible (the determinism contract — see the header).
+  std::vector<WorkerCap> workers;
+  workers.reserve(snapshots.size());
+  std::int64_t total_capacity = 0;
+  for (const auto& s : snapshots) {
+    // Eq. 2 over the §4.1-regulated LC view (idle + BE-preemptible),
+    // minus what this dispatcher already committed since the last sync.
+    Millicores cpu_for_lc = s.CpuForLc();
+    auto committed = committed_cpu_.find(s.node);
+    if (committed != committed_cpu_.end()) {
+      cpu_for_lc -= static_cast<Millicores>(committed->second);
+    }
+    MiB mem_for_lc = s.MemForLc();
+    auto committed_mem = committed_mem_.find(s.node);
+    if (committed_mem != committed_mem_.end()) {
+      mem_for_lc -= static_cast<MiB>(committed_mem->second);
+    }
+    const std::int64_t cap = std::min(
+        std::max<Millicores>(0, cpu_for_lc) /
+            std::max<Millicores>(1, svc.cpu_demand),
+        std::max<MiB>(0, mem_for_lc) / std::max<MiB>(1, svc.mem_demand));
+    const std::int64_t total_cap = std::min(
+        s.cpu_total / std::max<Millicores>(1, svc.cpu_demand),
+        s.mem_total / std::max<MiB>(1, svc.mem_demand));
+    const SimDuration rtt = storage.Rtt(s.cluster).value_or(kMillisecond);
+    // Edge cost = transmission delay + estimated queueing delay (queued
+    // work observed at the node, plus our own not-yet-visible
+    // commitments) — the "routing and queuing delays" the paper's
+    // objective integrates. Without the queue term the overflow graph
+    // keeps feeding saturated nodes proportional to their total size.
+    const double queued_estimate =
+        static_cast<double>(s.queued) +
+        (committed != committed_cpu_.end()
+             ? committed->second / static_cast<double>(svc.cpu_demand)
+             : 0.0);
+    const auto queue_cost =
+        static_cast<std::int64_t>(queued_estimate *
+                                  static_cast<double>(svc.base_proc));
+    workers.push_back({s.node, std::max<std::int64_t>(0, cap),
+                       std::max<std::int64_t>(0, total_cap),
+                       rtt / 2 + queue_cost});
+    total_capacity += std::max<std::int64_t>(0, cap);
+  }
+  if (workers.empty()) return outcome;
+
+  const auto pending = static_cast<std::int64_t>(requests.size());
+
+  // Order requests by the split policy ρ(·) on this type's own RNG stream.
+  std::vector<const PendingRequest*> ordered = requests;
+  switch (cfg_.split_policy) {
+    case SplitPolicy::kRandom: {
+      Rng rng(TypeStreamSeed(cfg_.seed, svc_id, round));
+      for (std::size_t i = ordered.size(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(i) - 1));
+        std::swap(ordered[i - 1], ordered[j]);
+      }
+      break;
+    }
+    case SplitPolicy::kFifo:
+      std::stable_sort(ordered.begin(), ordered.end(),
+                       [](const PendingRequest* a, const PendingRequest* b) {
+                         return a->request.arrival < b->request.arrival;
+                       });
+      break;
+    case SplitPolicy::kDeadline: {
+      const SimDuration target = svc.qos_target;
+      std::stable_sort(ordered.begin(), ordered.end(),
+                       [target](const PendingRequest* a,
+                                const PendingRequest* b) {
+                         return a->request.arrival + target <
+                                b->request.arrival + target;
+                       });
+      break;
+    }
+  }
+
+  // Per-worker commitment totals, turned into NodeCommits after assigning.
+  std::vector<std::int64_t> assigned_per_worker(workers.size(), 0);
+  auto assign_counts = [&](const std::vector<std::int64_t>& counts,
+                           std::size_t first_request,
+                           std::size_t n_requests) {
+    std::size_t cursor = first_request;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      for (std::int64_t c = 0; c < counts[i]; ++c) {
+        if (cursor >= first_request + n_requests) return;
+        outcome.assignments.push_back(
+            {ordered[cursor]->request.id, workers[i].node});
+        assigned_per_worker[i] += 1;
+        ++cursor;
+      }
+    }
+  };
+
+  if (pending <= total_capacity) {
+    // Case 1: capacity suffices — one graph G_k.
+    const auto counts =
+        Route(solver, workers, pending, /*use_total=*/false, 0.0);
+    assign_counts(counts, 0, static_cast<std::size_t>(pending));
+  } else {
+    // Case 2: overload — split into R_k (immediate) and R'_k (queued).
+    const std::int64_t immediate = total_capacity;
+    const std::int64_t overflow = pending - immediate;
+    if (immediate > 0) {
+      const auto counts =
+          Route(solver, workers, immediate, /*use_total=*/false, 0.0);
+      assign_counts(counts, 0, static_cast<std::size_t>(immediate));
+    }
+    // λ scales total-resource capacities so Ĝ'_k fits exactly R'_k (Eq. 8).
+    std::int64_t total_res_capacity = 0;
+    for (const auto& w : workers) total_res_capacity += w.total_capacity;
+    if (total_res_capacity > 0 && overflow > 0) {
+      outcome.lambda = static_cast<double>(overflow) /
+                       static_cast<double>(total_res_capacity);
+      outcome.overloaded = true;
+      const auto counts =
+          Route(solver, workers, overflow, /*use_total=*/true, outcome.lambda);
+      assign_counts(counts, static_cast<std::size_t>(immediate),
+                    static_cast<std::size_t>(overflow));
+      for (const auto c : counts) outcome.overflow += c;
+    }
+  }
+
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    if (assigned_per_worker[i] == 0) continue;
+    const double n = static_cast<double>(assigned_per_worker[i]);
+    outcome.commits.push_back(
+        {workers[i].node, n * static_cast<double>(svc.cpu_demand),
+         n * static_cast<double>(svc.mem_demand)});
+  }
+  return outcome;
+}
+
 std::vector<Assignment> DssLcScheduler::Schedule(
     ClusterId /*cluster*/, const std::vector<PendingRequest>& queue,
     const metrics::StateStorage& storage, SimTime now) {
@@ -73,17 +245,24 @@ std::vector<Assignment> DssLcScheduler::Schedule(
   std::vector<Assignment> out;
 
   // Decay local commitments (half-life 125 ms ≈ typical service time), so
-  // they only bridge the staleness window of the state storage.
+  // they only bridge the staleness window of the state storage; entries
+  // decayed to ~zero are erased to keep the maps bounded.
   if (now > last_decay_) {
     const double factor =
         std::pow(0.5, static_cast<double>(now - last_decay_) /
                           static_cast<double>(125 * kMillisecond));
-    for (auto& [node, cpu] : committed_cpu_) cpu *= factor;
-    for (auto& [node, mem] : committed_mem_) mem *= factor;
+    for (auto* m : {&committed_cpu_, &committed_mem_}) {
+      for (auto it = m->begin(); it != m->end();) {
+        it->second *= factor;
+        it = it->second < kCommitEpsilon ? m->erase(it) : std::next(it);
+      }
+    }
     last_decay_ = now;
   }
 
   // Group queued requests by type k ∈ K (Alg. 2 handles each in parallel).
+  // std::map iteration gives the ascending service-id order the merge
+  // below relies on.
   std::map<ServiceId, std::vector<const PendingRequest*>> by_type;
   for (const auto& p : queue) by_type[p.request.service].push_back(&p);
 
@@ -106,129 +285,50 @@ std::vector<Assignment> DssLcScheduler::Schedule(
     }
     snapshots.push_back(s);
   }
-  for (auto& [svc_id, requests] : by_type) {
-    const auto& svc = catalog_->Get(svc_id);
-    // Build the worker capacity view (Eq. 2 / Eq. 7).
-    std::vector<WorkerCap> workers;
-    std::int64_t total_capacity = 0;
-    for (const auto& s : snapshots) {
-      if (s.is_master) continue;
-      // Eq. 2 over the §4.1-regulated LC view (idle + BE-preemptible),
-      // minus what this dispatcher already committed since the last sync.
-      Millicores cpu_for_lc = s.CpuForLc();
-      auto committed = committed_cpu_.find(s.node);
-      if (committed != committed_cpu_.end()) {
-        cpu_for_lc -= static_cast<Millicores>(committed->second);
-      }
-      MiB mem_for_lc = s.MemForLc();
-      auto committed_mem = committed_mem_.find(s.node);
-      if (committed_mem != committed_mem_.end()) {
-        mem_for_lc -= static_cast<MiB>(committed_mem->second);
-      }
-      const std::int64_t cap = std::min(
-          std::max<Millicores>(0, cpu_for_lc) /
-              std::max<Millicores>(1, svc.cpu_demand),
-          std::max<MiB>(0, mem_for_lc) / std::max<MiB>(1, svc.mem_demand));
-      const std::int64_t total_cap = std::min(
-          s.cpu_total / std::max<Millicores>(1, svc.cpu_demand),
-          s.mem_total / std::max<MiB>(1, svc.mem_demand));
-      const SimDuration rtt = storage.Rtt(s.cluster).value_or(kMillisecond);
-      // Edge cost = transmission delay + estimated queueing delay (queued
-      // work observed at the node, plus our own not-yet-visible
-      // commitments) — the "routing and queuing delays" the paper's
-      // objective integrates. Without the queue term the overflow graph
-      // keeps feeding saturated nodes proportional to their total size.
-      const double queued_estimate =
-          static_cast<double>(s.queued) +
-          (committed != committed_cpu_.end()
-               ? committed->second / static_cast<double>(svc.cpu_demand)
-               : 0.0);
-      const auto queue_cost =
-          static_cast<std::int64_t>(queued_estimate *
-                                    static_cast<double>(svc.base_proc));
-      workers.push_back({s.node, std::max<std::int64_t>(0, cap),
-                         std::max<std::int64_t>(0, total_cap),
-                         rtt / 2 + queue_cost});
-      total_capacity += std::max<std::int64_t>(0, cap);
+
+  // Fan the independent per-type graphs G_k out over the solver slots; the
+  // serial path is the same code with worker slot 0. Every solver is warmed
+  // to this round's worst-case graph size up front: which slot claims which
+  // type is timing-dependent, so without this a slot that sat out the first
+  // few rounds would grow its vectors (allocate) mid-steady-state.
+  const int max_nodes = static_cast<int>(snapshots.size()) + 3;
+  const auto max_arcs =
+      static_cast<std::size_t>(2 * snapshots.size() + 1);
+  for (const auto& solver : solvers_) {
+    solver->Reset(max_nodes);
+    solver->ReserveArcs(max_arcs);
+  }
+  const auto round_index = static_cast<std::uint64_t>(decisions_);
+  std::vector<ServiceId> svc_order;
+  std::vector<const std::vector<const PendingRequest*>*> svc_requests;
+  svc_order.reserve(by_type.size());
+  svc_requests.reserve(by_type.size());
+  for (const auto& [svc_id, requests] : by_type) {
+    svc_order.push_back(svc_id);
+    svc_requests.push_back(&requests);
+  }
+  std::vector<TypeOutcome> outcomes(svc_order.size());
+  const auto run_type = [&](std::size_t i, int worker_slot) {
+    outcomes[i] = ScheduleType(svc_order[i], *svc_requests[i], snapshots,
+                               storage, now, round_index, worker_slot);
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(svc_order.size(), run_type);
+  } else {
+    for (std::size_t i = 0; i < svc_order.size(); ++i) run_type(i, 0);
+  }
+
+  // Merge in ascending service-id order: assignment order, commitment
+  // application, λ, and overflow accounting all match serial execution.
+  for (const auto& outcome : outcomes) {
+    out.insert(out.end(), outcome.assignments.begin(),
+               outcome.assignments.end());
+    for (const auto& c : outcome.commits) {
+      committed_cpu_[c.node] += c.cpu;
+      committed_mem_[c.node] += c.mem;
     }
-    if (workers.empty()) continue;
-
-    const auto pending = static_cast<std::int64_t>(requests.size());
-
-    // Order requests by the split policy ρ(·).
-    std::vector<const PendingRequest*> ordered = requests;
-    switch (cfg_.split_policy) {
-      case SplitPolicy::kRandom:
-        for (std::size_t i = ordered.size(); i > 1; --i) {
-          const auto j = static_cast<std::size_t>(
-              rng_.UniformInt(0, static_cast<std::int64_t>(i) - 1));
-          std::swap(ordered[i - 1], ordered[j]);
-        }
-        break;
-      case SplitPolicy::kFifo:
-        std::stable_sort(ordered.begin(), ordered.end(),
-                         [](const PendingRequest* a, const PendingRequest* b) {
-                           return a->request.arrival < b->request.arrival;
-                         });
-        break;
-      case SplitPolicy::kDeadline: {
-        const SimDuration target = svc.qos_target;
-        std::stable_sort(ordered.begin(), ordered.end(),
-                         [target, now](const PendingRequest* a,
-                                       const PendingRequest* b) {
-                           const SimTime da = a->request.arrival + target;
-                           const SimTime db = b->request.arrival + target;
-                           (void)now;
-                           return da < db;
-                         });
-        break;
-      }
-    }
-
-    auto assign_counts = [&](const std::vector<std::int64_t>& counts,
-                             std::size_t first_request,
-                             std::size_t n_requests) {
-      std::size_t cursor = first_request;
-      for (std::size_t i = 0; i < workers.size(); ++i) {
-        for (std::int64_t c = 0; c < counts[i]; ++c) {
-          if (cursor >= first_request + n_requests) return;
-          out.push_back({ordered[cursor]->request.id, workers[i].node});
-          committed_cpu_[workers[i].node] +=
-              static_cast<double>(svc.cpu_demand);
-          committed_mem_[workers[i].node] +=
-              static_cast<double>(svc.mem_demand);
-          ++cursor;
-        }
-      }
-    };
-
-    if (pending <= total_capacity) {
-      // Case 1: capacity suffices — one graph G_k.
-      const auto counts = Route(workers, pending, /*use_total=*/false, 0.0);
-      assign_counts(counts, 0, static_cast<std::size_t>(pending));
-    } else {
-      // Case 2: overload — split into R_k (immediate) and R'_k (queued).
-      const std::int64_t immediate = total_capacity;
-      const std::int64_t overflow = pending - immediate;
-      if (immediate > 0) {
-        const auto counts =
-            Route(workers, immediate, /*use_total=*/false, 0.0);
-        assign_counts(counts, 0, static_cast<std::size_t>(immediate));
-      }
-      // λ scales total-resource capacities so Ĝ'_k fits exactly R'_k (Eq. 8).
-      std::int64_t total_res_capacity = 0;
-      for (const auto& w : workers) total_res_capacity += w.total_capacity;
-      if (total_res_capacity > 0 && overflow > 0) {
-        const double lambda = static_cast<double>(overflow) /
-                              static_cast<double>(total_res_capacity);
-        last_lambda_ = lambda;
-        const auto counts =
-            Route(workers, overflow, /*use_total=*/true, lambda);
-        assign_counts(counts, static_cast<std::size_t>(immediate),
-                      static_cast<std::size_t>(overflow));
-        for (const auto c : counts) overflow_routed_ += c;
-      }
-    }
+    if (outcome.overloaded) last_lambda_ = outcome.lambda;
+    overflow_routed_ += outcome.overflow;
   }
 
   round.assigned = static_cast<int>(out.size());
@@ -246,6 +346,14 @@ std::vector<Assignment> DssLcScheduler::Schedule(
       std::chrono::duration<double>(t1 - t0).count();
   ++decisions_;
   return out;
+}
+
+DssLcScheduler::SolverPoolStats DssLcScheduler::solver_pool_stats() const {
+  SolverPoolStats stats;
+  stats.solvers = static_cast<int>(solvers_.size());
+  stats.solves = solves_.load(std::memory_order_relaxed);
+  for (const auto& s : solvers_) stats.alloc_events += s->alloc_events();
+  return stats;
 }
 
 }  // namespace tango::sched

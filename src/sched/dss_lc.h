@@ -10,12 +10,29 @@
 // a queued set R'_k scheduled on Ĝ'_k, whose capacities come from *total*
 // node resources scaled by the augmentation factor λ (Eqs. 7–8) so the
 // backlog spreads proportionally to heterogeneous node sizes.
+//
+// Parallel scheduling core: Alg. 2 treats the per-type graphs G_k as
+// independent, so Schedule() fans the types out over a fixed-size thread
+// pool (DssLcConfig::num_threads). Determinism contract:
+//   * every type draws from its own RNG stream derived from (seed, service
+//     id, round index) — never from a shared stream;
+//   * every type sees the identical round-start view (snapshots + the
+//     dispatcher's commitments as of the top of the round);
+//   * results are merged in ascending service-id order.
+// Under a fixed seed the emitted assignments are therefore byte-identical
+// whatever num_threads is — serial mode is just the pool-free special case.
+// Each worker slot owns a reusable MinCostMaxFlow, so steady-state rounds
+// perform zero flow-graph allocations (see solver_pool_stats()).
 #pragma once
 
-#include <functional>
+#include <atomic>
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "flow/mcmf.h"
 #include "k8s/scheduling_api.h"
 
 namespace tango::sched {
@@ -31,6 +48,10 @@ struct DssLcConfig {
   std::int64_t edge_capacity = 4096;
   SplitPolicy split_policy = SplitPolicy::kRandom;
   std::uint64_t seed = 97;
+  /// Concurrency of the per-type G_k fan-out: 1 = serial (no pool),
+  /// 0 = one slot per hardware thread, N > 1 = N slots (N-1 pool threads
+  /// plus the scheduling thread). Assignments are identical for any value.
+  int num_threads = 1;
 };
 
 class DssLcScheduler : public k8s::LcScheduler {
@@ -56,6 +77,27 @@ class DssLcScheduler : public k8s::LcScheduler {
   /// Total requests routed through the overflow graph Ĝ'_k so far.
   std::int64_t overflow_routed() const { return overflow_routed_; }
 
+  /// Solver slots actually used for the G_k fan-out (1 = serial).
+  int concurrency() const {
+    return pool_ != nullptr ? pool_->concurrency() : 1;
+  }
+
+  /// Reuse statistics of the per-worker MinCostMaxFlow pool. A flat
+  /// `alloc_events` across rounds proves steady-state rounds build their
+  /// flow graphs without touching the heap.
+  struct SolverPoolStats {
+    int solvers = 0;                 // solver instances instantiated
+    std::int64_t solves = 0;         // flow instances solved so far
+    std::int64_t alloc_events = 0;   // Σ solver alloc_events()
+  };
+  SolverPoolStats solver_pool_stats() const;
+
+  /// Entries currently held in the per-node commitment maps (bounded by
+  /// the epsilon decay eviction; exposed for tests).
+  std::size_t committed_entries() const {
+    return committed_cpu_.size() + committed_mem_.size();
+  }
+
  private:
   struct WorkerCap {
     NodeId node;
@@ -64,15 +106,47 @@ class DssLcScheduler : public k8s::LcScheduler {
     std::int64_t cost;            // one-way delay µs
   };
 
-  /// Route `amount` requests across workers via min-cost flow; returns
-  /// per-worker counts aligned with `workers`.
-  std::vector<std::int64_t> Route(const std::vector<WorkerCap>& workers,
+  /// Per-node resource commitments one scheduled type adds, merged into
+  /// committed_cpu_/committed_mem_ after the fan-out joins.
+  struct NodeCommit {
+    NodeId node;
+    double cpu;
+    double mem;
+  };
+
+  /// Everything one type's G_k solve produced; merged in service-id order
+  /// so the output is independent of worker interleaving.
+  struct TypeOutcome {
+    std::vector<k8s::Assignment> assignments;
+    std::vector<NodeCommit> commits;
+    double lambda = 0.0;
+    bool overloaded = false;
+    std::int64_t overflow = 0;
+  };
+
+  /// Solve one type's graph(s) against the round-start state view using the
+  /// given worker slot's solver. Pure w.r.t. scheduler state except for the
+  /// slot's solver and the atomic solve counter.
+  TypeOutcome ScheduleType(ServiceId svc,
+                           const std::vector<const k8s::PendingRequest*>& reqs,
+                           const std::vector<metrics::NodeSnapshot>& snapshots,
+                           const metrics::StateStorage& storage, SimTime now,
+                           std::uint64_t round, int worker_slot);
+
+  /// Route `amount` requests across workers via min-cost flow on the slot's
+  /// reusable solver; returns per-worker counts aligned with `workers`.
+  std::vector<std::int64_t> Route(flow::MinCostMaxFlow& mcmf,
+                                  const std::vector<WorkerCap>& workers,
                                   std::int64_t amount, bool use_total,
                                   double lambda);
 
   const workload::ServiceCatalog* catalog_;
   DssLcConfig cfg_;
-  Rng rng_;
+  /// Created when cfg_.num_threads != 1; absent in serial mode.
+  std::unique_ptr<ThreadPool> pool_;
+  /// One reusable solver per worker slot (index = ParallelFor worker id).
+  std::vector<std::unique_ptr<flow::MinCostMaxFlow>> solvers_;
+  std::atomic<std::int64_t> solves_{0};  // Route calls (pool threads write)
   double decision_seconds_ = 0.0;
   std::int64_t decisions_ = 0;
   double last_lambda_ = 0.0;
@@ -82,7 +156,8 @@ class DssLcScheduler : public k8s::LcScheduler {
   /// CPU/memory the dispatcher has committed per node since the last
   /// state-storage refresh (decays with the sync period): without it, every
   /// dispatch round between refreshes re-routes onto the same stale
-  /// capacity.
+  /// capacity. Entries decayed below an epsilon are erased so the maps stay
+  /// bounded by the recently-used node set instead of every node ever seen.
   std::map<NodeId, double> committed_cpu_;
   std::map<NodeId, double> committed_mem_;
   SimTime last_decay_ = 0;

@@ -50,10 +50,11 @@ namespace {
 
 std::unique_ptr<k8s::LcScheduler> MakeLc(LcAlgo algo,
                                          const workload::ServiceCatalog* cat,
-                                         std::uint64_t seed) {
+                                         std::uint64_t seed,
+                                         const sched::DssLcConfig& dss) {
   switch (algo) {
     case LcAlgo::kDssLc: {
-      sched::DssLcConfig cfg;
+      sched::DssLcConfig cfg = dss;
       cfg.seed = seed;
       return std::make_unique<sched::DssLcScheduler>(cat, cfg);
     }
@@ -90,7 +91,7 @@ Assembly InstallPair(k8s::EdgeCloudSystem& system, LcAlgo lc, BeAlgo be,
                      bool with_hrm, const FrameworkOptions& opts) {
   Assembly a;
   const workload::ServiceCatalog* cat = &system.catalog();
-  a.lc_ = MakeLc(lc, cat, opts.seed);
+  a.lc_ = MakeLc(lc, cat, opts.seed, opts.dss);
   a.be_ = MakeBe(be, cat, opts.seed + 1, opts.be);
   system.SetLcScheduler(a.lc_.get());
   system.SetBeScheduler(a.be_.get());

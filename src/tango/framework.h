@@ -40,6 +40,9 @@ struct FrameworkOptions {
   hrm::HrmConfig hrm{};
   hrm::ReassuranceConfig reassurance{};
   bool enable_reassurance = true;
+  /// DSS-LC knobs (edge capacity, split policy, per-type fan-out threads).
+  /// The seed field is overridden by `seed` below.
+  sched::DssLcConfig dss{};
   /// Learned BE scheduler knobs (granularity, reward weight, exploration).
   sched::LearnedBeConfig be{};
   /// Learner seeds (deterministic experiments).

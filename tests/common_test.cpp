@@ -174,6 +174,29 @@ TEST(Stats, WindowedSamplesPercentile) {
   EXPECT_NEAR(w.Mean(), 50.5, 0.01);
 }
 
+TEST(Stats, WindowedSamplesPercentileIsRepeatableAcrossQueries) {
+  // The scratch-buffer reuse must not leak state between queries or after
+  // eviction shrinks the window.
+  WindowedSamples w(100 * kMillisecond);
+  for (int i = 1; i <= 50; ++i) {
+    w.Add(i * kMillisecond, static_cast<double>(i));
+  }
+  const double p95_first = w.Percentile(0.95);
+  EXPECT_DOUBLE_EQ(w.Percentile(0.95), p95_first);
+  EXPECT_DOUBLE_EQ(w.Percentile(0.5), 26.0);  // round(0.5 * 49) = 25 → v[25]
+  w.Evict(120 * kMillisecond);  // drops samples 1..19
+  EXPECT_DOUBLE_EQ(w.Percentile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(w.Percentile(1.0), 50.0);
+}
+
+TEST(Stats, PercentileInPlaceMatchesCopyingVariant) {
+  std::vector<double> v{9, 1, 7, 3, 5};
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    std::vector<double> scratch = v;
+    EXPECT_DOUBLE_EQ(PercentileInPlace(scratch, q), Percentile(v, q)) << q;
+  }
+}
+
 TEST(Stats, RunningStatTracksExtremes) {
   RunningStat s;
   EXPECT_EQ(s.count(), 0u);

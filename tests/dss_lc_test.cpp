@@ -217,5 +217,125 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, SplitPolicyTest,
                            return std::string(SplitPolicyName(info.param));
                          });
 
+// ---- Parallel scheduling core ---------------------------------------------
+
+class ParallelDssFixture : public DssFixture {
+ protected:
+  /// Mixed-type queue: several LC types, staggered arrivals, enough load to
+  /// trigger the overload split on the smaller storages.
+  std::vector<PendingRequest> MixedQueue(int count, SimTime base) {
+    std::vector<PendingRequest> q;
+    for (int i = 0; i < count; ++i) {
+      PendingRequest p;
+      p.request.id = RequestId{i};
+      p.request.service = ServiceId{i % 5};  // five LC types
+      p.request.origin = ClusterId{0};
+      p.request.arrival = base + (i % 7) * kMillisecond;
+      q.push_back(p);
+    }
+    return q;
+  }
+
+  StateStorage MakeStorage(int nodes, std::uint64_t seed) {
+    StateStorage st;
+    Rng rng(seed);
+    for (int i = 0; i < nodes; ++i) {
+      AddWorker(st, i + 1, i % 4, rng.UniformInt(200, 4000),
+                rng.UniformInt(512, 8192),
+                rng.UniformInt(1, 40) * kMillisecond);
+    }
+    return st;
+  }
+
+  static void ExpectSameAssignments(const std::vector<Assignment>& a,
+                                    const std::vector<Assignment>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].request.value, b[i].request.value) << "index " << i;
+      EXPECT_EQ(a[i].target.value, b[i].target.value) << "index " << i;
+    }
+  }
+};
+
+TEST_F(ParallelDssFixture, ParallelIsByteIdenticalToSerial) {
+  // The determinism contract: per-type RNG streams + round-start state view
+  // + sorted merge ⇒ identical output for any thread count, across seeds,
+  // split policies, and multiple rounds (overloaded and not).
+  for (const std::uint64_t seed : {1ull, 97ull, 4242ull}) {
+    for (const auto policy :
+         {SplitPolicy::kRandom, SplitPolicy::kFifo, SplitPolicy::kDeadline}) {
+      DssLcConfig serial_cfg;
+      serial_cfg.seed = seed;
+      serial_cfg.split_policy = policy;
+      serial_cfg.num_threads = 1;
+      DssLcConfig parallel_cfg = serial_cfg;
+      parallel_cfg.num_threads = 4;
+      DssLcScheduler serial(&catalog, serial_cfg);
+      DssLcScheduler parallel(&catalog, parallel_cfg);
+      EXPECT_EQ(serial.concurrency(), 1);
+      EXPECT_EQ(parallel.concurrency(), 4);
+
+      StateStorage st = MakeStorage(12, seed + 1);
+      for (int round = 0; round < 4; ++round) {
+        const SimTime now = round * 100 * kMillisecond;
+        const auto q = MixedQueue(round % 2 == 0 ? 60 : 400, now);
+        const auto a = serial.Schedule(ClusterId{0}, q, st, now);
+        const auto b = parallel.Schedule(ClusterId{0}, q, st, now);
+        ExpectSameAssignments(a, b);
+      }
+      EXPECT_EQ(serial.overflow_routed(), parallel.overflow_routed());
+      EXPECT_DOUBLE_EQ(serial.last_lambda(), parallel.last_lambda());
+    }
+  }
+}
+
+TEST_F(ParallelDssFixture, AutoThreadCountAlsoMatchesSerial) {
+  DssLcConfig serial_cfg;
+  serial_cfg.num_threads = 1;
+  DssLcConfig auto_cfg;
+  auto_cfg.num_threads = 0;  // hardware concurrency
+  DssLcScheduler serial(&catalog, serial_cfg);
+  DssLcScheduler parallel(&catalog, auto_cfg);
+  EXPECT_GE(parallel.concurrency(), 2);
+  StateStorage st = MakeStorage(8, 5);
+  const auto q = MixedQueue(120, 0);
+  ExpectSameAssignments(serial.Schedule(ClusterId{0}, q, st, 0),
+                        parallel.Schedule(ClusterId{0}, q, st, 0));
+}
+
+TEST_F(ParallelDssFixture, SteadyStateRoundsAllocateNoGraphStorage) {
+  DssLcConfig cfg;
+  cfg.num_threads = 4;
+  DssLcScheduler dss(&catalog, cfg);
+  StateStorage st = MakeStorage(16, 11);
+  // Warm-up rounds grow each worker slot's solver to its working set.
+  for (int round = 0; round < 3; ++round) {
+    dss.Schedule(ClusterId{0}, MixedQueue(200, round * 100 * kMillisecond),
+                 st, round * 100 * kMillisecond);
+  }
+  const auto warm = dss.solver_pool_stats();
+  EXPECT_EQ(warm.solvers, 4);
+  EXPECT_GT(warm.solves, 0);
+  for (int round = 3; round < 10; ++round) {
+    dss.Schedule(ClusterId{0}, MixedQueue(200, round * 100 * kMillisecond),
+                 st, round * 100 * kMillisecond);
+  }
+  const auto steady = dss.solver_pool_stats();
+  EXPECT_GT(steady.solves, warm.solves);
+  EXPECT_EQ(steady.alloc_events, warm.alloc_events)
+      << "steady-state rounds must reuse solver storage, not allocate";
+}
+
+TEST_F(ParallelDssFixture, CommittedMapsAreBoundedByDecayEviction) {
+  DssLcScheduler dss(&catalog);
+  StateStorage st = MakeStorage(10, 3);
+  dss.Schedule(ClusterId{0}, MixedQueue(50, 0), st, 0);
+  EXPECT_GT(dss.committed_entries(), 0u);
+  // ~80 half-lives later every commitment is far below the epsilon; the
+  // decay pass must erase the entries, not keep scaling them forever.
+  dss.Schedule(ClusterId{0}, {}, st, 10 * kSecond);
+  EXPECT_EQ(dss.committed_entries(), 0u);
+}
+
 }  // namespace
 }  // namespace tango::sched

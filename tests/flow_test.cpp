@@ -1,7 +1,9 @@
 // Unit + property tests for the min-cost max-flow solver (DSS-LC's engine).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
+#include <vector>
 
 #include "common/rng.h"
 #include "flow/mcmf.h"
@@ -220,6 +222,112 @@ TEST(McmfProperty, FlowConservationOnRandomGraphs) {
     for (const auto& a : arcs) {
       EXPECT_GE(g.Flow(a.id), 0);
     }
+  }
+}
+
+// ---- Solver reuse (Reset / ReserveArcs / alloc_events) --------------------
+
+// Build a small two-path instance parameterized by cost so "graph A" and
+// "graph B" are genuinely different problems.
+struct TwoPath {
+  int cheap, dear;
+  MinCostMaxFlow::Result result;
+};
+TwoPath BuildAndSolve(MinCostMaxFlow& g, CostUnit cheap_cost,
+                      CostUnit dear_cost, FlowUnit amount) {
+  TwoPath t;
+  t.cheap = g.AddArc(0, 1, 3, cheap_cost);
+  g.AddArc(1, 3, 3, 0);
+  t.dear = g.AddArc(0, 2, 3, dear_cost);
+  g.AddArc(2, 3, 3, 0);
+  t.result = g.Solve(0, 3, amount);
+  return t;
+}
+
+TEST(McmfReuse, ResetSolvesSecondGraphIdenticallyToFreshSolver) {
+  MinCostMaxFlow reused(4);
+  BuildAndSolve(reused, 1, 10, 4);  // graph A, discarded
+  reused.Reset(4);
+  const auto via_reuse = BuildAndSolve(reused, 2, 7, 5);  // graph B
+
+  MinCostMaxFlow fresh(4);
+  const auto via_fresh = BuildAndSolve(fresh, 2, 7, 5);
+
+  EXPECT_EQ(via_reuse.result.max_flow, via_fresh.result.max_flow);
+  EXPECT_EQ(via_reuse.result.total_cost, via_fresh.result.total_cost);
+  EXPECT_EQ(via_reuse.result.saturated, via_fresh.result.saturated);
+  EXPECT_EQ(reused.Flow(via_reuse.cheap), fresh.Flow(via_fresh.cheap));
+  EXPECT_EQ(reused.Flow(via_reuse.dear), fresh.Flow(via_fresh.dear));
+}
+
+TEST(McmfReuse, ResetCanShrinkAndGrowTheNodeCount) {
+  MinCostMaxFlow g(8);
+  g.AddArc(0, 7, 2, 1);
+  g.Solve(0, 7);
+  g.Reset(2);  // shrink
+  const int a = g.AddArc(0, 1, 5, 3);
+  EXPECT_EQ(g.Solve(0, 1).max_flow, 5);
+  EXPECT_EQ(g.Flow(a), 5);
+  g.Reset(16);  // grow past the original size
+  g.AddArc(0, 15, 4, 2);
+  EXPECT_EQ(g.Solve(0, 15).max_flow, 4);
+}
+
+TEST(McmfReuse, SteadyStateRebuildsAllocateNothing) {
+  MinCostMaxFlow g(4);
+  // Two warm-up cycles grow every buffer to its working-set size...
+  for (int i = 0; i < 2; ++i) {
+    g.Reset(4);
+    g.ReserveArcs(4);
+    BuildAndSolve(g, 1 + i, 10, 4);
+  }
+  const auto warm = g.alloc_events();
+  // ...after which identical-shaped rebuild/solve cycles are allocation-free.
+  for (int i = 0; i < 20; ++i) {
+    g.Reset(4);
+    g.ReserveArcs(4);
+    BuildAndSolve(g, 1 + i % 5, 10 + i % 3, 4);
+  }
+  EXPECT_EQ(g.alloc_events(), warm);
+}
+
+TEST(McmfReuse, DefaultConstructedSolverWorksAfterReset) {
+  MinCostMaxFlow g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  g.Reset(3);
+  g.AddArc(0, 1, 2, 1);
+  g.AddArc(1, 2, 2, 1);
+  const auto r = g.Solve(0, 2);
+  EXPECT_EQ(r.max_flow, 2);
+  EXPECT_EQ(r.total_cost, 4);
+}
+
+TEST(McmfReuse, RandomGraphsMatchFreshSolverAfterReuse) {
+  // Property check: a solver cycled through random graphs returns the same
+  // optimum a fresh solver does on every instance.
+  Rng rng(1234);
+  MinCostMaxFlow reused(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 4 + static_cast<int>(rng.UniformInt(0, 6));
+    std::vector<std::array<std::int64_t, 4>> arcs;
+    for (int e = 0; e < 3 * n; ++e) {
+      const auto u = rng.UniformInt(0, n - 1);
+      const auto v = rng.UniformInt(0, n - 1);
+      if (u == v) continue;
+      arcs.push_back({u, v, rng.UniformInt(0, 5), rng.UniformInt(0, 9)});
+    }
+    reused.Reset(n);
+    MinCostMaxFlow fresh(n);
+    for (const auto& a : arcs) {
+      reused.AddArc(static_cast<int>(a[0]), static_cast<int>(a[1]), a[2],
+                    a[3]);
+      fresh.AddArc(static_cast<int>(a[0]), static_cast<int>(a[1]), a[2],
+                   a[3]);
+    }
+    const auto r1 = reused.Solve(0, n - 1);
+    const auto r2 = fresh.Solve(0, n - 1);
+    EXPECT_EQ(r1.max_flow, r2.max_flow) << "trial " << trial;
+    EXPECT_EQ(r1.total_cost, r2.total_cost) << "trial " << trial;
   }
 }
 

@@ -44,6 +44,23 @@ TEST(TimeSeries, MeanOverRange) {
   EXPECT_DOUBLE_EQ(tss.Find("g")->MeanOver(5000, 9000), 0.0);
 }
 
+TEST(TimeSeries, MeanOverBinarySearchedBoundaries) {
+  // The prefix-sum path must honor (from, to] exactly, including window
+  // edges that fall between samples and windows covering the whole series.
+  TimeSeriesStore tss;
+  for (int i = 1; i <= 1000; ++i) {
+    tss.Gauge("g", i * 10, static_cast<double>(i));
+  }
+  const auto* s = tss.Find("g");
+  EXPECT_DOUBLE_EQ(s->MeanOver(0, 10000), 500.5);      // everything
+  EXPECT_DOUBLE_EQ(s->MeanOver(10, 20), 2.0);          // exact edges
+  EXPECT_DOUBLE_EQ(s->MeanOver(15, 25), 2.0);          // between samples
+  EXPECT_DOUBLE_EQ(s->MeanOver(-100, 10), 1.0);        // head window
+  EXPECT_DOUBLE_EQ(s->MeanOver(9990, 20000), 1000.0);  // tail window
+  EXPECT_DOUBLE_EQ(s->MeanOver(14, 15), 0.0);          // empty interior
+  EXPECT_DOUBLE_EQ(s->MeanOver(300, 300), 0.0);        // degenerate
+}
+
 TEST(TimeSeries, NamesSorted) {
   TimeSeriesStore tss;
   tss.Gauge("b", 0, 1);

@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
-# Build and test the project twice: a plain RelWithDebInfo configure, then an
-# ASan+UBSan configure (-DTANGO_SANITIZE=ON). Both must pass for check.sh to
-# exit 0. Run from anywhere; all paths are relative to the repo root.
+# Build and test the project under several configs: a plain RelWithDebInfo
+# configure, an ASan+UBSan configure (-DTANGO_SANITIZE=ON), and a TSan
+# configure (-DTANGO_TSAN=ON) that runs only the concurrency-touching tests
+# (thread pool, parallel DSS-LC, MCMF reuse, harness fan-out). All selected
+# configs must pass for check.sh to exit 0. Run from anywhere; paths are
+# relative to the repo root.
 #
-#   $ tools/check.sh            # both configs
+#   $ tools/check.sh            # all configs
 #   $ tools/check.sh plain      # only the plain config
-#   $ tools/check.sh sanitize   # only the sanitized config
+#   $ tools/check.sh sanitize   # only the ASan+UBSan config
+#   $ tools/check.sh tsan       # only the TSan config (parallel-path tests)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 what="${1:-all}"
 case "$what" in
-  all|plain|sanitize) ;;
+  all|plain|sanitize|tsan) ;;
   *)
-    echo "usage: tools/check.sh [all|plain|sanitize]" >&2
+    echo "usage: tools/check.sh [all|plain|sanitize|tsan]" >&2
     exit 2
     ;;
 esac
@@ -22,12 +26,18 @@ esac
 run_config() {
   local name="$1" build_dir="$2"
   shift 2
+  local ctest_args=()
+  while [[ $# -gt 0 && "$1" != -D* ]]; do
+    ctest_args+=("$1")
+    shift
+  done
   echo "== [$name] configure =="
   cmake -S "$repo_root" -B "$build_dir" "$@" >/dev/null
   echo "== [$name] build =="
   cmake --build "$build_dir" -j "$jobs"
   echo "== [$name] ctest =="
-  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+    "${ctest_args[@]}"
 }
 
 if [[ "$what" == "all" || "$what" == "plain" ]]; then
@@ -38,6 +48,15 @@ if [[ "$what" == "all" || "$what" == "sanitize" ]]; then
   # halt_on_error keeps a UBSan report from being a silent warning.
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
   run_config sanitize "$repo_root/build-asan" -DTANGO_SANITIZE=ON
+fi
+
+if [[ "$what" == "all" || "$what" == "tsan" ]]; then
+  # TSan is ~10x slower, so restrict it to the tests that exercise the
+  # threaded paths; the plain/sanitize configs already cover the rest.
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+  run_config tsan "$repo_root/build-tsan" \
+    -R 'ThreadPool|ParallelDss|DssLc|McmfReuse|Harness|Experiment' \
+    -DTANGO_TSAN=ON
 fi
 
 echo "== all checks passed =="

@@ -4,6 +4,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -11,6 +14,36 @@
 #include "workload/trace.h"
 
 namespace tango::bench {
+
+/// Core count recorded in an existing BENCH_*.json (-1 when the file is
+/// missing or carries no "cores" field).
+inline int RecordedCores(const char* path) {
+  std::ifstream in(path);
+  if (!in) return -1;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const std::string key = "\"cores\":";
+  const auto pos = text.find(key);
+  if (pos == std::string::npos) return -1;
+  return std::atoi(text.c_str() + pos + key.size());
+}
+
+/// Provenance guard: refuse to overwrite a benchmark result recorded on a
+/// host with more cores — a laptop run must not clobber the numbers from a
+/// real multi-core box (that is how BENCH_sched.json once lost its ≥4-core
+/// measurement to a 1-core container). Prints the decision either way.
+inline bool ShouldWriteBench(const char* path, int cores) {
+  const int prior = RecordedCores(path);
+  if (prior > cores) {
+    std::printf(
+        "  [--] keeping existing %s (recorded on %d cores; this host has "
+        "%d)\n",
+        path, prior, cores);
+    return false;
+  }
+  return true;
+}
 
 inline const workload::ServiceCatalog& Catalog() {
   static const workload::ServiceCatalog cat =

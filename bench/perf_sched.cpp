@@ -302,7 +302,9 @@ int main() {
                 cores, large.speedup);
   }
 
-  WriteJson("BENCH_sched.json", cores, sched, e2e, reps);
-  std::printf("\nwrote BENCH_sched.json\n");
+  if (bench::ShouldWriteBench("BENCH_sched.json", cores)) {
+    WriteJson("BENCH_sched.json", cores, sched, e2e, reps);
+    std::printf("\nwrote BENCH_sched.json\n");
+  }
   return 0;
 }

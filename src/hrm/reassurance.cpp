@@ -9,35 +9,56 @@ Reassurer::Reassurer(k8s::EdgeCloudSystem* system,
     : system_(system), policy_(policy), cfg_(cfg) {
   TANGO_CHECK(system_ && policy_, "reassurer wiring incomplete");
   TANGO_CHECK(cfg_.alpha < cfg_.beta, "alpha must be below beta");
-  stop_ = sim::SchedulePeriodic(
-      system_->simulator(), system_->simulator().Now() + cfg_.period,
-      cfg_.period, [this](SimTime now) { Tick(now); });
+  auto& sim = system_->simulator();
+  tick_event_ = sim.StartPeriodic(sim.Now() + cfg_.period, cfg_.period,
+                                  [this]() {
+                                    Tick(system_->simulator().Now());
+                                  });
 }
 
-Reassurer::~Reassurer() {
-  if (stop_) stop_();
+Reassurer::~Reassurer() { system_->simulator().Cancel(tick_event_); }
+
+void Reassurer::Nudge(NodeId node, ServiceId svc, double slack) {
+  if (slack < cfg_.alpha) {
+    policy_->NudgeMultiplier(node, svc, 1.0 + cfg_.step_up);
+    ++ups_;
+  } else if (slack > cfg_.beta) {
+    policy_->NudgeMultiplier(node, svc, 1.0 - cfg_.step_down);
+    ++downs_;
+  }
+  // α ≤ δ ≤ β: "stable" — leave the allocation untouched.
 }
 
 void Reassurer::Tick(SimTime now) {
   auto& detector = system_->qos_detector();
   const auto& catalog = system_->catalog();
+  if (cfg_.min_samples >= 1) {
+    // Fast path: only (node, LC service) pairs that ever completed a
+    // request have a QoS window; every other pair fails the min_samples
+    // gate anyway. Active windows iterate in ascending (node, service)
+    // order — the same order the full node×service scan visits them — so
+    // the nudge sequence is identical.
+    detector.ForEachActiveWindow(
+        now, [&](NodeId node, ServiceId svc, std::size_t samples) {
+          if (static_cast<int>(samples) < cfg_.min_samples) return;
+          const k8s::WorkerNode* w = system_->FindWorker(node);
+          if (w == nullptr || !w->alive()) return;
+          const auto& spec = catalog.Get(svc);
+          Nudge(node, svc,
+                detector.SlackScore(now, node, svc, spec.qos_target));
+        });
+    return;
+  }
+  // min_samples <= 0 admits empty windows (slack +1 when idle), so the full
+  // cross-product must be scanned.
   for (k8s::WorkerNode* node : system_->AllWorkers()) {
     if (!node->alive()) continue;  // nothing to reassure on a crashed node
     for (ServiceId svc : catalog.LcServices()) {
-      const auto samples =
-          detector.SampleCount(now, node->id(), svc);
+      const auto samples = detector.SampleCount(now, node->id(), svc);
       if (static_cast<int>(samples) < cfg_.min_samples) continue;
       const auto& spec = catalog.Get(svc);
-      const double slack =
-          detector.SlackScore(now, node->id(), svc, spec.qos_target);
-      if (slack < cfg_.alpha) {
-        policy_->NudgeMultiplier(node->id(), svc, 1.0 + cfg_.step_up);
-        ++ups_;
-      } else if (slack > cfg_.beta) {
-        policy_->NudgeMultiplier(node->id(), svc, 1.0 - cfg_.step_down);
-        ++downs_;
-      }
-      // α ≤ δ ≤ β: "stable" — leave the allocation untouched.
+      Nudge(node->id(), svc,
+            detector.SlackScore(now, node->id(), svc, spec.qos_target));
     }
   }
 }

@@ -48,10 +48,12 @@ class Reassurer {
   void Tick(SimTime now);
 
  private:
+  void Nudge(NodeId node, ServiceId svc, double slack);
+
   k8s::EdgeCloudSystem* system_;
   HrmAllocationPolicy* policy_;
   ReassuranceConfig cfg_;
-  std::function<void()> stop_;
+  sim::EventHandle tick_event_ = sim::kInvalidEvent;
   std::int64_t ups_ = 0;
   std::int64_t downs_ = 0;
 };

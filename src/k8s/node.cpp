@@ -18,14 +18,16 @@ WorkerNode::WorkerNode(sim::Simulator* sim, NodeSpec spec,
       callbacks_(std::move(callbacks)),
       tunables_(tunables) {
   TANGO_CHECK(sim_ && catalog_ && policy_, "node wiring incomplete");
-  // Periodic queue hygiene: abandon stale LC, bounce timed-out BE.
-  sim::SchedulePeriodic(*sim_, sim_->Now() + kSecond, kSecond,
-                        [this](SimTime) { SweepQueues(); });
+  // Periodic queue hygiene: abandon stale LC, bounce timed-out BE. A
+  // first-class periodic event — one pool entry re-armed in place.
+  sim_->StartPeriodic(sim_->Now() + kSecond, kSecond,
+                      [this]() { SweepQueues(); });
 }
 
 void WorkerNode::SetPolicy(const AllocationPolicy* policy) {
   TANGO_CHECK(policy != nullptr, "null policy");
   policy_ = policy;
+  MarkDirty();  // PreemptsBeForLc may differ, changing the LC-available view
   Recompute();
 }
 
@@ -51,6 +53,7 @@ void WorkerNode::Enqueue(const workload::Request& request) {
   } else {
     queue_be_.push_back(q);
   }
+  MarkDirty();
   TryAdmit();
 }
 
@@ -78,10 +81,15 @@ std::vector<workload::Request> WorkerNode::Crash() {
   for (const auto& q : queue_be_) lost.push_back(q.request);
   queue_lc_.clear();
   queue_be_.clear();
+  MarkDirty();
+  RefreshUsage();
   return lost;
 }
 
-void WorkerNode::Recover() { alive_ = true; }
+void WorkerNode::Recover() {
+  alive_ = true;
+  MarkDirty();
+}
 
 std::vector<workload::Request> WorkerNode::Drain() {
   std::vector<workload::Request> displaced;
@@ -91,12 +99,14 @@ std::vector<workload::Request> WorkerNode::Drain() {
   for (const auto& q : queue_be_) displaced.push_back(q.request);
   queue_lc_.clear();
   queue_be_.clear();
+  MarkDirty();
   return displaced;
 }
 
 void WorkerNode::Undrain() {
   if (!alive_) return;
   draining_ = false;
+  MarkDirty();
   TryAdmit();
 }
 
@@ -123,6 +133,7 @@ void WorkerNode::TryAdmit() {
             callbacks_.on_abandon(entry.request, sim_->Now());
           }
           it = queue->erase(it);
+          MarkDirty();
           continue;
         }
       }
@@ -130,6 +141,7 @@ void WorkerNode::TryAdmit() {
           sim_->Now() - entry.enqueued > tunables_.be_requeue_timeout) {
         if (callbacks_.on_be_return) callbacks_.on_be_return(entry.request);
         it = queue->erase(it);
+        MarkDirty();
         continue;
       }
 
@@ -246,7 +258,40 @@ void WorkerNode::Recompute() {
           sim_->ScheduleAfter(delay, [this, rid]() { CompleteAt(rid); });
     }
   }
+  MarkDirty();
+  RefreshUsage();
   in_recompute_ = false;
+}
+
+void WorkerNode::RefreshUsage() {
+  Millicores total = 0;
+  Millicores lc = 0;
+  Millicores be = 0;
+  MiB mem = 0;
+  MiB mem_lc = 0;
+  int nlc = 0;
+  for (const auto& r : running_) {
+    total += r.grant;
+    mem += r.slot.need.mem;
+    if (r.slot.is_lc) {
+      lc += r.grant;
+      mem_lc += r.slot.need.mem;
+      ++nlc;
+    } else {
+      be += r.grant;
+    }
+  }
+  if (callbacks_.on_usage_delta &&
+      (total != use_total_ || lc != use_lc_ || be != use_be_)) {
+    callbacks_.on_usage_delta(total - use_total_, lc - use_lc_,
+                              be - use_be_);
+  }
+  use_total_ = total;
+  use_lc_ = lc;
+  use_be_ = be;
+  mem_use_ = mem;
+  mem_use_lc_ = mem_lc;
+  running_lc_count_ = nlc;
 }
 
 void WorkerNode::CompleteAt(RequestId id) {
@@ -289,6 +334,7 @@ void WorkerNode::CompleteAt(RequestId id) {
 void WorkerNode::EvictRunning(std::size_t index) {
   Running victim = std::move(running_[index]);
   running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(index));
+  MarkDirty();
   if (victim.completion != sim::kInvalidEvent) sim_->Cancel(victim.completion);
   if (victim.activation != sim::kInvalidEvent) sim_->Cancel(victim.activation);
   if (callbacks_.on_be_return) {
@@ -312,6 +358,7 @@ void WorkerNode::SweepQueues() {
     if (svc.qos_target > 0 && sim_->Now() > deadline) {
       if (callbacks_.on_abandon) callbacks_.on_abandon(it->request, sim_->Now());
       it = queue_lc_.erase(it);
+      MarkDirty();
     } else {
       ++it;
     }
@@ -320,6 +367,7 @@ void WorkerNode::SweepQueues() {
     if (sim_->Now() - it->enqueued > tunables_.be_requeue_timeout) {
       if (callbacks_.on_be_return) callbacks_.on_be_return(it->request);
       it = queue_be_.erase(it);
+      MarkDirty();
     } else {
       ++it;
     }
@@ -327,45 +375,11 @@ void WorkerNode::SweepQueues() {
   TryAdmit();
 }
 
-Millicores WorkerNode::cpu_in_use() const {
-  Millicores total = 0;
-  for (const auto& r : running_) total += r.grant;
-  return total;
-}
-
-Millicores WorkerNode::cpu_in_use_lc() const {
-  Millicores total = 0;
-  for (const auto& r : running_) {
-    if (r.slot.is_lc) total += r.grant;
-  }
-  return total;
-}
-
-Millicores WorkerNode::cpu_in_use_be() const {
-  Millicores total = 0;
-  for (const auto& r : running_) {
-    if (!r.slot.is_lc) total += r.grant;
-  }
-  return total;
-}
-
-MiB WorkerNode::mem_in_use() const { return MemInUseInternal(); }
-
-MiB WorkerNode::mem_in_use_lc() const {
-  MiB used = 0;
-  for (const auto& r : running_) {
-    if (r.slot.is_lc) used += r.slot.need.mem;
-  }
-  return used;
-}
-
-int WorkerNode::running_lc() const {
-  int n = 0;
-  for (const auto& r : running_) n += r.slot.is_lc ? 1 : 0;
-  return n;
-}
-
 metrics::NodeSnapshot WorkerNode::Snapshot(SimTime now) const {
+  if (tunables_.cache_snapshots && snap_cache_version_ == state_version_) {
+    snap_cache_.recorded_at = now;
+    return snap_cache_;
+  }
   metrics::NodeSnapshot s;
   s.node = spec_.id;
   s.cluster = spec_.cluster;
@@ -385,6 +399,8 @@ metrics::NodeSnapshot WorkerNode::Snapshot(SimTime now) const {
     s.running_lc = alive_ ? running_lc() : 0;
     s.running_be = alive_ ? running_count() - running_lc() : 0;
     s.queued = alive_ ? queued_count() : 0;
+    snap_cache_ = s;
+    snap_cache_version_ = state_version_;
     return s;
   }
   s.cpu_available = std::max<Millicores>(0, spec_.capacity.cpu - cpu_in_use());
@@ -400,7 +416,8 @@ metrics::NodeSnapshot WorkerNode::Snapshot(SimTime now) const {
   s.running_lc = running_lc();
   s.running_be = running_count() - running_lc();
   s.queued = queued_count();
-  s.recorded_at = now;
+  snap_cache_ = s;
+  snap_cache_version_ = state_version_;
   return s;
 }
 

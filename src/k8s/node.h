@@ -40,6 +40,11 @@ struct NodeTunables {
   /// Per-request CPU grant cap as a multiple of its minimum need
   /// (diminishing returns of extra cores).
   double speedup_cap = 2.0;
+  /// Serve Snapshot() from the version-keyed cache when the node is clean.
+  /// The system clears this on the full-rebuild reference path
+  /// (SystemConfig::fast_path = false) so the baseline really pays a
+  /// rebuild per push, like the monitoring stack it models.
+  bool cache_snapshots = true;
 };
 
 class WorkerNode {
@@ -51,6 +56,11 @@ class WorkerNode {
     /// BE request evicted (memory preemption) or timed out waiting —
     /// the owner should re-queue it for rescheduling.
     std::function<void(const workload::Request&)> on_be_return;
+    /// Fired whenever the node's CPU-usage totals change, with the signed
+    /// deltas — lets the owner keep system-wide aggregates incrementally
+    /// instead of rescanning every node per metrics period.
+    std::function<void(Millicores d_total, Millicores d_lc, Millicores d_be)>
+        on_usage_delta;
   };
 
   using Tunables = NodeTunables;
@@ -91,16 +101,28 @@ class WorkerNode {
   NodeId id() const { return spec_.id; }
 
   // ---- Telemetry -------------------------------------------------------
-  Millicores cpu_in_use() const;
-  Millicores cpu_in_use_lc() const;
-  Millicores cpu_in_use_be() const;
-  MiB mem_in_use() const;
-  MiB mem_in_use_lc() const;
+  // Usage totals are maintained incrementally (refreshed whenever the
+  // running set or the grants change), so every getter is O(1).
+  Millicores cpu_in_use() const { return use_total_; }
+  Millicores cpu_in_use_lc() const { return use_lc_; }
+  Millicores cpu_in_use_be() const { return use_be_; }
+  MiB mem_in_use() const { return mem_use_; }
+  MiB mem_in_use_lc() const { return mem_use_lc_; }
   int running_count() const { return static_cast<int>(running_.size()); }
-  int running_lc() const;
+  int running_lc() const { return running_lc_count_; }
   int queued_count() const {
     return static_cast<int>(queue_lc_.size() + queue_be_.size());
   }
+
+  /// Monotonic version, bumped on every transition that can change the
+  /// node's snapshot (admission, completion, scaling, queue churn, fault
+  /// state, policy swap). Version equality implies snapshot-content
+  /// equality (modulo `recorded_at`), which is what lets the state-sync
+  /// fast path skip clean nodes.
+  std::uint64_t state_version() const { return state_version_; }
+
+  /// The snapshot is rebuilt only when `state_version()` changed since the
+  /// last call; `recorded_at` is stamped with `now` either way.
   metrics::NodeSnapshot Snapshot(SimTime now) const;
 
   /// Scaling operations performed (D-VPA ops under HRM; 0 under native).
@@ -135,6 +157,10 @@ class WorkerNode {
   void SweepQueues();
   ExecSlot MakeSlot(const workload::Request& r, SimTime enqueued) const;
   MiB MemInUseInternal() const;
+  void MarkDirty() { ++state_version_; }
+  /// Recompute the cached usage totals from `running_` and report the CPU
+  /// deltas via `on_usage_delta`.
+  void RefreshUsage();
 
   sim::Simulator* sim_;
   NodeSpec spec_;
@@ -151,6 +177,18 @@ class WorkerNode {
   bool in_recompute_ = false;
   bool alive_ = true;
   bool draining_ = false;
+
+  // Incrementally maintained telemetry (see RefreshUsage).
+  Millicores use_total_ = 0;
+  Millicores use_lc_ = 0;
+  Millicores use_be_ = 0;
+  MiB mem_use_ = 0;
+  MiB mem_use_lc_ = 0;
+  int running_lc_count_ = 0;
+
+  std::uint64_t state_version_ = 1;
+  mutable std::uint64_t snap_cache_version_ = 0;  // 0 = cache empty
+  mutable metrics::NodeSnapshot snap_cache_;
 };
 
 }  // namespace tango::k8s

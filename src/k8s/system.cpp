@@ -26,16 +26,24 @@ EdgeCloudSystem::EdgeCloudSystem(SystemConfig cfg,
   acting_central_ = central_;
   master_alive_.assign(cfg_.clusters.size(), true);
   BuildClusters();
-  // Periodic state sync and metrics sampling.
-  sim::SchedulePeriodic(sim_, cfg_.state_sync_period, cfg_.state_sync_period,
-                        [this](SimTime now) { SyncState(now); });
-  sim::SchedulePeriodic(sim_, cfg_.metrics_period, cfg_.metrics_period,
-                        [this](SimTime now) { SampleMetrics(now); });
+  // Periodic state sync and metrics sampling: first-class periodic events,
+  // each a single pool entry re-armed in place every tick.
+  sim_.StartPeriodic(cfg_.state_sync_period, cfg_.state_sync_period,
+                     [this]() { SyncState(sim_.Now()); });
+  sim_.StartPeriodic(cfg_.metrics_period, cfg_.metrics_period,
+                     [this]() { SampleMetrics(sim_.Now()); });
   period_stats_.push_back(PeriodStats{0});
   SyncState(0);
 }
 
 void EdgeCloudSystem::BuildClusters() {
+  std::int32_t total_nodes = 0;
+  for (const auto& spec : cfg_.clusters) total_nodes += 1 + spec.num_workers;
+  node_index_.assign(static_cast<std::size_t>(total_nodes), nullptr);
+  node_cluster_.assign(static_cast<std::size_t>(total_nodes), ClusterId{});
+  worker_slot_.assign(static_cast<std::size_t>(total_nodes), -1);
+  worker_list_.reserve(static_cast<std::size_t>(total_nodes));
+
   std::int32_t next_node = 0;
   clusters_.reserve(cfg_.clusters.size());
   for (std::size_t b = 0; b < cfg_.clusters.size(); ++b) {
@@ -43,7 +51,7 @@ void EdgeCloudSystem::BuildClusters() {
     cl.spec = cfg_.clusters[b];
     cl.spec.id = ClusterId{static_cast<std::int32_t>(b)};
     cl.master = NodeId{next_node++};
-    node_cluster_[cl.master] = cl.spec.id;
+    node_cluster_[static_cast<std::size_t>(cl.master.value)] = cl.spec.id;
     for (int w = 0; w < cl.spec.num_workers; ++w) {
       NodeSpec ns;
       ns.id = NodeId{next_node++};
@@ -65,20 +73,40 @@ void EdgeCloudSystem::BuildClusters() {
       cbs.on_be_return = [this, nid](const workload::Request& r) {
         OnBeReturn(nid, r);
       };
+      cbs.on_usage_delta = [this](Millicores d_total, Millicores d_lc,
+                                  Millicores d_be) {
+        use_total_ += d_total;
+        use_lc_ += d_lc;
+        use_be_ += d_be;
+      };
+      NodeTunables tunables = cfg_.node_tunables;
+      if (!cfg_.fast_path) tunables.cache_snapshots = false;
       cl.workers.push_back(std::make_unique<WorkerNode>(
-          &sim_, ns, catalog_, default_policy_, std::move(cbs),
-          cfg_.node_tunables));
-      workers_[nid] = cl.workers.back().get();
-      node_cluster_[nid] = cl.spec.id;
+          &sim_, ns, catalog_, default_policy_, std::move(cbs), tunables));
+      const auto idx = static_cast<std::size_t>(nid.value);
+      node_index_[idx] = cl.workers.back().get();
+      node_cluster_[idx] = cl.spec.id;
+      worker_slot_[idx] = static_cast<std::int32_t>(worker_list_.size());
+      worker_list_.push_back(cl.workers.back().get());
+      cap_total_ += ns.capacity.cpu;
     }
     clusters_.push_back(std::move(cl));
+  }
+  // Sync scopes are a pure function of the (static) topology — compute them
+  // once instead of re-deriving NearbyClusters every sync period.
+  be_seen_.assign(worker_list_.size(), 0);
+  for (auto& cl : clusters_) {
+    cl.sync_scope =
+        topology_.NearbyClusters(cl.spec.id, cfg_.lc_nearby_radius_km);
+    cl.sync_scope.push_back(cl.spec.id);
+    cl.lc_seen.assign(worker_list_.size(), 0);
   }
 }
 
 void EdgeCloudSystem::SetAllocationPolicy(const AllocationPolicy* policy) {
   TANGO_CHECK(policy != nullptr, "null policy");
   default_policy_ = policy;
-  for (auto& [id, node] : workers_) node->SetPolicy(policy);
+  for (WorkerNode* node : worker_list_) node->SetPolicy(policy);
   // Bandwidth follows the policy's regulation stance (§4.1): LC priority at
   // the egress when BE is preemptible, fair sharing otherwise.
   egress_.set_mode(policy->PreemptsBeForLc() ? net::EgressMode::kLcPriority
@@ -86,25 +114,22 @@ void EdgeCloudSystem::SetAllocationPolicy(const AllocationPolicy* policy) {
 }
 
 WorkerNode* EdgeCloudSystem::FindWorker(NodeId id) {
-  auto it = workers_.find(id);
-  return it == workers_.end() ? nullptr : it->second;
+  const auto idx = static_cast<std::size_t>(id.value);
+  if (!id.valid() || idx >= node_index_.size()) return nullptr;
+  return node_index_[idx];  // nullptr for masters
 }
 
-std::vector<WorkerNode*> EdgeCloudSystem::AllWorkers() {
-  std::vector<WorkerNode*> out;
-  out.reserve(workers_.size());
-  for (auto& [id, node] : workers_) out.push_back(node);
-  return out;
-}
+std::vector<WorkerNode*> EdgeCloudSystem::AllWorkers() { return worker_list_; }
 
 NodeId EdgeCloudSystem::MasterOf(ClusterId cluster) const {
   return clusters_[static_cast<std::size_t>(cluster.value)].master;
 }
 
 ClusterId EdgeCloudSystem::ClusterOfNode(NodeId node) const {
-  auto it = node_cluster_.find(node);
-  TANGO_CHECK(it != node_cluster_.end(), "unknown node %d", node.value);
-  return it->second;
+  const auto idx = static_cast<std::size_t>(node.value);
+  TANGO_CHECK(node.valid() && idx < node_cluster_.size(), "unknown node %d",
+              node.value);
+  return node_cluster_[idx];
 }
 
 const metrics::StateStorage& EdgeCloudSystem::LcStorage(
@@ -119,7 +144,7 @@ int EdgeCloudSystem::lc_queue_length(ClusterId cluster) const {
 
 std::int64_t EdgeCloudSystem::total_scaling_ops() const {
   std::int64_t total = 0;
-  for (const auto& [id, node] : workers_) total += node->scaling_ops();
+  for (const WorkerNode* node : worker_list_) total += node->scaling_ops();
   return total;
 }
 
@@ -606,6 +631,10 @@ void EdgeCloudSystem::FailMaster(ClusterId cluster) {
     for (const auto& p : be_queue_) be_lost.push_back(p.request);
     be_queue_.clear();
     acting_central_ = ElectCentral();
+    // The new central cannot trust the deltas the old one had applied —
+    // force a full re-push of the BE view on its next sync.
+    std::fill(be_seen_.begin(), be_seen_.end(), 0);
+    ++sync_stats_.full_resyncs;
     HandleLost(std::move(be_lost), cfg_.fault_detect_delay);
   }
 }
@@ -616,20 +645,32 @@ void EdgeCloudSystem::RecoverMaster(ClusterId cluster) {
   master_alive_[idx] = true;
   // The original central reclaims the BE dispatcher role on recovery; a
   // graceful handover migrates the queue without loss.
+  const ClusterId previous_central = acting_central_;
   acting_central_ = ElectCentral();
+  // The recovered master's own view went stale while it was down; zero its
+  // seen-versions (and the BE ones on a central handover) so the next sync
+  // is a full re-push, like a kubelet re-list after an apiserver restart.
+  std::fill(clusters_[idx].lc_seen.begin(), clusters_[idx].lc_seen.end(), 0);
+  ++sync_stats_.full_resyncs;
+  if (acting_central_ != previous_central) {
+    std::fill(be_seen_.begin(), be_seen_.end(), 0);
+    ++sync_stats_.full_resyncs;
+  }
   SyncState(sim_.Now());
   ScheduleLcDispatch(cluster);
   ScheduleBeDispatch();
 }
 
 bool EdgeCloudSystem::WorkerAlive(NodeId id) const {
-  const auto it = workers_.find(id);
-  return it != workers_.end() && it->second->alive();
+  const auto idx = static_cast<std::size_t>(id.value);
+  if (!id.valid() || idx >= node_index_.size()) return false;
+  const WorkerNode* node = node_index_[idx];
+  return node != nullptr && node->alive();
 }
 
 int EdgeCloudSystem::workers_alive() const {
   int n = 0;
-  for (const auto& [id, node] : workers_) n += node->alive() ? 1 : 0;
+  for (const WorkerNode* node : worker_list_) n += node->alive() ? 1 : 0;
   return n;
 }
 
@@ -643,12 +684,19 @@ void EdgeCloudSystem::SyncState(SimTime now) {
   // Per-cluster LC storage: own + geo-nearby workers, plus RTT estimates.
   // A cut link freezes the snapshots of the far side and marks its nodes
   // unreachable in the viewing master's storage.
+  //
+  // Delta protocol (fast path): each storage remembers the last node
+  // state_version it pushed; a node whose version is unchanged is skipped —
+  // version equality implies snapshot-content equality, and no consumer
+  // reads `recorded_at`, so the skip is observationally identical to the
+  // full rebuild. Seen-versions are zeroed on master failover to force a
+  // full re-push; a cut link freezes the far side automatically because the
+  // versions keep advancing while no push happens.
+  ++sync_stats_.syncs;
+  const bool delta = cfg_.fast_path;
   for (auto& cl : clusters_) {
     if (!MasterAlive(cl.spec.id)) continue;  // a dead master syncs nothing
-    std::vector<ClusterId> scope = topology_.NearbyClusters(
-        cl.spec.id, cfg_.lc_nearby_radius_km);
-    scope.push_back(cl.spec.id);
-    for (ClusterId c : scope) {
+    for (ClusterId c : cl.sync_scope) {
       const LinkFault lf = LinkStateOf(cl.spec.id, c);
       if (lf.cut) {
         cl.lc_storage.MarkClusterReachability(c, false);
@@ -656,7 +704,15 @@ void EdgeCloudSystem::SyncState(SimTime now) {
       }
       const Cluster& other = clusters_[static_cast<std::size_t>(c.value)];
       for (const auto& w : other.workers) {
+        const auto slot = static_cast<std::size_t>(
+            worker_slot_[static_cast<std::size_t>(w->id().value)]);
+        if (delta && cl.lc_seen[slot] == w->state_version()) {
+          ++sync_stats_.pushes_skipped;
+          continue;
+        }
         cl.lc_storage.Update(w->Snapshot(now));
+        cl.lc_seen[slot] = w->state_version();
+        ++sync_stats_.pushes;
       }
       cl.lc_storage.MarkClusterReachability(c, true);
       SimDuration rtt = topology_.Rtt(cl.spec.id, c);
@@ -675,7 +731,17 @@ void EdgeCloudSystem::SyncState(SimTime now) {
         be_storage_.MarkClusterReachability(cl.spec.id, false);
         continue;
       }
-      for (const auto& w : cl.workers) be_storage_.Update(w->Snapshot(now));
+      for (const auto& w : cl.workers) {
+        const auto slot = static_cast<std::size_t>(
+            worker_slot_[static_cast<std::size_t>(w->id().value)]);
+        if (delta && be_seen_[slot] == w->state_version()) {
+          ++sync_stats_.pushes_skipped;
+          continue;
+        }
+        be_storage_.Update(w->Snapshot(now));
+        be_seen_[slot] = w->state_version();
+        ++sync_stats_.pushes;
+      }
       be_storage_.MarkClusterReachability(cl.spec.id, true);
       SimDuration rtt = topology_.Rtt(acting_central_, cl.spec.id);
       if (lf.latency_mult > 1.0) {
@@ -689,11 +755,20 @@ void EdgeCloudSystem::SyncState(SimTime now) {
 
 void EdgeCloudSystem::SampleMetrics(SimTime now) {
   double used = 0.0, used_lc = 0.0, used_be = 0.0, cap = 0.0;
-  for (const auto& [id, node] : workers_) {
-    used += static_cast<double>(node->cpu_in_use());
-    used_lc += static_cast<double>(node->cpu_in_use_lc());
-    used_be += static_cast<double>(node->cpu_in_use_be());
-    cap += static_cast<double>(node->spec().capacity.cpu);
+  if (cfg_.fast_path) {
+    // Aggregates are maintained at admission/completion via usage-delta
+    // callbacks; integer sums make this bit-identical to the full scan.
+    used = static_cast<double>(use_total_);
+    used_lc = static_cast<double>(use_lc_);
+    used_be = static_cast<double>(use_be_);
+    cap = static_cast<double>(cap_total_);
+  } else {
+    for (const WorkerNode* node : worker_list_) {
+      used += static_cast<double>(node->cpu_in_use());
+      used_lc += static_cast<double>(node->cpu_in_use_lc());
+      used_be += static_cast<double>(node->cpu_in_use_be());
+      cap += static_cast<double>(node->spec().capacity.cpu);
+    }
   }
   PeriodStats& p = CurrentPeriod();
   p.util_total = cap > 0.0 ? used / cap : 0.0;

@@ -58,6 +58,20 @@ struct SystemConfig {
   SimDuration fault_detect_delay = 100 * kMillisecond;
   /// A request lost this many times is dropped (counted, never silent).
   int max_fault_reroutes = 16;
+  /// Fast monitoring path: delta state sync (only nodes whose
+  /// `state_version` changed since the last push) and O(1) metrics from
+  /// incrementally maintained aggregates. `false` selects the full-rebuild
+  /// reference path — same observable behavior, kept for identity checks
+  /// and as the benchmark baseline.
+  bool fast_path = true;
+};
+
+/// Counters for the delta state-sync protocol (see SyncState).
+struct SyncStats {
+  std::int64_t syncs = 0;           // SyncState invocations
+  std::int64_t pushes = 0;          // snapshots pushed into a storage
+  std::int64_t pushes_skipped = 0;  // clean nodes skipped by the delta path
+  std::int64_t full_resyncs = 0;    // seen-version resets (master failover)
 };
 
 /// Dynamic state of one inter-cluster link under fault injection.
@@ -178,7 +192,8 @@ class EdgeCloudSystem {
 
   ClusterId central_cluster() const { return central_; }
   int num_clusters() const { return static_cast<int>(clusters_.size()); }
-  int num_workers() const { return static_cast<int>(workers_.size()); }
+  int num_workers() const { return static_cast<int>(worker_list_.size()); }
+  const SyncStats& sync_stats() const { return sync_stats_; }
   WorkerNode* FindWorker(NodeId id);
   std::vector<WorkerNode*> AllWorkers();
   NodeId MasterOf(ClusterId cluster) const;
@@ -204,6 +219,12 @@ class EdgeCloudSystem {
     std::deque<PendingRequest> lc_queue;
     bool lc_dispatch_pending = false;
     metrics::StateStorage lc_storage;
+    /// Geo-nearby clusters (plus self) this master syncs from — the
+    /// topology is static, so the scope is computed once at build time.
+    std::vector<ClusterId> sync_scope;
+    /// Last node state_version pushed into lc_storage, by worker slot.
+    /// 0 never matches a live version, so zeroing forces a full re-push.
+    std::vector<std::uint64_t> lc_seen;
   };
 
   void BuildClusters();
@@ -252,8 +273,14 @@ class EdgeCloudSystem {
   net::Topology topology_;
   Rng rng_;
   std::vector<Cluster> clusters_;
-  std::map<NodeId, WorkerNode*> workers_;
-  std::map<NodeId, ClusterId> node_cluster_;
+  // Dense node index: node ids are assigned 0..N-1 at build time, so flat
+  // vectors replace the former std::map lookups on the hot paths. Masters
+  // hold nullptr in node_index_ and -1 in worker_slot_. worker_list_ is in
+  // ascending NodeId order (the former map iteration order).
+  std::vector<WorkerNode*> node_index_;
+  std::vector<ClusterId> node_cluster_;
+  std::vector<WorkerNode*> worker_list_;
+  std::vector<std::int32_t> worker_slot_;
   ClusterId central_;
   LcScheduler* lc_sched_ = nullptr;
   BeScheduler* be_sched_ = nullptr;
@@ -263,6 +290,16 @@ class EdgeCloudSystem {
   std::deque<PendingRequest> be_queue_;  // at the acting central master
   bool be_dispatch_pending_ = false;
   metrics::StateStorage be_storage_;
+  /// Last node state_version pushed into be_storage_, by worker slot
+  /// (zeroed on central failover to force a full re-push).
+  std::vector<std::uint64_t> be_seen_;
+  SyncStats sync_stats_;
+
+  // Incremental metrics aggregates, fed by WorkerNode::on_usage_delta.
+  Millicores use_total_ = 0;
+  Millicores use_lc_ = 0;
+  Millicores use_be_ = 0;
+  Millicores cap_total_ = 0;
 
   // Fault-plane state.
   std::vector<bool> master_alive_;

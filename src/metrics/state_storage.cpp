@@ -4,13 +4,25 @@ namespace tango::metrics {
 
 void StateStorage::Update(const NodeSnapshot& snap) {
   auto it = nodes_.find(snap.node);
-  if (it == nodes_.end() || it->second.recorded_at <= snap.recorded_at) {
-    nodes_[snap.node] = snap;
+  if (it == nodes_.end()) {
+    ++inserts_;
+    it = nodes_.emplace(snap.node, snap).first;
+  } else if (it->second.recorded_at <= snap.recorded_at) {
+    it->second = snap;
+  } else {
+    return;
   }
+  // Keep freshly pushed snapshots consistent with the last reachability mark
+  // (the sweep in MarkClusterReachability only runs on flips).
+  auto r = cluster_reachable_.find(it->second.cluster);
+  if (r != cluster_reachable_.end()) it->second.reachable = r->second;
 }
 
 void StateStorage::MarkClusterReachability(ClusterId cluster,
                                            bool reachable) {
+  auto it = cluster_reachable_.find(cluster);
+  if (it != cluster_reachable_.end() && it->second == reachable) return;
+  cluster_reachable_[cluster] = reachable;
   for (auto& [id, snap] : nodes_) {
     if (snap.cluster == cluster) snap.reachable = reachable;
   }

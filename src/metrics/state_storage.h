@@ -71,7 +71,9 @@ class StateStorage {
 
   /// Flip the reachability flag on every stored snapshot of one cluster —
   /// the viewing master's failure detector marking a partition (snapshots
-  /// are preserved so the view heals instantly when the link does).
+  /// are preserved so the view heals instantly when the link does). The
+  /// per-snapshot sweep only runs when the flag actually flips, so calling
+  /// this every sync period costs O(1) in steady state.
   void MarkClusterReachability(ClusterId cluster, bool reachable);
 
   /// Record the measured RTT from this master's cluster to another cluster.
@@ -79,11 +81,21 @@ class StateStorage {
   std::optional<SimDuration> Rtt(ClusterId to) const;
 
   std::size_t size() const { return nodes_.size(); }
-  void Clear() { nodes_.clear(); rtt_.clear(); }
+  void Clear() {
+    nodes_.clear();
+    rtt_.clear();
+    cluster_reachable_.clear();
+  }
+
+  /// Number of Update() calls that created a new entry (an allocation) —
+  /// flat in steady state, when every push hits an existing node.
+  std::int64_t inserts() const { return inserts_; }
 
  private:
   std::map<NodeId, NodeSnapshot> nodes_;
   std::map<ClusterId, SimDuration> rtt_;
+  std::map<ClusterId, bool> cluster_reachable_;  // last marked flag
+  std::int64_t inserts_ = 0;
 };
 
 }  // namespace tango::metrics

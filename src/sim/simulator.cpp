@@ -1,60 +1,185 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
-#include <memory>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace tango::sim {
 
+std::uint32_t Simulator::AllocSlot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  if (pool_.size() == pool_.capacity()) ++alloc_events_;
+  pool_.emplace_back();
+  // heap_/free_ can never hold more entries than the pool has slots, so
+  // growing their capacity in lockstep keeps their push_backs allocation-free.
+  if (heap_.capacity() < pool_.capacity()) heap_.reserve(pool_.capacity());
+  if (free_.capacity() < pool_.capacity()) free_.reserve(pool_.capacity());
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void Simulator::FreeSlot(std::uint32_t slot) {
+  Node& n = pool_[slot];
+  ++n.generation;  // invalidate every outstanding handle to this slot
+  n.heap_index = -1;
+  n.firing = false;
+  n.cancelled = false;
+  n.period = 0;
+  n.cb.Reset();
+  free_.push_back(slot);
+}
+
+bool Simulator::Before(std::uint32_t a, std::uint32_t b) const {
+  const Node& x = pool_[a];
+  const Node& y = pool_[b];
+  if (x.when != y.when) return x.when < y.when;
+  return x.seq < y.seq;
+}
+
+void Simulator::SiftUp(std::size_t index) {
+  const std::uint32_t slot = heap_[index];
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 2;
+    if (!Before(slot, heap_[parent])) break;
+    heap_[index] = heap_[parent];
+    pool_[heap_[index]].heap_index = static_cast<std::int32_t>(index);
+    index = parent;
+  }
+  heap_[index] = slot;
+  pool_[slot].heap_index = static_cast<std::int32_t>(index);
+}
+
+void Simulator::SiftDown(std::size_t index) {
+  const std::uint32_t slot = heap_[index];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t best = index;
+    const std::size_t l = 2 * index + 1;
+    const std::size_t r = 2 * index + 2;
+    std::uint32_t best_slot = slot;
+    if (l < n && Before(heap_[l], best_slot)) {
+      best = l;
+      best_slot = heap_[l];
+    }
+    if (r < n && Before(heap_[r], best_slot)) {
+      best = r;
+      best_slot = heap_[r];
+    }
+    if (best == index) break;
+    heap_[index] = heap_[best];
+    pool_[heap_[index]].heap_index = static_cast<std::int32_t>(index);
+    index = best;
+  }
+  heap_[index] = slot;
+  pool_[slot].heap_index = static_cast<std::int32_t>(index);
+}
+
+void Simulator::HeapPush(std::uint32_t slot) {
+  heap_.push_back(slot);
+  pool_[slot].heap_index = static_cast<std::int32_t>(heap_.size() - 1);
+  SiftUp(heap_.size() - 1);
+}
+
+void Simulator::HeapRemoveAt(std::size_t index) {
+  pool_[heap_[index]].heap_index = -1;
+  const std::uint32_t moved = heap_.back();
+  heap_.pop_back();
+  if (index == heap_.size()) return;
+  heap_[index] = moved;
+  pool_[moved].heap_index = static_cast<std::int32_t>(index);
+  SiftDown(index);
+  SiftUp(index);
+}
+
 EventHandle Simulator::ScheduleAt(SimTime when, Callback cb) {
   TANGO_CHECK(when >= now_, "scheduling into the past: %lld < %lld",
               static_cast<long long>(when), static_cast<long long>(now_));
-  const EventHandle handle = next_handle_++;
-  queue_.push(Event{when, next_seq_++, handle, std::move(cb)});
-  ++live_events_;
-  return handle;
+  if (cb.on_heap()) ++alloc_events_;
+  const std::uint32_t slot = AllocSlot();
+  Node& n = pool_[slot];
+  n.when = when;
+  n.seq = next_seq_++;
+  n.period = 0;
+  n.cb = std::move(cb);
+  HeapPush(slot);
+  return MakeHandle(slot, n.generation);
+}
+
+EventHandle Simulator::StartPeriodic(SimTime first, SimDuration period,
+                                     Callback cb) {
+  TANGO_CHECK(period > 0, "periodic event needs a positive period");
+  TANGO_CHECK(first >= now_, "periodic start in the past: %lld < %lld",
+              static_cast<long long>(first), static_cast<long long>(now_));
+  if (cb.on_heap()) ++alloc_events_;
+  const std::uint32_t slot = AllocSlot();
+  Node& n = pool_[slot];
+  n.when = first;
+  n.seq = next_seq_++;
+  n.period = period;
+  n.cb = std::move(cb);
+  HeapPush(slot);
+  return MakeHandle(slot, n.generation);
 }
 
 void Simulator::Cancel(EventHandle handle) {
   if (handle == kInvalidEvent) return;
-  cancelled_.push_back(handle);
-  cancelled_dirty_ = true;
+  const std::uint64_t low = handle & 0xffffffffULL;
+  if (low == 0) return;
+  const std::size_t slot = static_cast<std::size_t>(low - 1);
+  if (slot >= pool_.size()) return;
+  Node& n = pool_[slot];
+  if (n.generation != static_cast<std::uint32_t>(handle >> 32)) return;
+  if (n.firing) {
+    // A periodic cancelling itself (or being cancelled) mid-tick: the fire
+    // loop frees the slot instead of re-arming.
+    n.cancelled = true;
+    return;
+  }
+  if (n.heap_index < 0) return;
+  HeapRemoveAt(static_cast<std::size_t>(n.heap_index));
+  FreeSlot(static_cast<std::uint32_t>(slot));
 }
 
 bool Simulator::PopAndRun() {
-  while (!queue_.empty()) {
-    // Binary-search the tombstone list; keep it sorted lazily.
-    if (cancelled_dirty_) {
-      std::sort(cancelled_.begin(), cancelled_.end());
-      cancelled_.erase(std::unique(cancelled_.begin(), cancelled_.end()),
-                       cancelled_.end());
-      cancelled_dirty_ = false;
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_.front();
+  HeapRemoveAt(0);
+  Node& n = pool_[slot];
+  now_ = n.when;
+  ++executed_;
+  if (n.period > 0) {
+    // Periodic: run the tick from a local (the pool may grow while the
+    // callback schedules other events), then re-arm the same slot in place.
+    n.firing = true;
+    Callback cb = std::move(n.cb);
+    cb();
+    Node& after = pool_[slot];  // re-fetch: pool_ may have reallocated
+    after.firing = false;
+    if (after.cancelled) {
+      FreeSlot(slot);
+    } else {
+      after.cb = std::move(cb);
+      after.when = now_ + after.period;
+      after.seq = next_seq_++;
+      HeapPush(slot);
     }
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    --live_events_;
-    const bool is_cancelled = std::binary_search(
-        cancelled_.begin(), cancelled_.end(), ev.handle);
-    if (is_cancelled) {
-      // Drop the tombstone so the list does not grow unboundedly.
-      auto it =
-          std::lower_bound(cancelled_.begin(), cancelled_.end(), ev.handle);
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = ev.when;
-    ++executed_;
-    ev.cb();
-    return true;
+  } else {
+    // One-shot: release the slot before invoking so a callback scheduling
+    // new work can reuse it, and so Cancel on the fired handle is stale.
+    Callback cb = std::move(n.cb);
+    FreeSlot(slot);
+    cb();
   }
-  return false;
+  return true;
 }
 
 bool Simulator::Step() { return PopAndRun(); }
 
 void Simulator::RunUntil(SimTime until) {
-  while (!queue_.empty() && queue_.top().when <= until) {
+  while (!heap_.empty() && pool_[heap_.front()].when <= until) {
     if (!PopAndRun()) break;
   }
   if (now_ < until) now_ = until;
@@ -65,33 +190,22 @@ void Simulator::RunAll() {
   }
 }
 
+void Simulator::ReserveEvents(std::size_t n) {
+  pool_.reserve(n);
+  heap_.reserve(n);
+  free_.reserve(n);
+}
+
 std::function<void()> SchedulePeriodic(Simulator& sim, SimTime start,
                                        SimDuration period,
                                        std::function<void(SimTime)> tick) {
   TANGO_CHECK(period > 0, "periodic tick needs a positive period");
-  // The queued callback owns the state; the state never refers back to the
-  // callback, so there is no shared_ptr cycle and everything is reclaimed
-  // once the last queued firing runs (or the queue is destroyed).
-  struct State {
-    Simulator* sim;
-    SimDuration period;
-    bool stopped = false;
-    std::function<void(SimTime)> tick;
-  };
-  struct Fire {
-    std::shared_ptr<State> s;
-    void operator()() const {
-      if (s->stopped) return;
-      s->tick(s->sim->Now());
-      if (!s->stopped) s->sim->ScheduleAfter(s->period, Fire{s});
-    }
-  };
-  auto state = std::make_shared<State>();
-  state->sim = &sim;
-  state->period = period;
-  state->tick = std::move(tick);
-  sim.ScheduleAt(start, Fire{state});
-  return [state]() { state->stopped = true; };
+  Simulator* s = &sim;
+  const EventHandle handle = sim.StartPeriodic(
+      start, period, [s, t = std::move(tick)]() mutable { t(s->Now()); });
+  // Cancel is generation-checked, so calling the stopper twice (or after the
+  // slot was recycled) is a safe no-op.
+  return [s, handle]() { s->Cancel(handle); };
 }
 
 }  // namespace tango::sim

@@ -1,0 +1,256 @@
+// Delta state-sync under faults: the fast path (version-gated snapshot
+// pushes, cached sync scopes, incremental metrics) must produce storages —
+// and simulation outcomes — identical to the full-rebuild reference path
+// through node crashes, link cuts, and master failover.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "eval/harness.h"
+#include "k8s/system.h"
+#include "sched/be_baselines.h"
+#include "sched/lc_baselines.h"
+
+namespace tango::k8s {
+namespace {
+
+using workload::Request;
+using workload::ServiceCatalog;
+
+/// Compare snapshots field-by-field, excluding `recorded_at`: the delta
+/// path deliberately leaves a clean node's stored timestamp stale (no
+/// consumer reads it), so identity is defined over the decision-relevant
+/// fields.
+void ExpectSameSnapshot(const metrics::NodeSnapshot& a,
+                        const metrics::NodeSnapshot& b) {
+  EXPECT_EQ(a.node, b.node);
+  EXPECT_EQ(a.cluster, b.cluster);
+  EXPECT_EQ(a.cpu_total, b.cpu_total);
+  EXPECT_EQ(a.cpu_available, b.cpu_available);
+  EXPECT_EQ(a.mem_total, b.mem_total);
+  EXPECT_EQ(a.mem_available, b.mem_available);
+  EXPECT_EQ(a.cpu_available_lc, b.cpu_available_lc);
+  EXPECT_EQ(a.mem_available_lc, b.mem_available_lc);
+  EXPECT_EQ(a.running_lc, b.running_lc);
+  EXPECT_EQ(a.running_be, b.running_be);
+  EXPECT_EQ(a.queued, b.queued);
+  EXPECT_EQ(a.alive, b.alive);
+  EXPECT_EQ(a.reachable, b.reachable);
+  EXPECT_EQ(a.draining, b.draining);
+}
+
+void ExpectSameStorage(const metrics::StateStorage& fast,
+                       const metrics::StateStorage& slow, int num_clusters) {
+  const auto fa = fast.All();
+  const auto sa = slow.All();
+  ASSERT_EQ(fa.size(), sa.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    ExpectSameSnapshot(fa[i], sa[i]);
+  }
+  for (int c = 0; c < num_clusters; ++c) {
+    EXPECT_EQ(fast.Rtt(ClusterId{c}).has_value(),
+              slow.Rtt(ClusterId{c}).has_value());
+    if (fast.Rtt(ClusterId{c}).has_value()) {
+      EXPECT_EQ(*fast.Rtt(ClusterId{c}), *slow.Rtt(ClusterId{c}));
+    }
+  }
+}
+
+/// Two systems built from the same config except for `fast_path`, driven in
+/// lockstep through the same trace and fault script.
+struct DeltaSyncFixture : public ::testing::Test {
+  void SetUp() override {
+    catalog = ServiceCatalog::Standard();
+    cfg.clusters = eval::PhysicalClusters(3);
+    cfg.region_km = 450.0;  // everyone within LC dispatch range
+    cfg.seed = 11;
+    cfg.fast_path = true;
+    fast = std::make_unique<EdgeCloudSystem>(cfg, &catalog);
+    SystemConfig slow_cfg = cfg;
+    slow_cfg.fast_path = false;
+    slow = std::make_unique<EdgeCloudSystem>(slow_cfg, &catalog);
+    for (EdgeCloudSystem* s : {fast.get(), slow.get()}) {
+      lcs.push_back(std::make_unique<sched::LoadGreedyLcScheduler>(&catalog));
+      bes.push_back(std::make_unique<sched::LoadGreedyBeScheduler>(&catalog));
+      s->SetLcScheduler(lcs.back().get());
+      s->SetBeScheduler(bes.back().get());
+    }
+  }
+
+  workload::Trace MixedTrace(int count) {
+    workload::Trace t;
+    for (int i = 0; i < count; ++i) {
+      Request r;
+      r.id = RequestId{i};
+      r.service = i % 3 == 2 ? ServiceId{9} : ServiceId{3};
+      r.origin = ClusterId{i % 3};
+      r.arrival = i * 20 * kMillisecond;
+      r.work_scale = 1.0;
+      t.push_back(r);
+    }
+    return t;
+  }
+
+  void SubmitBoth(const workload::Trace& t) {
+    fast->SubmitTrace(t);
+    slow->SubmitTrace(t);
+  }
+
+  void RunBoth(SimTime until) {
+    fast->Run(until);
+    slow->Run(until);
+  }
+
+  void Both(const std::function<void(EdgeCloudSystem&)>& f) {
+    f(*fast);
+    f(*slow);
+  }
+
+  void ExpectStoragesIdentical() {
+    const int n = fast->num_clusters();
+    for (int c = 0; c < n; ++c) {
+      ExpectSameStorage(fast->LcStorage(ClusterId{c}),
+                        slow->LcStorage(ClusterId{c}), n);
+    }
+    ExpectSameStorage(fast->BeStorage(), slow->BeStorage(), n);
+  }
+
+  void ExpectOutcomesIdentical() {
+    const auto& fr = fast->records();
+    const auto& sr = slow->records();
+    ASSERT_EQ(fr.size(), sr.size());
+    for (std::size_t i = 0; i < fr.size(); ++i) {
+      EXPECT_EQ(fr[i].outcome, sr[i].outcome) << "request " << i;
+      EXPECT_EQ(fr[i].target, sr[i].target) << "request " << i;
+      EXPECT_EQ(fr[i].latency, sr[i].latency) << "request " << i;
+      EXPECT_EQ(fr[i].qos_met, sr[i].qos_met) << "request " << i;
+    }
+  }
+
+  SystemConfig cfg;
+  ServiceCatalog catalog;
+  std::unique_ptr<EdgeCloudSystem> fast;
+  std::unique_ptr<EdgeCloudSystem> slow;
+  std::vector<std::unique_ptr<LcScheduler>> lcs;
+  std::vector<std::unique_ptr<BeScheduler>> bes;
+};
+
+TEST_F(DeltaSyncFixture, QuietSystemSkipsCleanPushes) {
+  RunBoth(2 * kSecond);
+  ExpectStoragesIdentical();
+  // With no workload at all, after the first sync every node is clean: the
+  // fast path must be skipping, the slow path never does.
+  EXPECT_GT(fast->sync_stats().pushes_skipped, 0);
+  EXPECT_LT(fast->sync_stats().pushes, slow->sync_stats().pushes);
+  EXPECT_EQ(slow->sync_stats().pushes_skipped, 0);
+}
+
+TEST_F(DeltaSyncFixture, BusySystemStoragesMatch) {
+  SubmitBoth(MixedTrace(60));
+  RunBoth(5 * kSecond);
+  ExpectStoragesIdentical();
+  ExpectOutcomesIdentical();
+}
+
+TEST_F(DeltaSyncFixture, CrashBetweenSyncPeriodsPropagatesOnNextSync) {
+  SubmitBoth(MixedTrace(30));
+  RunBoth(1 * kSecond);
+  // Crash mid-period: the death is invisible to storages until the next
+  // sync (failure-detection semantics), then the version bump pushes it.
+  RunBoth(1 * kSecond + 50 * kMillisecond);
+  Both([](EdgeCloudSystem& s) { s.CrashWorker(NodeId{2}); });
+  const auto* before = fast->BeStorage().Find(NodeId{2});
+  ASSERT_NE(before, nullptr);
+  EXPECT_TRUE(before->alive);  // not yet synced
+  RunBoth(1 * kSecond + 200 * kMillisecond);  // next sync has passed
+  const auto* after_fast = fast->BeStorage().Find(NodeId{2});
+  const auto* after_slow = slow->BeStorage().Find(NodeId{2});
+  ASSERT_NE(after_fast, nullptr);
+  ASSERT_NE(after_slow, nullptr);
+  EXPECT_FALSE(after_fast->alive);
+  EXPECT_FALSE(after_slow->alive);
+  ExpectStoragesIdentical();
+  // Recovery re-advertises capacity immediately (node-ready push).
+  Both([](EdgeCloudSystem& s) { s.RecoverWorker(NodeId{2}); });
+  EXPECT_TRUE(fast->BeStorage().Find(NodeId{2})->alive);
+  RunBoth(4 * kSecond);
+  ExpectStoragesIdentical();
+  ExpectOutcomesIdentical();
+}
+
+TEST_F(DeltaSyncFixture, LinkCutFreezesFarSideSnapshots) {
+  SubmitBoth(MixedTrace(45));
+  RunBoth(1 * kSecond);
+  LinkFault cut;
+  cut.cut = true;
+  Both([&](EdgeCloudSystem& s) {
+    s.SetLinkFault(ClusterId{0}, ClusterId{1}, cut);
+  });
+  RunBoth(2 * kSecond);
+  // Cluster 0's view of cluster 1 is frozen and unreachable; both paths
+  // must freeze the same content.
+  const auto frozen_fast = fast->LcStorage(ClusterId{0});
+  for (const auto& snap : frozen_fast.ForCluster(ClusterId{1})) {
+    EXPECT_FALSE(snap.reachable);
+  }
+  ExpectStoragesIdentical();
+  Both([](EdgeCloudSystem& s) {
+    s.ClearLinkFault(ClusterId{0}, ClusterId{1});
+  });
+  RunBoth(4 * kSecond);
+  for (const auto& snap :
+       fast->LcStorage(ClusterId{0}).ForCluster(ClusterId{1})) {
+    EXPECT_TRUE(snap.reachable);
+  }
+  ExpectStoragesIdentical();
+  ExpectOutcomesIdentical();
+}
+
+TEST_F(DeltaSyncFixture, MasterFailoverForcesFullRepush) {
+  SubmitBoth(MixedTrace(45));
+  RunBoth(1 * kSecond);
+  const ClusterId central = fast->acting_central();
+  Both([&](EdgeCloudSystem& s) { s.FailMaster(central); });
+  EXPECT_NE(fast->acting_central(), central);
+  EXPECT_EQ(fast->acting_central(), slow->acting_central());
+  EXPECT_GT(fast->sync_stats().full_resyncs, 0);
+  RunBoth(2 * kSecond);
+  ExpectStoragesIdentical();
+  Both([&](EdgeCloudSystem& s) { s.RecoverMaster(central); });
+  EXPECT_EQ(fast->acting_central(), central);  // original central reclaims
+  RunBoth(4 * kSecond);
+  ExpectStoragesIdentical();
+  ExpectOutcomesIdentical();
+}
+
+TEST_F(DeltaSyncFixture, DrainUndrainKeepsStoragesIdentical) {
+  SubmitBoth(MixedTrace(30));
+  RunBoth(1 * kSecond);
+  Both([](EdgeCloudSystem& s) { s.DrainWorker(NodeId{3}); });
+  RunBoth(2 * kSecond);
+  const auto* drained = fast->BeStorage().Find(NodeId{3});
+  ASSERT_NE(drained, nullptr);
+  EXPECT_TRUE(drained->draining);
+  EXPECT_EQ(drained->cpu_available, 0);
+  ExpectStoragesIdentical();
+  Both([](EdgeCloudSystem& s) { s.UndrainWorker(NodeId{3}); });
+  RunBoth(4 * kSecond);
+  ExpectStoragesIdentical();
+  ExpectOutcomesIdentical();
+}
+
+TEST_F(DeltaSyncFixture, IncrementalMetricsMatchFullScan) {
+  SubmitBoth(MixedTrace(60));
+  RunBoth(6 * kSecond);
+  const auto& fp = fast->periods();
+  const auto& sp = slow->periods();
+  ASSERT_EQ(fp.size(), sp.size());
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    EXPECT_EQ(fp[i].util_total, sp[i].util_total) << "period " << i;
+    EXPECT_EQ(fp[i].util_lc, sp[i].util_lc) << "period " << i;
+    EXPECT_EQ(fp[i].util_be, sp[i].util_be) << "period " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tango::k8s

@@ -252,5 +252,161 @@ TEST(Simulator, PendingEventCountTracksQueue) {
   EXPECT_EQ(sim.pending_events(), 0u);
 }
 
+// ---- First-class periodic events -----------------------------------------
+
+TEST(Simulator, StartPeriodicMatchesScheduleAfterChain) {
+  // The in-place re-arm must order identically to the old pattern of the
+  // callback re-scheduling itself: the next tick's sequence number is drawn
+  // at fire time, so a same-timestamp one-shot scheduled earlier runs first
+  // and one scheduled later (by a later event) runs after.
+  auto run = [](bool first_class) {
+    Simulator sim;
+    std::vector<std::pair<SimTime, int>> order;
+    if (first_class) {
+      sim.StartPeriodic(10, 10, [&] { order.push_back({sim.Now(), 0}); });
+    } else {
+      struct Chain {
+        Simulator* s;
+        std::vector<std::pair<SimTime, int>>* order;
+        void operator()() const {
+          order->push_back({s->Now(), 0});
+          s->ScheduleAfter(10, Chain{s, order});
+        }
+      };
+      sim.ScheduleAt(10, Chain{&sim, &order});
+    }
+    // Competing one-shots at the tick timestamps, armed before and after.
+    sim.ScheduleAt(20, [&] { order.push_back({sim.Now(), 1}); });
+    sim.ScheduleAt(15, [&] {
+      sim.ScheduleAt(30, [&] { order.push_back({sim.Now(), 2}); });
+    });
+    sim.RunUntil(45);
+    return order;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Simulator, CancelStopsPeriodicFromOutside) {
+  Simulator sim;
+  int ticks = 0;
+  const EventHandle h = sim.StartPeriodic(10, 10, [&] { ++ticks; });
+  sim.RunUntil(35);
+  EXPECT_EQ(ticks, 3);
+  sim.Cancel(h);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.RunUntil(1000);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(Simulator, PeriodicCanCancelItselfMidTick) {
+  Simulator sim;
+  int ticks = 0;
+  EventHandle h = kInvalidEvent;
+  h = sim.StartPeriodic(10, 10, [&] {
+    if (++ticks == 2) sim.Cancel(h);
+  });
+  sim.RunAll();
+  EXPECT_EQ(ticks, 2);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, StaleHandleAfterSlotReuseIsNoOp) {
+  Simulator sim;
+  bool first = false;
+  bool second = false;
+  const EventHandle h1 = sim.ScheduleAt(10, [&] { first = true; });
+  sim.Cancel(h1);  // frees the slot
+  const EventHandle h2 = sim.ScheduleAt(20, [&] { second = true; });
+  sim.Cancel(h1);  // stale generation: must NOT cancel the reused slot
+  sim.RunAll();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(Simulator, CancelOfFiredOneShotIsNoOp) {
+  Simulator sim;
+  EventHandle h = kInvalidEvent;
+  bool later = false;
+  h = sim.ScheduleAt(10, [] {});
+  sim.ScheduleAt(20, [&] { later = true; });
+  sim.RunUntil(15);
+  sim.Cancel(h);  // already fired; slot may host another event by now
+  sim.RunAll();
+  EXPECT_TRUE(later);
+}
+
+TEST(Simulator, PendingExactAfterHeavyCancelChurn) {
+  // Cancellation removes events immediately — no tombstones — so the
+  // pending count stays exact through arbitrary cancel/re-schedule churn.
+  Simulator sim;
+  std::vector<EventHandle> pending;
+  for (int i = 0; i < 100; ++i) {
+    pending.push_back(sim.ScheduleAt(1000 + i, [] {}));
+  }
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 100; i += 2) {
+      sim.Cancel(pending[static_cast<std::size_t>(i)]);
+      pending[static_cast<std::size_t>(i)] =
+          sim.ScheduleAt(1000 + round, [] {});
+    }
+    EXPECT_EQ(sim.pending_events(), 100u);
+  }
+  sim.RunAll();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // Only the 100 live events plus what actually fired ran; churn executed
+  // nothing extra.
+  EXPECT_EQ(sim.executed_events(), 100u);
+}
+
+TEST(Simulator, SteadyStateSchedulingAllocatesNothing) {
+  Simulator sim;
+  // Warm-up grows the pool to its high-water mark.
+  std::vector<EventHandle> pending;
+  for (int i = 0; i < 64; ++i) {
+    pending.push_back(sim.ScheduleAt(100 + i, [] {}));
+  }
+  const EventHandle tick = sim.StartPeriodic(50, 100, [] {});
+  sim.RunUntil(200);
+  const std::int64_t warm = sim.alloc_events();
+  // Steady state: schedule/cancel/fire churn at the same concurrency.
+  for (int round = 0; round < 200; ++round) {
+    for (auto& h : pending) {
+      sim.Cancel(h);
+      h = sim.ScheduleAfter(100, [] {});
+    }
+    sim.RunUntil(sim.Now() + 10);
+  }
+  sim.Cancel(tick);  // a live periodic re-arms forever; RunAll must drain
+  sim.RunAll();
+  EXPECT_EQ(sim.alloc_events(), warm);
+}
+
+TEST(Simulator, OversizedCallbackCountsAsAllocEvent) {
+  Simulator sim;
+  const std::int64_t before = sim.alloc_events();
+  struct Big {
+    char payload[256];
+  };
+  Big big{};
+  big.payload[0] = 1;
+  bool ran = false;
+  sim.ScheduleAt(10, [big, &ran] { ran = big.payload[0] == 1; });
+  EXPECT_GE(sim.alloc_events(), before + 1);  // heap fallback is counted
+  sim.RunAll();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, ReserveEventsPrewarmsPool) {
+  Simulator sim;
+  sim.ReserveEvents(128);
+  const std::int64_t after_reserve = sim.alloc_events();
+  for (int i = 0; i < 100; ++i) {
+    sim.ScheduleAt(10 + i, [] {});
+  }
+  EXPECT_EQ(sim.alloc_events(), after_reserve);
+  sim.RunAll();
+}
+
 }  // namespace
 }  // namespace tango::sim

@@ -42,6 +42,10 @@ run_config() {
 
 if [[ "$what" == "all" || "$what" == "plain" ]]; then
   run_config plain "$repo_root/build"
+  # Fast-path identity + zero-allocation asserts, no timing gates. Run from
+  # the build dir so a smoke run never touches a committed BENCH_*.json.
+  echo "== [plain] perf_sim --smoke =="
+  (cd "$repo_root/build" && bench/perf_sim --smoke)
 fi
 
 if [[ "$what" == "all" || "$what" == "sanitize" ]]; then

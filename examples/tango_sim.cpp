@@ -3,7 +3,7 @@
 // Runs one experiment from flags and optionally exports per-request and
 // per-period CSVs for offline analysis:
 //
-//   $ ./examples/tango_sim --framework=tango --clusters=6 --lc-rps=60 \\
+//   $ ./examples/tango_sim --framework=tango --clusters=6 --lc-rps=60
 //         --be-rps=12 --duration-s=45 --seed=7 --records=run.csv
 //
 // Flags (all optional):

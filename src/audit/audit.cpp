@@ -1,0 +1,63 @@
+#include "audit/audit.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tango::audit {
+
+namespace {
+// Parallel DSS-LC workers run checks concurrently, so the counter is
+// relaxed-atomic rather than plain.
+std::atomic<std::int64_t>& CheckCounter() {
+  static std::atomic<std::int64_t> counter{0};
+  return counter;
+}
+}  // namespace
+
+std::int64_t checks_run() {
+  return CheckCounter().load(std::memory_order_relaxed);
+}
+
+namespace internal {
+void CountCheck() {
+  CheckCounter().fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace internal
+
+std::string Detail(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+void Fail(const char* file, int line, const Report& report) {
+  // One flat block on stderr: greppable banner first (the death tests match
+  // it), then every structured field on its own line.
+  std::fprintf(stderr,
+               "AUDIT VIOLATION [%s] %s\n"
+               "  at       %s:%d\n"
+               "  sim_time %lld\n"
+               "  node     %d\n"
+               "  service  %d\n"
+               "  detail   %s\n",
+               report.subsystem, report.invariant, file, line,
+               static_cast<long long>(report.sim_time), report.node,
+               report.service,
+               report.detail.empty() ? "-" : report.detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tango::audit

@@ -1,0 +1,161 @@
+// TangoAudit: a zero-cost-when-off runtime invariant auditor.
+//
+// The paper's correctness claims are ordering and conservation properties —
+// D-VPA's strict CGroup write order (§4.2), LC>BE preemption never
+// oversubscribing a node (§4.1), MCMF solutions that conserve flow and are
+// provably optimal (§5.2), and the delta state-sync protocol whose skips must
+// be observationally identical to full pushes. Under `-DTANGO_AUDIT=ON` every
+// mutation boundary re-checks its invariant and aborts with a structured
+// report on the first violation; with the option off (the default) every
+// macro below compiles to nothing — the discarded `if constexpr` branch still
+// type-checks, so audit code cannot bit-rot, but no instruction is emitted.
+//
+// Usage at a mutation site:
+//
+//   AUDIT_CHECK(sum_grants <= spec_.capacity.cpu,
+//               .subsystem = "node", .invariant = "node.cpu_conservation",
+//               .sim_time = sim_->Now(), .node = spec_.id.value,
+//               .detail = audit::Detail("granted %lld of %lld", ...));
+//
+// The variadic tail designated-initializes an audit::Report; `detail` is only
+// evaluated when the check fails (string construction happens inside the
+// failure branch). AUDIT_SCOPE(fn) runs `fn` at scope entry and exit,
+// bracketing a mutation with a before/after consistency sweep.
+//
+// Subsystems with non-trivial state expose member auditors built from these
+// macros (Hierarchy::Audit, MinCostMaxFlow::AuditSolution,
+// Simulator::AuditHeap); pure-data invariants live in audit/checkers.h so the
+// seeded-bug death tests can feed them corrupt values directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace tango::audit {
+
+#if defined(TANGO_AUDIT)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// Structured description of one invariant violation. Every field is
+/// optional except the subsystem and invariant id; -1 means "not known at
+/// this check site".
+struct Report {
+  const char* subsystem = "?";  ///< "cgroup", "node", "flow", "sim", "sync"…
+  const char* invariant = "?";  ///< catalog id, e.g. "flow.conservation"
+  SimTime sim_time = -1;        ///< virtual time of the mutation, if any
+  std::int32_t node = -1;       ///< NodeId::value involved, if any
+  std::int32_t service = -1;    ///< ServiceId::value involved, if any
+  std::string detail;           ///< free-form specifics (values, paths)
+};
+
+/// printf-style helper for Report::detail. Only called on the failure path,
+/// so the allocation it performs never taxes a passing check.
+std::string Detail(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Print the structured report to stderr and abort. Never returns; the
+/// death tests match on the "AUDIT VIOLATION" banner it prints.
+[[noreturn]] void Fail(const char* file, int line, const Report& report);
+
+/// Number of AUDIT_CHECKs evaluated so far (always 0 when audit is off).
+/// Tests use this to prove a code path's checkers are actually live.
+std::int64_t checks_run();
+
+namespace internal {
+void CountCheck();
+}  // namespace internal
+
+/// Pluggable checker registry: a subsystem owner (e.g. EdgeCloudSystem)
+/// registers named whole-state sweeps and runs them at its mutation
+/// boundaries. Registration is a no-op when audit is off, so owners can
+/// register unconditionally.
+class Registry {
+ public:
+  void Register(std::string name, std::function<void()> checker) {
+    if constexpr (kEnabled) {
+      checkers_.push_back({std::move(name), std::move(checker)});
+    } else {
+      (void)name;
+      (void)checker;
+    }
+  }
+
+  /// Run every registered checker (each aborts via Fail on violation).
+  void RunAll() const {
+    for (const auto& c : checkers_) c.fn();
+  }
+
+  std::size_t size() const { return checkers_.size(); }
+
+ private:
+  struct Named {
+    std::string name;
+    std::function<void()> fn;
+  };
+  std::vector<Named> checkers_;
+};
+
+/// RAII guard behind AUDIT_SCOPE: runs the checker on entry and again on
+/// exit, so any invariant broken inside the scope is caught even when the
+/// individual mutation sites lack their own checks.
+template <typename Fn>
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(Fn fn) : fn_(std::move(fn)) { fn_(); }
+  ~ScopeGuard() { fn_(); }
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace tango::audit
+
+// AUDIT_CHECK(cond, <designated Report initializers>): verify `cond` at a
+// mutation boundary. The whole statement is discarded at compile time when
+// TANGO_AUDIT is off (it must still type-check, which keeps audit-only code
+// from rotting). The Report — including any Detail(...) string — is built
+// only on the failure path.
+#define AUDIT_CHECK(cond, ...)                                       \
+  do {                                                               \
+    if constexpr (::tango::audit::kEnabled) {                        \
+      ::tango::audit::internal::CountCheck();                        \
+      if (!(cond)) {                                                 \
+        ::tango::audit::Fail(__FILE__, __LINE__,                     \
+                             ::tango::audit::Report{__VA_ARGS__});   \
+      }                                                              \
+    }                                                                \
+  } while (0)
+
+// Unconditional structured failure (the "else" arm of a hand-rolled check).
+#define AUDIT_FAIL(...)                                              \
+  ::tango::audit::Fail(__FILE__, __LINE__,                           \
+                       ::tango::audit::Report{__VA_ARGS__})
+
+#define TANGO_AUDIT_CONCAT_INNER(a, b) a##b
+#define TANGO_AUDIT_CONCAT(a, b) TANGO_AUDIT_CONCAT_INNER(a, b)
+
+// AUDIT_SCOPE(fn): run the callable now and again at scope exit. Compiles to
+// nothing when audit is off.
+#if defined(TANGO_AUDIT)
+#define AUDIT_SCOPE(fn)                                              \
+  ::tango::audit::ScopeGuard TANGO_AUDIT_CONCAT(audit_scope_,        \
+                                                __LINE__) {          \
+    (fn)                                                             \
+  }
+#else
+#define AUDIT_SCOPE(fn)   \
+  do {                    \
+    if constexpr (false) { \
+      (fn)();             \
+    }                     \
+  } while (0)
+#endif

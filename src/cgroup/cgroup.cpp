@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "audit/audit.h"
+#include "audit/checkers.h"
 #include "common/logging.h"
 
 namespace tango::cgroup {
@@ -45,6 +47,7 @@ Hierarchy::Hierarchy() {
 
 Group* Hierarchy::Create(const std::string& parent_path,
                          const std::string& name) {
+  AUDIT_SCOPE([this] { Audit(); });
   Group* parent = Find(parent_path);
   if (parent == nullptr) return nullptr;
   const std::string path = parent_path + "/" + name;
@@ -59,6 +62,7 @@ Group* Hierarchy::Create(const std::string& parent_path,
 }
 
 WriteResult Hierarchy::Remove(const std::string& path) {
+  AUDIT_SCOPE([this] { Audit(); });
   auto it = groups_.find(path);
   if (it == groups_.end()) return WriteResult::kNoSuchGroup;
   Group* g = it->second.get();
@@ -120,6 +124,9 @@ bool Hierarchy::AnyChildMemoryExceeds(const Group& g, MiB limit) const {
 
 WriteResult Hierarchy::WriteCpuQuota(const std::string& path,
                                      std::int64_t quota_us) {
+  // Bracket the mutation: the hierarchy must be consistent both before the
+  // write and after it, whether it succeeds or returns EINVAL.
+  AUDIT_SCOPE([this] { Audit(); });
   Group* g = Find(path);
   if (g == nullptr) return WriteResult::kNoSuchGroup;
   if (quota_us == 0 || quota_us < -1) return WriteResult::kInvalidArgument;
@@ -143,6 +150,7 @@ WriteResult Hierarchy::WriteCpuShares(const std::string& path,
 }
 
 WriteResult Hierarchy::WriteMemoryLimit(const std::string& path, MiB limit) {
+  AUDIT_SCOPE([this] { Audit(); });
   Group* g = Find(path);
   if (g == nullptr) return WriteResult::kNoSuchGroup;
   if (limit == 0 || limit < -1) return WriteResult::kInvalidArgument;
@@ -152,6 +160,62 @@ WriteResult Hierarchy::WriteMemoryLimit(const std::string& path, MiB limit) {
   ++writes_;
   return WriteResult::kOk;
 }
+
+void Hierarchy::Audit() const {
+  for (const auto& [path, g] : groups_) {
+    const Group* parent = g->parent_;
+    if (parent != nullptr) {
+      // Structural coherence: the path nests under the parent's and the
+      // parent lists this group among its children.
+      AUDIT_CHECK(path.compare(0, parent->path_.size() + 1,
+                               parent->path_ + "/") == 0,
+                  .subsystem = "cgroup", .invariant = "cgroup.path_nesting",
+                  .detail = audit::Detail("%s not nested under %s",
+                                          path.c_str(),
+                                          parent->path_.c_str()));
+      AUDIT_CHECK(std::find(parent->children_.begin(),
+                            parent->children_.end(),
+                            g.get()) != parent->children_.end(),
+                  .subsystem = "cgroup", .invariant = "cgroup.orphan_child",
+                  .detail = audit::Detail("%s missing from parent %s",
+                                          path.c_str(),
+                                          parent->path_.c_str()));
+      audit::checks::CheckCgroupBound(parent->knobs_.cpu_cfs_quota_us,
+                                      g->knobs_.cpu_cfs_quota_us,
+                                      "cpu.cfs_quota_us", path);
+      audit::checks::CheckCgroupBound(parent->knobs_.memory_limit,
+                                      g->knobs_.memory_limit,
+                                      "memory.limit_in_bytes", path);
+    }
+    // Pod-level groups (kubepods/<qos>/<pod>) must cover the sum of their
+    // containers' finite limits — D-VPA scales pod and container together
+    // precisely so containers can never overdraw the pod bound.
+    const auto depth = std::count(path.begin(), path.end(), '/');
+    if (depth == 2 && !g->children_.empty()) {
+      std::int64_t quota_sum = 0;
+      std::int64_t mem_sum = 0;
+      for (const Group* c : g->children_) {
+        if (c->knobs_.cpu_cfs_quota_us >= 0) {
+          quota_sum += c->knobs_.cpu_cfs_quota_us;
+        }
+        if (c->knobs_.memory_limit >= 0) mem_sum += c->knobs_.memory_limit;
+      }
+      audit::checks::CheckCgroupPodCoversChildren(
+          g->knobs_.cpu_cfs_quota_us, quota_sum, "cpu.cfs_quota_us", path);
+      audit::checks::CheckCgroupPodCoversChildren(
+          g->knobs_.memory_limit, mem_sum, "memory.limit_in_bytes", path);
+    }
+  }
+}
+
+#if defined(TANGO_AUDIT)
+void Hierarchy::SetCpuQuotaUncheckedForTest(const std::string& path,
+                                            std::int64_t quota_us) {
+  Group* g = Find(path);
+  TANGO_CHECK(g != nullptr, "no such group: %s", path.c_str());
+  g->knobs_.cpu_cfs_quota_us = quota_us;
+}
+#endif
 
 std::string Hierarchy::QosPath(QosClass qos) {
   return std::string("kubepods/") + QosClassName(qos);

@@ -98,6 +98,20 @@ class Hierarchy {
   /// Number of successful knob writes so far (drives the op-latency model).
   std::int64_t write_count() const { return writes_; }
 
+  /// Audit sweep over the whole hierarchy (§4.2 invariants): every child's
+  /// finite limit within its parent's, pod-level limits covering the sum of
+  /// their containers', and parent/child structure coherent. Aborts with a
+  /// structured report on violation; every check in it compiles to nothing
+  /// when TANGO_AUDIT is off. Re-run after each successful mutation.
+  void Audit() const;
+
+#if defined(TANGO_AUDIT)
+  /// Seeded-bug hook for the audit death tests: bypass the EINVAL
+  /// validation and plant a raw quota value, so Audit() provably fires.
+  void SetCpuQuotaUncheckedForTest(const std::string& path,
+                                   std::int64_t quota_us);
+#endif
+
   /// Standard kubepods QoS-level path, e.g. "kubepods/burstable".
   static std::string QosPath(QosClass qos);
 

@@ -76,6 +76,24 @@ class MinCostMaxFlow {
   /// Flat across Reset/AddArc/Solve cycles ⇔ the solver is allocation-free.
   std::int64_t alloc_events() const { return alloc_events_; }
 
+  /// Audit the last Solve's solution (§5.2): per-arc capacity respect, flow
+  /// conservation at every interior node, the max-flow certificate (an
+  /// unsaturated solve leaves the sink unreachable in the residual graph),
+  /// and the reduced-cost optimality certificate (no residual arc reachable
+  /// from `source` has negative reduced cost under the Johnson potentials).
+  /// Solve() re-runs this automatically in audit builds; every check inside
+  /// compiles to nothing when TANGO_AUDIT is off.
+  void AuditSolution(int source, int sink, FlowUnit expected_flow,
+                     bool saturated) const;
+
+#if defined(TANGO_AUDIT)
+  /// Seeded-bug hook for the audit death tests: clobber a forward arc's
+  /// residual capacity so AuditSolution provably fires.
+  void CorruptArcForTest(int arc_id, FlowUnit residual) {
+    arcs_[static_cast<std::size_t>(2 * arc_id)].cap = residual;
+  }
+#endif
+
  private:
   struct Arc {
     int to;

@@ -3,9 +3,67 @@
 #include <algorithm>
 #include <cmath>
 
+#include "audit/audit.h"
+#include "audit/checkers.h"
 #include "common/logging.h"
 
 namespace tango::k8s {
+
+namespace {
+
+using OrderLevel = audit::checks::DvpaOrderChecker::Level;
+
+/// D-VPA ordered CPU write against the node's own hierarchy: the direction
+/// is chosen from the current pod-level bound (§4.2 — expand pod→container,
+/// shrink container→pod), so neither write can bounce off the parent-bound
+/// EINVAL. The order checker audits level order and verdicts under
+/// TANGO_AUDIT.
+void OrderedQuotaWrite(cgroup::Hierarchy& h, const std::string& pod_path,
+                       const std::string& container_path, std::int64_t quota,
+                       SimTime now, std::int32_t node, std::int32_t service) {
+  audit::checks::DvpaOrderChecker order(now, node, service);
+  const cgroup::Group* pod = h.Find(pod_path);
+  const std::int64_t old_pod =
+      pod != nullptr ? pod->knobs().cpu_cfs_quota_us : -1;
+  order.BeginKind("cpu.cfs_quota_us", old_pod, quota);
+  const bool shrink = old_pod >= 0 && quota < old_pod;
+  const auto write = [&](const std::string& path, OrderLevel level) {
+    order.OnWrite(level,
+                  h.WriteCpuQuota(path, quota) == cgroup::WriteResult::kOk);
+  };
+  if (shrink) {
+    write(container_path, OrderLevel::kContainer);
+    write(pod_path, OrderLevel::kPod);
+  } else {
+    write(pod_path, OrderLevel::kPod);
+    write(container_path, OrderLevel::kContainer);
+  }
+}
+
+/// Memory twin of OrderedQuotaWrite.
+void OrderedMemoryWrite(cgroup::Hierarchy& h, const std::string& pod_path,
+                        const std::string& container_path, MiB limit,
+                        SimTime now, std::int32_t node, std::int32_t service) {
+  audit::checks::DvpaOrderChecker order(now, node, service);
+  const cgroup::Group* pod = h.Find(pod_path);
+  const MiB old_pod = pod != nullptr ? pod->knobs().memory_limit : -1;
+  order.BeginKind("memory.limit_in_bytes", old_pod, limit);
+  const bool shrink = old_pod >= 0 && limit < old_pod;
+  const auto write = [&](const std::string& path, OrderLevel level) {
+    order.OnWrite(level,
+                  h.WriteMemoryLimit(path, limit) ==
+                      cgroup::WriteResult::kOk);
+  };
+  if (shrink) {
+    write(container_path, OrderLevel::kContainer);
+    write(pod_path, OrderLevel::kPod);
+  } else {
+    write(pod_path, OrderLevel::kPod);
+    write(container_path, OrderLevel::kContainer);
+  }
+}
+
+}  // namespace
 
 WorkerNode::WorkerNode(sim::Simulator* sim, NodeSpec spec,
                        const workload::ServiceCatalog* catalog,
@@ -188,15 +246,20 @@ void WorkerNode::TryAdmit() {
                   r.exec_start = sim_->Now();
                   r.activation = sim::kInvalidEvent;
                   ++scaling_ops_;
-                  // D-VPA ordered writes: expand pod first, then container.
+                  // D-VPA ordered writes, direction chosen per knob from
+                  // the current pod bound (a re-admission after the
+                  // completion-time floor expands; a reassurance shrink of
+                  // the service demand contracts).
                   const std::string cpath =
                       ContainerCgroupPath(r.slot.service);
                   const std::string ppath =
                       cpath.substr(0, cpath.rfind('/'));
-                  cgroups_.WriteCpuQuota(ppath, r.slot.need.cpu * 100);
-                  cgroups_.WriteCpuQuota(cpath, r.slot.need.cpu * 100);
-                  cgroups_.WriteMemoryLimit(ppath, r.slot.need.mem);
-                  cgroups_.WriteMemoryLimit(cpath, r.slot.need.mem);
+                  OrderedQuotaWrite(cgroups_, ppath, cpath,
+                                    r.slot.need.cpu * 100, sim_->Now(),
+                                    spec_.id.value, r.slot.service.value);
+                  OrderedMemoryWrite(cgroups_, ppath, cpath, r.slot.need.mem,
+                                     sim_->Now(), spec_.id.value,
+                                     r.slot.service.value);
                   Recompute();
                   return;
                 }
@@ -260,6 +323,11 @@ void WorkerNode::Recompute() {
   }
   MarkDirty();
   RefreshUsage();
+  // §4.1 conservation at the grant boundary: preemption may reshuffle CPU
+  // between LC and BE, but the node can never hand out more than it has.
+  audit::checks::CheckNodeConservation(sim_->Now(), spec_.id.value,
+                                       spec_.capacity.cpu, use_total_,
+                                       spec_.capacity.mem, mem_use_);
   in_recompute_ = false;
 }
 
@@ -308,12 +376,14 @@ void WorkerNode::CompleteAt(RequestId id) {
   }
   Running done = std::move(*it);
   running_.erase(it);
-  // D-VPA reclaims resources on completion: shrink container, then pod.
+  // D-VPA reclaims resources on completion: floor the quota (10 millicores)
+  // in the direction-correct order — a shrink for any real demand, but an
+  // expansion when the demand sat below the floor.
   if (policy_->AdmissionLatency() > 0) {
     const std::string cpath = ContainerCgroupPath(done.slot.service);
     const std::string ppath = cpath.substr(0, cpath.rfind('/'));
-    cgroups_.WriteCpuQuota(cpath, 1000);  // floor quota, 10 millicores
-    cgroups_.WriteCpuQuota(ppath, 1000);
+    OrderedQuotaWrite(cgroups_, ppath, cpath, 1000, sim_->Now(),
+                      spec_.id.value, done.slot.service.value);
   }
   if (callbacks_.on_complete) {
     CompletionInfo info;
@@ -376,10 +446,34 @@ void WorkerNode::SweepQueues() {
 }
 
 metrics::NodeSnapshot WorkerNode::Snapshot(SimTime now) const {
+  if constexpr (audit::kEnabled) {
+    // The O(1) incremental telemetry must agree with a fresh rescan of the
+    // running set at every read boundary.
+    Millicores total = 0;
+    Millicores lc = 0;
+    MiB mem = 0;
+    for (const auto& r : running_) {
+      total += r.grant;
+      mem += r.slot.need.mem;
+      if (r.slot.is_lc) lc += r.grant;
+    }
+    audit::checks::CheckUsageCache(now, spec_.id.value, "cpu_in_use",
+                                   use_total_, total);
+    audit::checks::CheckUsageCache(now, spec_.id.value, "cpu_in_use_lc",
+                                   use_lc_, lc);
+    audit::checks::CheckUsageCache(now, spec_.id.value, "mem_in_use",
+                                   mem_use_, mem);
+  }
   if (tunables_.cache_snapshots && snap_cache_version_ == state_version_) {
     snap_cache_.recorded_at = now;
     return snap_cache_;
   }
+  snap_cache_ = SnapshotFresh(now);
+  snap_cache_version_ = state_version_;
+  return snap_cache_;
+}
+
+metrics::NodeSnapshot WorkerNode::SnapshotFresh(SimTime now) const {
   metrics::NodeSnapshot s;
   s.node = spec_.id;
   s.cluster = spec_.cluster;
@@ -399,8 +493,6 @@ metrics::NodeSnapshot WorkerNode::Snapshot(SimTime now) const {
     s.running_lc = alive_ ? running_lc() : 0;
     s.running_be = alive_ ? running_count() - running_lc() : 0;
     s.queued = alive_ ? queued_count() : 0;
-    snap_cache_ = s;
-    snap_cache_version_ = state_version_;
     return s;
   }
   s.cpu_available = std::max<Millicores>(0, spec_.capacity.cpu - cpu_in_use());
@@ -416,8 +508,6 @@ metrics::NodeSnapshot WorkerNode::Snapshot(SimTime now) const {
   s.running_lc = running_lc();
   s.running_be = running_count() - running_lc();
   s.queued = queued_count();
-  snap_cache_ = s;
-  snap_cache_version_ = state_version_;
   return s;
 }
 

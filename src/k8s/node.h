@@ -125,6 +125,11 @@ class WorkerNode {
   /// last call; `recorded_at` is stamped with `now` either way.
   metrics::NodeSnapshot Snapshot(SimTime now) const;
 
+  /// Cache-bypassing rebuild — always recomputes from live state. The
+  /// TANGO_AUDIT delta-identity checker uses it to prove that a skipped
+  /// push would have been content-identical to the stored snapshot.
+  metrics::NodeSnapshot SnapshotFresh(SimTime now) const;
+
   /// Scaling operations performed (D-VPA ops under HRM; 0 under native).
   std::int64_t scaling_ops() const { return scaling_ops_; }
 

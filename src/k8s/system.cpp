@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "audit/audit.h"
+#include "audit/checkers.h"
 #include "common/logging.h"
 #include "common/stats.h"
 
@@ -706,7 +708,21 @@ void EdgeCloudSystem::SyncState(SimTime now) {
       for (const auto& w : other.workers) {
         const auto slot = static_cast<std::size_t>(
             worker_slot_[static_cast<std::size_t>(w->id().value)]);
+        if constexpr (audit::kEnabled) {
+          audit::checks::CheckVersionMonotonic(now, w->id().value,
+                                               cl.lc_seen[slot],
+                                               w->state_version());
+        }
         if (delta && cl.lc_seen[slot] == w->state_version()) {
+          if constexpr (audit::kEnabled) {
+            // The skip claims the stored snapshot is still exact: prove it
+            // by rebuilding from live state, bypassing the node's cache.
+            const metrics::NodeSnapshot* stored = cl.lc_storage.Find(w->id());
+            audit::checks::CheckDeltaIdentity(
+                now, w->id().value,
+                stored != nullptr &&
+                    metrics::SameContent(*stored, w->SnapshotFresh(now)));
+          }
           ++sync_stats_.pushes_skipped;
           continue;
         }
@@ -734,7 +750,19 @@ void EdgeCloudSystem::SyncState(SimTime now) {
       for (const auto& w : cl.workers) {
         const auto slot = static_cast<std::size_t>(
             worker_slot_[static_cast<std::size_t>(w->id().value)]);
+        if constexpr (audit::kEnabled) {
+          audit::checks::CheckVersionMonotonic(now, w->id().value,
+                                               be_seen_[slot],
+                                               w->state_version());
+        }
         if (delta && be_seen_[slot] == w->state_version()) {
+          if constexpr (audit::kEnabled) {
+            const metrics::NodeSnapshot* stored = be_storage_.Find(w->id());
+            audit::checks::CheckDeltaIdentity(
+                now, w->id().value,
+                stored != nullptr &&
+                    metrics::SameContent(*stored, w->SnapshotFresh(now)));
+          }
           ++sync_stats_.pushes_skipped;
           continue;
         }

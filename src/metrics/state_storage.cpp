@@ -1,6 +1,20 @@
 #include "metrics/state_storage.h"
 
+#include "audit/audit.h"
+
 namespace tango::metrics {
+
+bool SameContent(const NodeSnapshot& a, const NodeSnapshot& b) {
+  return a.node == b.node && a.cluster == b.cluster &&
+         a.is_master == b.is_master && a.cpu_total == b.cpu_total &&
+         a.cpu_available == b.cpu_available && a.mem_total == b.mem_total &&
+         a.mem_available == b.mem_available &&
+         a.cpu_available_lc == b.cpu_available_lc &&
+         a.mem_available_lc == b.mem_available_lc &&
+         a.running_lc == b.running_lc && a.running_be == b.running_be &&
+         a.queued == b.queued && a.alive == b.alive &&
+         a.draining == b.draining && a.slack_score == b.slack_score;
+}
 
 void StateStorage::Update(const NodeSnapshot& snap) {
   auto it = nodes_.find(snap.node);

@@ -55,6 +55,11 @@ struct NodeSnapshot {
   SimTime recorded_at = 0;
 };
 
+/// Content equality modulo `recorded_at` — the equivalence the delta sync
+/// protocol's skip decision must preserve (version equality ⇒ content
+/// equality). Used by the TANGO_AUDIT delta-identity checker.
+bool SameContent(const NodeSnapshot& a, const NodeSnapshot& b);
+
 /// Per-master view of the (geo-nearby or global) system state.
 class StateStorage {
  public:

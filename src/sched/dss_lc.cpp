@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <unordered_set>
 
+#include "audit/audit.h"
+#include "audit/checkers.h"
 #include "common/logging.h"
 
 namespace tango::sched {
@@ -331,6 +334,26 @@ std::vector<Assignment> DssLcScheduler::Schedule(
     overflow_routed_ += outcome.overflow;
   }
 
+  if constexpr (audit::kEnabled) {
+    // Post-merge sweep (§5.2 / §4.1): every assignment lands on a node that
+    // survived the liveness filter, and no request is dispatched twice.
+    std::unordered_set<std::int32_t> usable;
+    usable.reserve(snapshots.size());
+    for (const auto& s : snapshots) usable.insert(s.node.value);
+    std::unordered_set<std::int32_t> assigned;
+    assigned.reserve(out.size());
+    for (const auto& a : out) {
+      audit::checks::CheckLcTargetUsable(now, a.target.value,
+                                         usable.count(a.target.value) != 0);
+      audit::checks::CheckUniqueAssignment(
+          now, a.request.value, !assigned.insert(a.request.value).second);
+    }
+    AUDIT_CHECK(out.size() <= queue.size(), .subsystem = "sched",
+                .invariant = "sched.assignment_count", .sim_time = now,
+                .detail = audit::Detail("%zu assignments from a queue of "
+                                        "%zu",
+                                        out.size(), queue.size()));
+  }
   round.assigned = static_cast<int>(out.size());
   round.left_queued = static_cast<int>(queue.size()) - round.assigned;
   last_round_ = round;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "audit/audit.h"
 #include "common/logging.h"
 
 namespace tango::sim {
@@ -105,6 +106,7 @@ EventHandle Simulator::ScheduleAt(SimTime when, Callback cb) {
   n.period = 0;
   n.cb = std::move(cb);
   HeapPush(slot);
+  if constexpr (audit::kEnabled) AuditHeapThrottled();
   return MakeHandle(slot, n.generation);
 }
 
@@ -121,6 +123,7 @@ EventHandle Simulator::StartPeriodic(SimTime first, SimDuration period,
   n.period = period;
   n.cb = std::move(cb);
   HeapPush(slot);
+  if constexpr (audit::kEnabled) AuditHeapThrottled();
   return MakeHandle(slot, n.generation);
 }
 
@@ -141,6 +144,7 @@ void Simulator::Cancel(EventHandle handle) {
   if (n.heap_index < 0) return;
   HeapRemoveAt(static_cast<std::size_t>(n.heap_index));
   FreeSlot(static_cast<std::uint32_t>(slot));
+  if constexpr (audit::kEnabled) AuditHeapThrottled();
 }
 
 bool Simulator::PopAndRun() {
@@ -173,10 +177,87 @@ bool Simulator::PopAndRun() {
     FreeSlot(slot);
     cb();
   }
+  if constexpr (audit::kEnabled) AuditHeapThrottled();
   return true;
 }
 
 bool Simulator::Step() { return PopAndRun(); }
+
+void Simulator::AuditHeapThrottled() const {
+  // Full sweep every 64th mutation: O(pool) per sweep, so per-event
+  // auditing would turn large simulations quadratic. Deterministic, so
+  // audit runs stay reproducible.
+  if ((++audit_tick_ & 63) == 0) AuditHeap();
+}
+
+void Simulator::AuditHeap() const {
+  std::size_t firing = 0;
+  for (std::size_t slot = 0; slot < pool_.size(); ++slot) {
+    const Node& n = pool_[slot];
+    if (n.firing) ++firing;
+    if (n.heap_index < 0) continue;
+    const auto index = static_cast<std::size_t>(n.heap_index);
+    AUDIT_CHECK(index < heap_.size() && heap_[index] == slot,
+                .subsystem = "sim", .invariant = "sim.heap_index_coherence",
+                .sim_time = now_,
+                .detail = audit::Detail(
+                    "slot %zu claims heap index %zu (heap size %zu, entry "
+                    "%u)",
+                    slot, index, heap_.size(),
+                    index < heap_.size() ? heap_[index] : 0));
+  }
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const std::uint32_t slot = heap_[i];
+    AUDIT_CHECK(slot < pool_.size() &&
+                    pool_[slot].heap_index == static_cast<std::int32_t>(i),
+                .subsystem = "sim", .invariant = "sim.heap_back_index",
+                .sim_time = now_,
+                .detail = audit::Detail("heap[%zu] = slot %u whose back "
+                                        "index is %d",
+                                        i, slot,
+                                        slot < pool_.size()
+                                            ? pool_[slot].heap_index
+                                            : -2));
+    AUDIT_CHECK(pool_[slot].when >= now_, .subsystem = "sim",
+                .invariant = "sim.no_past_event", .sim_time = now_,
+                .detail = audit::Detail("heap[%zu] scheduled at %lld, now "
+                                        "%lld",
+                                        i,
+                                        static_cast<long long>(
+                                            pool_[slot].when),
+                                        static_cast<long long>(now_)));
+    if (i > 0) {
+      const std::uint32_t parent = heap_[(i - 1) / 2];
+      AUDIT_CHECK(!Before(slot, parent), .subsystem = "sim",
+                  .invariant = "sim.heap_order", .sim_time = now_,
+                  .detail = audit::Detail(
+                      "heap[%zu] (when %lld seq %llu) precedes its parent "
+                      "(when %lld seq %llu)",
+                      i, static_cast<long long>(pool_[slot].when),
+                      static_cast<unsigned long long>(pool_[slot].seq),
+                      static_cast<long long>(pool_[parent].when),
+                      static_cast<unsigned long long>(pool_[parent].seq)));
+    }
+  }
+  for (const std::uint32_t slot : free_) {
+    AUDIT_CHECK(slot < pool_.size() && pool_[slot].heap_index == -1 &&
+                    !pool_[slot].firing,
+                .subsystem = "sim", .invariant = "sim.freelist_detached",
+                .sim_time = now_,
+                .detail = audit::Detail("free slot %u still queued or "
+                                        "firing",
+                                        slot));
+  }
+  // Every slot is exactly one of queued, free, or firing; pending_events()
+  // stays exact because cancelled events leave the heap immediately.
+  AUDIT_CHECK(heap_.size() + free_.size() + firing == pool_.size(),
+              .subsystem = "sim", .invariant = "sim.slot_accounting",
+              .sim_time = now_,
+              .detail = audit::Detail("%zu queued + %zu free + %zu firing "
+                                      "!= %zu pool slots",
+                                      heap_.size(), free_.size(), firing,
+                                      pool_.size()));
+}
 
 void Simulator::RunUntil(SimTime until) {
   while (!heap_.empty() && pool_[heap_.front()].when <= until) {

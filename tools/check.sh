@@ -1,24 +1,28 @@
 #!/usr/bin/env bash
 # Build and test the project under several configs: a plain RelWithDebInfo
-# configure, an ASan+UBSan configure (-DTANGO_SANITIZE=ON), and a TSan
+# configure, an ASan+UBSan configure (-DTANGO_SANITIZE=ON), a TSan
 # configure (-DTANGO_TSAN=ON) that runs only the concurrency-touching tests
-# (thread pool, parallel DSS-LC, MCMF reuse, harness fan-out). All selected
-# configs must pass for check.sh to exit 0. Run from anywhere; paths are
-# relative to the repo root.
+# (thread pool, parallel DSS-LC, MCMF reuse, harness fan-out), and a
+# TangoAudit configure (-DTANGO_AUDIT=ON) that runs the full suite with
+# every runtime invariant checker live. `lint` runs tools/lint.py (no
+# build). All selected configs must pass for check.sh to exit 0. Run from
+# anywhere; paths are relative to the repo root.
 #
-#   $ tools/check.sh            # all configs
+#   $ tools/check.sh            # all configs + lint
 #   $ tools/check.sh plain      # only the plain config
 #   $ tools/check.sh sanitize   # only the ASan+UBSan config
 #   $ tools/check.sh tsan       # only the TSan config (parallel-path tests)
+#   $ tools/check.sh audit      # only the TANGO_AUDIT config (full suite)
+#   $ tools/check.sh lint       # only the project lint
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 what="${1:-all}"
 case "$what" in
-  all|plain|sanitize|tsan) ;;
+  all|plain|sanitize|tsan|audit|lint) ;;
   *)
-    echo "usage: tools/check.sh [all|plain|sanitize|tsan]" >&2
+    echo "usage: tools/check.sh [all|plain|sanitize|tsan|audit|lint]" >&2
     exit 2
     ;;
 esac
@@ -61,6 +65,17 @@ if [[ "$what" == "all" || "$what" == "tsan" ]]; then
   run_config tsan "$repo_root/build-tsan" \
     -R 'ThreadPool|ParallelDss|DssLc|McmfReuse|Harness|Experiment' \
     -DTANGO_TSAN=ON
+fi
+
+if [[ "$what" == "all" || "$what" == "audit" ]]; then
+  # Full suite with every AUDIT_CHECK live: any invariant violation aborts
+  # the offending test with a structured report.
+  run_config audit "$repo_root/build-audit" -DTANGO_AUDIT=ON -DTANGO_WERROR=ON
+fi
+
+if [[ "$what" == "all" || "$what" == "lint" ]]; then
+  echo "== [lint] tools/lint.py =="
+  python3 "$repo_root/tools/lint.py"
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Project lint: the static half of TangoAudit.
+
+Stdlib-only (the container has no third-party Python packages) and
+degrades gracefully when optional external tools are missing:
+
+  hot-path        no node-based std:: containers (map/set/list/unordered_*)
+                  in the allocation-free hot paths (src/sim, src/flow).
+  raw-new         no raw `new`/`delete` outside the event pool's SBO
+                  callback; annotate deliberate uses with
+                  `// tango-lint: allow(raw-new)`.
+  rng             no unseeded/global randomness (std::random_device,
+                  std::mt19937, rand, srand) — determinism is a test
+                  contract; use common/rng.h's seeded Rng.
+  headers         every header under src/ must be self-contained
+                  (compiles alone with `g++ -fsyntax-only`).
+  format          clang-format --dry-run over src/tests/bench/examples;
+                  skipped with a notice when clang-format is absent.
+  changelog       with --base REF: the diff against REF must touch
+                  CHANGES.md (every PR appends one line).
+
+Exit status 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories whose code runs on the simulator's per-event hot path: the
+# steady state must not allocate, so node-based containers are banned.
+HOT_PATH_DIRS = ("src/sim", "src/flow")
+
+HOT_PATH_BAN = re.compile(
+    r"std::(map|multimap|set|multiset|list|unordered_map|unordered_set"
+    r"|unordered_multimap|unordered_multiset)\s*<")
+
+# Raw allocation outside a pool. Placement new (`::new (ptr)` / `new (ptr)`)
+# is pool machinery and allowed; `new Foo` / `delete p` are not.
+RAW_NEW = re.compile(r"(?<![:\w])new\s+[A-Za-z_:]")
+PLACEMENT_NEW = re.compile(r"new\s*\(")
+RAW_DELETE = re.compile(r"(?<![\w.>])delete(\[\])?\s+[A-Za-z_:*(]")
+ALLOW_RAW_NEW = "tango-lint: allow(raw-new)"
+
+UNSEEDED_RNG = re.compile(
+    r"std::random_device|std::mt19937|(?<![\w.>:])s?rand\s*\(")
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+
+def source_files(*exts: str) -> list[str]:
+    out = []
+    for d in SOURCE_DIRS:
+        root = os.path.join(REPO, d)
+        for dirpath, _, names in os.walk(root):
+            for n in sorted(names):
+                if n.endswith(tuple(exts)):
+                    out.append(os.path.join(dirpath, n))
+    return out
+
+
+def rel(path: str) -> str:
+    return os.path.relpath(path, REPO)
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Crude single-line scrub so bans don't fire inside comments/strings."""
+    line = re.sub(r'"([^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'([^'\\]|\\.)*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def check_hot_path(findings: list[str]) -> None:
+    for path in source_files(".h", ".cpp"):
+        r = rel(path)
+        if not r.startswith(HOT_PATH_DIRS):
+            continue
+        with open(path, encoding="utf-8") as f:
+            for i, raw in enumerate(f, 1):
+                if ALLOW_RAW_NEW in raw or "tango-lint: allow(container)" in raw:
+                    continue
+                line = strip_comments_and_strings(raw)
+                if HOT_PATH_BAN.search(line):
+                    findings.append(
+                        f"{r}:{i}: [hot-path] node-based std:: container in "
+                        f"an allocation-free path: {raw.strip()}")
+
+
+def check_raw_new(findings: list[str]) -> None:
+    for path in source_files(".h", ".cpp"):
+        r = rel(path)
+        if not r.startswith("src/"):
+            continue
+        with open(path, encoding="utf-8") as f:
+            for i, raw in enumerate(f, 1):
+                if ALLOW_RAW_NEW in raw:
+                    continue
+                line = strip_comments_and_strings(raw)
+                if PLACEMENT_NEW.search(line):
+                    continue
+                if RAW_NEW.search(line) or RAW_DELETE.search(line):
+                    findings.append(
+                        f"{r}:{i}: [raw-new] raw new/delete outside a pool "
+                        f"(annotate with `// {ALLOW_RAW_NEW}` if deliberate): "
+                        f"{raw.strip()}")
+
+
+def check_rng(findings: list[str]) -> None:
+    for path in source_files(".h", ".cpp"):
+        r = rel(path)
+        with open(path, encoding="utf-8") as f:
+            for i, raw in enumerate(f, 1):
+                if "tango-lint: allow(rng)" in raw:
+                    continue
+                line = strip_comments_and_strings(raw)
+                if UNSEEDED_RNG.search(line):
+                    findings.append(
+                        f"{r}:{i}: [rng] non-deterministic randomness "
+                        f"(use common/rng.h with an explicit seed): "
+                        f"{raw.strip()}")
+
+
+def check_headers(findings: list[str]) -> None:
+    gxx = shutil.which("g++") or shutil.which("c++")
+    if gxx is None:
+        print("lint: [headers] skipped (no g++ on PATH)")
+        return
+    headers = [p for p in source_files(".h") if rel(p).startswith("src/")]
+    for path in headers:
+        proc = subprocess.run(
+            [gxx, "-std=c++20", "-fsyntax-only", "-x", "c++",
+             "-I", os.path.join(REPO, "src"), path],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            first = proc.stderr.strip().splitlines()
+            findings.append(
+                f"{rel(path)}: [headers] not self-contained: "
+                f"{first[0] if first else 'compile failed'}")
+
+
+def check_format(findings: list[str]) -> None:
+    cf = shutil.which("clang-format")
+    if cf is None:
+        print("lint: [format] skipped (no clang-format on PATH)")
+        return
+    files = source_files(".h", ".cpp")
+    proc = subprocess.run(
+        [cf, "--dry-run", "-Werror", *files], capture_output=True, text=True)
+    if proc.returncode != 0:
+        for line in proc.stderr.strip().splitlines():
+            if "error:" in line:
+                findings.append(f"[format] {line}")
+
+
+def check_changelog(findings: list[str], base: str) -> None:
+    proc = subprocess.run(
+        ["git", "-C", REPO, "diff", "--name-only", f"{base}...HEAD"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        findings.append(f"[changelog] git diff against {base!r} failed: "
+                        f"{proc.stderr.strip()}")
+        return
+    touched = proc.stdout.split()
+    if touched and "CHANGES.md" not in touched:
+        findings.append(
+            "[changelog] the change does not append to CHANGES.md "
+            "(every PR records one line there)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base", metavar="REF", default=None,
+                        help="also require CHANGES.md to differ from REF")
+    parser.add_argument("--skip", action="append", default=[],
+                        choices=["hot-path", "raw-new", "rng", "headers",
+                                 "format"],
+                        help="disable one check (repeatable)")
+    args = parser.parse_args()
+
+    findings: list[str] = []
+    checks = {
+        "hot-path": check_hot_path,
+        "raw-new": check_raw_new,
+        "rng": check_rng,
+        "headers": check_headers,
+        "format": check_format,
+    }
+    for name, fn in checks.items():
+        if name in args.skip:
+            continue
+        fn(findings)
+    if args.base:
+        check_changelog(findings, args.base)
+
+    for f in findings:
+        print(f"lint: {f}")
+    if findings:
+        print(f"lint: {len(findings)} finding(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

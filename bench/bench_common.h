@@ -10,10 +10,47 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.h"
 #include "eval/harness.h"
+#include "scope/scope.h"
 #include "workload/trace.h"
 
 namespace tango::bench {
+
+/// Build-provenance fragment for BENCH_*.json: core count, git SHA, build
+/// type, and the observability/sanitizer flags the binary was compiled
+/// with. Keeps the literal `"cores":` key RecordedCores() parses. Embed
+/// inside an enclosing JSON object:  { <ProvenanceJson(cores)>, ... }
+inline std::string ProvenanceJson(int cores) {
+#if defined(TANGO_GIT_SHA)
+  const char* sha = TANGO_GIT_SHA;
+#else
+  const char* sha = "unknown";
+#endif
+#if defined(TANGO_BUILD_TYPE)
+  const char* build_type = TANGO_BUILD_TYPE;
+#else
+  const char* build_type = "";
+#endif
+#if defined(TANGO_SANITIZE)
+  const bool sanitize = true;
+#else
+  const bool sanitize = false;
+#endif
+#if defined(TANGO_TSAN)
+  const bool tsan = true;
+#else
+  const bool tsan = false;
+#endif
+  std::ostringstream out;
+  out << "\"cores\": " << cores << ", \"git_sha\": \"" << sha
+      << "\", \"build_type\": \"" << build_type << "\", \"flags\": {"
+      << "\"sanitize\": " << (sanitize ? "true" : "false")
+      << ", \"tsan\": " << (tsan ? "true" : "false")
+      << ", \"audit\": " << (audit::kEnabled ? "true" : "false")
+      << ", \"scope\": " << (scope::kCompiled ? "true" : "false") << "}";
+  return out.str();
+}
 
 /// Core count recorded in an existing BENCH_*.json (-1 when the file is
 /// missing or carries no "cores" field).

@@ -139,6 +139,29 @@ SchedComparison CompareSched(const char* label, int clusters, int workers,
   return cmp;
 }
 
+/// Per-phase wall-clock profile of the DSS-LC round (snapshot filter,
+/// graph build, MCMF solve, merge, commit) from a profile_phases run.
+/// Serial mode so phase timings are not interleaved across pool threads.
+std::vector<scope::MetricRow> ProfilePhases(const StateStorage& st,
+                                            int queue_len, int rounds) {
+  sched::DssLcConfig cfg;
+  cfg.num_threads = 1;
+  cfg.profile_phases = true;
+  sched::DssLcScheduler dss(&bench::Catalog(), cfg);
+  for (int r = 0; r < rounds; ++r) {
+    const SimTime now = r * 100 * kMillisecond;
+    dss.Schedule(ClusterId{0}, MakeQueue(queue_len, now), st, now);
+  }
+  std::vector<scope::MetricRow> rows;
+  for (auto& row : dss.metrics().Snapshot()) {
+    if (row.name.rfind("sched.phase.", 0) == 0 ||
+        row.name == "sched.round_us") {
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
 struct E2eComparison {
   double serial_s = 0.0;
   double parallel_s = 0.0;
@@ -207,10 +230,11 @@ RepsComparison CompareRepetitions() {
 
 void WriteJson(const char* path, int cores,
                const std::vector<SchedComparison>& sched,
-               const E2eComparison& e2e, const RepsComparison& reps) {
+               const E2eComparison& e2e, const RepsComparison& reps,
+               const std::vector<scope::MetricRow>& phases) {
   std::ofstream out(path);
-  out << "{\n  \"bench\": \"perf_sched\",\n  \"cores\": " << cores
-      << ",\n  \"sched\": {\n";
+  out << "{\n  \"bench\": \"perf_sched\",\n  "
+      << bench::ProvenanceJson(cores) << ",\n  \"sched\": {\n";
   for (std::size_t i = 0; i < sched.size(); ++i) {
     const auto& c = sched[i];
     out << "    \"" << c.label << "\": {\n"
@@ -237,7 +261,16 @@ void WriteJson(const char* path, int cores,
       << "    \"n\": " << reps.n << ",\n"
       << "    \"serial_wall_s\": " << reps.serial_s << ",\n"
       << "    \"parallel_wall_s\": " << reps.parallel_s << ",\n"
-      << "    \"speedup\": " << reps.speedup << "\n  }\n}\n";
+      << "    \"speedup\": " << reps.speedup << "\n  },\n"
+      << "  \"phase_profile_us\": {\n";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const auto& p = phases[i];
+    out << "    \"" << p.name << "\": {\"count\": " << p.count
+        << ", \"mean\": " << p.value << ", \"p50\": " << p.p50
+        << ", \"p95\": " << p.p95 << ", \"p99\": " << p.p99 << "}"
+        << (i + 1 < phases.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
 }
 
 }  // namespace
@@ -267,6 +300,21 @@ int main() {
       {"cluster", "nodes", "queue", "serial r/s", "parallel r/s", "speedup",
        "identical", "steady allocs (s/p)"},
       rows);
+
+  // Per-phase wall-clock breakdown of a round on the large cluster view —
+  // where a scheduling round actually spends its time.
+  const auto phases =
+      ProfilePhases(MakeStorage(16, 16, 77), /*queue_len=*/4096,
+                    /*rounds=*/20);
+  std::vector<std::vector<std::string>> phase_rows;
+  for (const auto& p : phases) {
+    phase_rows.push_back({p.name, std::to_string(p.count),
+                          eval::Fmt(p.value, 1), eval::Fmt(p.p50, 1),
+                          eval::Fmt(p.p95, 1), eval::Fmt(p.p99, 1)});
+  }
+  eval::PrintTable("DSS-LC round phase profile (µs, large cluster)",
+                   {"phase", "samples", "mean", "p50", "p95", "p99"},
+                   phase_rows);
 
   const auto e2e = CompareEndToEnd();
   const auto reps = CompareRepetitions();
@@ -303,7 +351,7 @@ int main() {
   }
 
   if (bench::ShouldWriteBench("BENCH_sched.json", cores)) {
-    WriteJson("BENCH_sched.json", cores, sched, e2e, reps);
+    WriteJson("BENCH_sched.json", cores, sched, e2e, reps, phases);
     std::printf("\nwrote BENCH_sched.json\n");
   }
   return 0;

@@ -254,8 +254,8 @@ E2eComparison CompareE2e(const char* label, int clusters, int workers,
 void WriteJson(const char* path, int cores, const EngineRun& engine,
                const std::vector<E2eComparison>& e2e) {
   std::ofstream out(path);
-  out << "{\n  \"bench\": \"perf_sim\",\n  \"cores\": " << cores
-      << ",\n  \"engine\": {\n"
+  out << "{\n  \"bench\": \"perf_sim\",\n  "
+      << bench::ProvenanceJson(cores) << ",\n  \"engine\": {\n"
       << "    \"oneshot_events_per_sec\": " << engine.oneshot_events_per_sec
       << ",\n"
       << "    \"periodic_events_per_sec\": " << engine.periodic_events_per_sec

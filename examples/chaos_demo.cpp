@@ -6,11 +6,17 @@
 //
 // The same seed always reproduces the same faults and therefore the same
 // run, so any number printed here is stable across invocations.
+// Built with -DTANGO_SCOPE=ON it also records a full TangoScope trace of
+// the run and exports Chrome trace_event JSON — open it in
+// https://ui.perfetto.dev to see request/exec spans, D-VPA writes, and the
+// injected faults on one timeline.
 #include <cstdio>
 
 #include "eval/export.h"
 #include "eval/harness.h"
 #include "fault/fault_plane.h"
+#include "scope/export.h"
+#include "scope/scope.h"
 #include "workload/trace.h"
 
 using namespace tango;
@@ -50,7 +56,11 @@ int main() {
               script.size(), ToSeconds(profile.start),
               ToSeconds(profile.end));
 
-  // ---- 4. Run Tango with the fault plane armed.
+  // ---- 4. Run Tango with the fault plane armed (and, when compiled in,
+  // the TangoScope tracer recording the whole run).
+  if (scope::kCompiled) {
+    scope::DefaultTracer().Enable({.capacity = std::size_t{1} << 16});
+  }
   k8s::EdgeCloudSystem system(sys, &catalog);
   framework::Assembly tango = framework::InstallFramework(
       system, framework::FrameworkKind::kTango);
@@ -97,5 +107,18 @@ int main() {
   eval::WriteResilienceCsvFile("/tmp/tango_chaos_resilience.csv",
                                {{"tango-under-chaos", rep}});
   std::printf("\nwrote /tmp/tango_chaos_{timeline,periods,resilience}.csv\n");
+
+  // ---- 8. TangoScope export: metric summary always, trace when compiled.
+  eval::WriteLabeledMetricsCsvFile(
+      "tango_chaos_metrics.csv",
+      {{"tango-under-chaos", system.metrics_registry().Snapshot()}});
+  std::printf("wrote tango_chaos_metrics.csv\n");
+  if (scope::kCompiled) {
+    scope::WriteChromeTraceFile("tango_chaos_trace.json",
+                                scope::DefaultTracer());
+    scope::DefaultTracer().Disable();
+    std::printf("wrote tango_chaos_trace.json — load it in "
+                "https://ui.perfetto.dev (or chrome://tracing)\n");
+  }
   return rep.pending_at_end == 0 ? 0 : 1;
 }

@@ -118,4 +118,30 @@ bool WriteResilienceCsvFile(
   return static_cast<bool>(out);
 }
 
+std::size_t WriteLabeledMetricsCsv(
+    std::ostream& out,
+    const std::vector<std::pair<std::string, std::vector<scope::MetricRow>>>&
+        blocks) {
+  out << "label,name,kind,count,value,p50,p95,p99\n";
+  std::size_t rows = 0;
+  for (const auto& [label, metrics] : blocks) {
+    for (const auto& m : metrics) {
+      out << label << ',' << m.name << ',' << m.kind << ',' << m.count << ','
+          << m.value << ',' << m.p50 << ',' << m.p95 << ',' << m.p99 << "\n";
+      ++rows;
+    }
+  }
+  return rows;
+}
+
+bool WriteLabeledMetricsCsvFile(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::vector<scope::MetricRow>>>&
+        blocks) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteLabeledMetricsCsv(out, blocks);
+  return static_cast<bool>(out);
+}
+
 }  // namespace tango::eval

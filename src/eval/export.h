@@ -11,6 +11,7 @@
 #include "eval/harness.h"
 #include "fault/fault_plane.h"
 #include "k8s/system.h"
+#include "scope/metrics.h"
 
 namespace tango::eval {
 
@@ -47,5 +48,17 @@ std::size_t WriteResilienceCsv(
 bool WriteResilienceCsvFile(
     const std::string& path,
     const std::vector<std::pair<std::string, ResilienceReport>>& rows);
+
+/// Labeled TangoScope metric snapshots (one block per experiment, e.g.
+/// ExperimentResult::metrics under ExperimentResult::label):
+///   label,name,kind,count,value,p50,p95,p99
+std::size_t WriteLabeledMetricsCsv(
+    std::ostream& out,
+    const std::vector<std::pair<std::string, std::vector<scope::MetricRow>>>&
+        blocks);
+bool WriteLabeledMetricsCsvFile(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::vector<scope::MetricRow>>>&
+        blocks);
 
 }  // namespace tango::eval

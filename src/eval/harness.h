@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "fault/fault_plane.h"
+#include "scope/metrics.h"
 #include "tango/framework.h"
 
 namespace tango::eval {
@@ -30,6 +31,14 @@ struct ExperimentConfig {
   /// Per-period LC QoS satisfaction counted as "recovered" (for
   /// ResilienceReport::time_to_recover).
   double qos_recovery_threshold = 0.9;
+  /// When non-empty (and the build has TANGO_SCOPE), the run executes with
+  /// the process-global tracer enabled and exports a Chrome trace_event
+  /// JSON (Perfetto-loadable) here. The tracer is shared process state, so
+  /// RunExperiments() forces traced batches serial.
+  std::string trace_path;
+  /// When non-empty, the system's metric registry snapshot is written here
+  /// as CSV (name,kind,count,value,p50,p95,p99).
+  std::string metrics_csv_path;
 };
 
 /// Resilience metrics of one faulted run (all computed from the request
@@ -64,6 +73,9 @@ struct ExperimentResult {
   bool has_resilience = false;
   ResilienceReport resilience;
   std::vector<fault::TimelineEntry> timeline;
+  /// TangoScope metric snapshot of the run's system registry (sorted by
+  /// name) — always filled; the registry is not compile-gated.
+  std::vector<scope::MetricRow> metrics;
 };
 
 /// Build a system for `cfg`, let `install` wire schedulers/policies (the

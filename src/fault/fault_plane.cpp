@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "scope/scope.h"
 
 namespace tango::fault {
 
@@ -110,6 +111,11 @@ void FaultPlane::Apply(const FaultEvent& event) {
   entry.workers_alive = system_->workers_alive();
   entry.masters_alive = system_->masters_alive();
   entry.active_faults = active_faults();
+  // FaultKindName returns a string literal, satisfying the tracer's
+  // static-storage contract for names.
+  TANGO_SCOPE_INSTANT(FaultKindName(entry.kind), "fault", entry.at,
+                      .node = event.node.value,
+                      .value = entry.active_faults);
   timeline_.push_back(std::move(entry));
 }
 

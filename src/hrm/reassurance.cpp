@@ -1,6 +1,7 @@
 #include "hrm/reassurance.h"
 
 #include "common/logging.h"
+#include "scope/scope.h"
 
 namespace tango::hrm {
 
@@ -19,12 +20,21 @@ Reassurer::Reassurer(k8s::EdgeCloudSystem* system,
 Reassurer::~Reassurer() { system_->simulator().Cancel(tick_event_); }
 
 void Reassurer::Nudge(NodeId node, ServiceId svc, double slack) {
+  // Slack is reported in the instant's value as micro-units so the trace
+  // stays integer-valued.
+  const auto slack_micros = static_cast<std::int64_t>(slack * 1e6);
   if (slack < cfg_.alpha) {
     policy_->NudgeMultiplier(node, svc, 1.0 + cfg_.step_up);
     ++ups_;
+    TANGO_SCOPE_INSTANT("reassure.grow", "hrm", system_->simulator().Now(),
+                        .node = node.value, .service = svc.value,
+                        .value = slack_micros);
   } else if (slack > cfg_.beta) {
     policy_->NudgeMultiplier(node, svc, 1.0 - cfg_.step_down);
     ++downs_;
+    TANGO_SCOPE_INSTANT("reassure.shrink", "hrm", system_->simulator().Now(),
+                        .node = node.value, .service = svc.value,
+                        .value = slack_micros);
   }
   // α ≤ δ ≤ β: "stable" — leave the allocation untouched.
 }

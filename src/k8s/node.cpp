@@ -38,6 +38,8 @@ void OrderedQuotaWrite(cgroup::Hierarchy& h, const std::string& pod_path,
     write(pod_path, OrderLevel::kPod);
     write(container_path, OrderLevel::kContainer);
   }
+  TANGO_SCOPE_INSTANT(shrink ? "dvpa.cpu.shrink" : "dvpa.cpu.expand", "hrm",
+                      now, .node = node, .service = service, .value = quota);
 }
 
 /// Memory twin of OrderedQuotaWrite.
@@ -61,6 +63,8 @@ void OrderedMemoryWrite(cgroup::Hierarchy& h, const std::string& pod_path,
     write(pod_path, OrderLevel::kPod);
     write(container_path, OrderLevel::kContainer);
   }
+  TANGO_SCOPE_INSTANT(shrink ? "dvpa.mem.shrink" : "dvpa.mem.expand", "hrm",
+                      now, .node = node, .service = service, .value = limit);
 }
 
 }  // namespace
@@ -129,6 +133,7 @@ std::vector<workload::Request> WorkerNode::Crash() {
   for (auto& r : running_) {
     if (r.completion != sim::kInvalidEvent) sim_->Cancel(r.completion);
     if (r.activation != sim::kInvalidEvent) sim_->Cancel(r.activation);
+    scope::EndSpan(r.span, sim_->Now());
     workload::Request req;
     req.id = r.slot.request;
     req.service = r.slot.service;
@@ -234,6 +239,11 @@ void WorkerNode::TryAdmit() {
       run.slot = incoming;
       run.node_arrival = entry.enqueued;
       run.last_update = sim_->Now();
+      run.span = scope::BeginSpan("exec", incoming.is_lc ? "lc" : "be",
+                                  sim_->Now(),
+                                  {.node = spec_.id.value,
+                                   .service = incoming.service.value,
+                                   .request = incoming.request.value});
       const SimDuration scale_latency = policy_->AdmissionLatency();
       const RequestId rid = incoming.request;
       if (scale_latency > 0) {
@@ -376,6 +386,7 @@ void WorkerNode::CompleteAt(RequestId id) {
   }
   Running done = std::move(*it);
   running_.erase(it);
+  scope::EndSpan(done.span, sim_->Now());
   // D-VPA reclaims resources on completion: floor the quota (10 millicores)
   // in the direction-correct order — a shrink for any real demand, but an
   // expansion when the demand sat below the floor.
@@ -407,6 +418,10 @@ void WorkerNode::EvictRunning(std::size_t index) {
   MarkDirty();
   if (victim.completion != sim::kInvalidEvent) sim_->Cancel(victim.completion);
   if (victim.activation != sim::kInvalidEvent) sim_->Cancel(victim.activation);
+  scope::EndSpan(victim.span, sim_->Now());
+  TANGO_SCOPE_INSTANT("be.evict", "be", sim_->Now(), .node = spec_.id.value,
+                      .service = victim.slot.service.value,
+                      .request = victim.slot.request.value);
   if (callbacks_.on_be_return) {
     workload::Request r;
     r.id = victim.slot.request;

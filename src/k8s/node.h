@@ -17,6 +17,7 @@
 #include "cgroup/cgroup.h"
 #include "k8s/allocation.h"
 #include "metrics/state_storage.h"
+#include "scope/scope.h"
 #include "sim/simulator.h"
 #include "workload/trace.h"
 
@@ -148,6 +149,9 @@ class WorkerNode {
     SimTime exec_start = 0;
     sim::EventHandle completion = sim::kInvalidEvent;
     sim::EventHandle activation = sim::kInvalidEvent;
+    /// TangoScope execution span (admission → completion/eviction/crash);
+    /// kInvalidSpan unless tracing is active.
+    scope::SpanId span = scope::kInvalidSpan;
   };
   struct Queued {
     workload::Request request;

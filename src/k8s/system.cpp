@@ -15,6 +15,24 @@ EdgeCloudSystem::EdgeCloudSystem(SystemConfig cfg,
     : cfg_(std::move(cfg)), catalog_(catalog), rng_(cfg_.seed) {
   TANGO_CHECK(catalog_ != nullptr, "catalog required");
   TANGO_CHECK(!cfg_.clusters.empty(), "need at least one cluster");
+  // Register every metric once, up front; hot paths only touch the cached
+  // pointers (O(1), allocation-free — see scope/metrics.h).
+  m_syncs_ = &metrics_.GetCounter("sync.syncs");
+  m_pushes_ = &metrics_.GetCounter("sync.pushes");
+  m_pushes_skipped_ = &metrics_.GetCounter("sync.pushes_skipped");
+  m_full_resyncs_ = &metrics_.GetCounter("sync.full_resyncs");
+  m_fault_requeues_ = &metrics_.GetCounter("fault.requeues");
+  m_fault_drops_ = &metrics_.GetCounter("fault.drops");
+  m_lc_arrived_ = &metrics_.GetCounter("lc.arrived");
+  m_lc_completed_ = &metrics_.GetCounter("lc.completed");
+  m_lc_qos_met_ = &metrics_.GetCounter("lc.qos_met");
+  m_lc_abandoned_ = &metrics_.GetCounter("lc.abandoned");
+  m_be_completed_ = &metrics_.GetCounter("be.completed");
+  h_lc_latency_ = &metrics_.GetHistogram("lc.latency_us");
+  h_be_latency_ = &metrics_.GetHistogram("be.latency_us");
+  g_util_total_ = &metrics_.GetGauge("util.total");
+  g_util_lc_ = &metrics_.GetGauge("util.lc");
+  g_util_be_ = &metrics_.GetGauge("util.be");
   topology_ = net::Topology(
       net::Topology::RandomLayout(static_cast<int>(cfg_.clusters.size()),
                                   cfg_.region_km, rng_),
@@ -181,6 +199,37 @@ RequestRecord& EdgeCloudSystem::Record(RequestId id) {
   return records_[idx];
 }
 
+SyncStats EdgeCloudSystem::sync_stats() const {
+  return SyncStats{.syncs = m_syncs_->value(),
+                   .pushes = m_pushes_->value(),
+                   .pushes_skipped = m_pushes_skipped_->value(),
+                   .full_resyncs = m_full_resyncs_->value()};
+}
+
+void EdgeCloudSystem::BeginRequestSpan(const workload::Request& request,
+                                       bool is_lc) {
+  if (!scope::TracingActive()) return;  // keeps request_spans_ empty when off
+  const auto idx = static_cast<std::size_t>(request.id.value);
+  if (request_spans_.size() <= idx) {
+    request_spans_.resize(records_.size() > idx ? records_.size() : idx + 1,
+                          scope::kInvalidSpan);
+  }
+  request_spans_[idx] =
+      scope::BeginSpan("request", is_lc ? "lc" : "be", sim_.Now(),
+                       {.service = request.service.value,
+                        .request = request.id.value});
+}
+
+scope::SpanId EdgeCloudSystem::RequestSpan(RequestId id) const {
+  const auto idx = static_cast<std::size_t>(id.value);
+  return idx < request_spans_.size() ? request_spans_[idx]
+                                     : scope::kInvalidSpan;
+}
+
+void EdgeCloudSystem::EndRequestSpan(RequestId id, SimTime at) {
+  scope::EndSpan(RequestSpan(id), at);
+}
+
 PeriodStats& EdgeCloudSystem::CurrentPeriod() { return period_stats_.back(); }
 
 void EdgeCloudSystem::SubmitTrace(const workload::Trace& trace) {
@@ -195,8 +244,10 @@ void EdgeCloudSystem::SubmitTrace(const workload::Trace& trace) {
 
 void EdgeCloudSystem::OnArrival(const workload::Request& request) {
   const auto& svc = catalog_->Get(request.service);
+  BeginRequestSpan(request, svc.is_lc());
   if (svc.is_lc()) {
     CurrentPeriod().lc_arrived += 1;
+    m_lc_arrived_->Add();
     const ClusterId home = DelegateMaster(request.origin);
     if (!home.valid()) {
       // No reachable live master anywhere: counted as dropped, not lost.
@@ -213,8 +264,11 @@ void EdgeCloudSystem::OnArrival(const workload::Request& request) {
     // master (cf. delegated orchestration in hierarchical edge systems).
     RequestRecord& rec = Record(request.id);
     rec.fault_reroutes += 1;
-    ++fault_requeues_;
+    m_fault_requeues_->Add();
     CurrentPeriod().lost_requeued += 1;
+    TANGO_SCOPE_INSTANT("lc.delegate", "fault", sim_.Now(),
+                        .service = request.service.value,
+                        .request = request.id.value, .value = home.value);
     const SimDuration fwd =
         Transfer(request.origin, home, svc.request_size, /*is_lc=*/true);
     sim_.ScheduleAfter(fwd, [this, request, home]() {
@@ -303,6 +357,11 @@ void EdgeCloudSystem::DispatchLc(ClusterId cluster) {
     RequestRecord& rec = Record(request.id);
     rec.dispatched = sim_.Now();
     rec.target = a.target;
+    scope::InstantEvent("dispatch", "sched", sim_.Now(),
+                        {.node = a.target.value,
+                         .service = request.service.value,
+                         .request = request.id.value},
+                        RequestSpan(request.id));
   }
   if (!cl.lc_queue.empty()) ScheduleLcDispatch(cluster);
 }
@@ -340,6 +399,11 @@ void EdgeCloudSystem::DispatchBe() {
     RequestRecord& rec = Record(pending.request.id);
     rec.dispatched = sim_.Now();
     rec.target = *target;
+    scope::InstantEvent("dispatch", "sched", sim_.Now(),
+                        {.node = target->value,
+                         .service = pending.request.service.value,
+                         .request = pending.request.id.value},
+                        RequestSpan(pending.request.id));
   }
   if (!be_queue_.empty()) ScheduleBeDispatch();
 }
@@ -357,6 +421,9 @@ void EdgeCloudSystem::OnComplete(const CompletionInfo& info) {
     rec.completed = sim_.Now();
     rec.latency = sim_.Now() - original.arrival;
     CurrentPeriod().be_completed += 1;
+    m_be_completed_->Add();
+    h_be_latency_->Observe(rec.latency);
+    EndRequestSpan(original.id, sim_.Now());
     if (be_sched_ != nullptr) {
       be_sched_->OnBeCompleted(info.node, original, sim_.Now());
     }
@@ -378,6 +445,18 @@ void EdgeCloudSystem::ReturnLcResult(NodeId node,
   const SimDuration back =
       Transfer(from, original.origin, svc.response_size, /*is_lc=*/true);
   const SimTime completed = sim_.Now() + back;
+  if (scope::TracingActive()) {
+    // The transfer duration is known up front, so the span closes at its
+    // (future) delivery time immediately — no lambda capture grows.
+    scope::Tracer& tracer = scope::DefaultTracer();
+    tracer.End(tracer.Begin("lc.return", "net", sim_.Now(),
+                            {.node = node.value,
+                             .service = original.service.value,
+                             .request = original.id.value,
+                             .value = svc.response_size},
+                            RequestSpan(original.id)),
+               completed);
+  }
   sim_.ScheduleAfter(back, [this, original, completed, node]() {
     RequestRecord& r = Record(original.id);
     if (r.outcome != Outcome::kPending) return;
@@ -389,6 +468,10 @@ void EdgeCloudSystem::ReturnLcResult(NodeId node,
     PeriodStats& p = CurrentPeriod();
     p.lc_completed += 1;
     if (r.qos_met) p.lc_qos_met += 1;
+    m_lc_completed_->Add();
+    if (r.qos_met) m_lc_qos_met_->Add();
+    h_lc_latency_->Observe(r.latency);
+    EndRequestSpan(original.id, completed);
     qos_detector_.Observe(sim_.Now(), node, original.service, r.latency);
   });
 }
@@ -399,6 +482,11 @@ void EdgeCloudSystem::OnAbandon(const workload::Request& request,
   if (rec.outcome != Outcome::kPending) return;
   rec.outcome = Outcome::kAbandoned;
   CurrentPeriod().lc_abandoned += 1;
+  m_lc_abandoned_->Add();
+  TANGO_SCOPE_INSTANT("abandon", "lc", sim_.Now(),
+                      .service = request.service.value,
+                      .request = request.id.value);
+  EndRequestSpan(request.id, sim_.Now());
 }
 
 void EdgeCloudSystem::OnBeReturn(NodeId from, const workload::Request& req) {
@@ -437,9 +525,23 @@ bool EdgeCloudSystem::SendToWorker(ClusterId from, NodeId target,
   if (lf.cut) return false;  // path down: caller keeps the request queued
   const auto& svc = catalog_->Get(request.service);
   const SimDuration delay = Transfer(from, to, svc.request_size, is_lc);
+  if (scope::TracingActive()) {
+    // Closed at its known (future) delivery time up front, so the
+    // delivery lambda below stays inside the SBO callback buffer.
+    scope::Tracer& tracer = scope::DefaultTracer();
+    tracer.End(tracer.Begin("transfer", is_lc ? "lc" : "be", sim_.Now(),
+                            {.node = target.value,
+                             .service = request.service.value,
+                             .request = request.id.value,
+                             .value = svc.request_size},
+                            RequestSpan(request.id)),
+               sim_.Now() + delay);
+  }
   if (from != to && lf.loss > 0.0 && rng_.Bernoulli(lf.loss)) {
     // Lost in flight; the master detects the missed delivery ack after a
     // timeout and puts the request back on a scheduling queue.
+    TANGO_SCOPE_INSTANT("net.loss", "fault", sim_.Now(),
+                        .node = target.value, .request = request.id.value);
     const RequestId id = request.id;
     sim_.ScheduleAfter(delay + cfg_.fault_detect_delay,
                        [this, id]() { RequeueLost(id); });
@@ -479,8 +581,11 @@ void EdgeCloudSystem::RequeueLost(RequestId id) {
     DropRequest(rec);
     return;
   }
-  ++fault_requeues_;
+  m_fault_requeues_->Add();
   CurrentPeriod().lost_requeued += 1;
+  TANGO_SCOPE_INSTANT("requeue", "fault", sim_.Now(),
+                      .service = rec.request.service.value,
+                      .request = id.value, .value = rec.fault_reroutes);
   const workload::Request request = rec.request;
   const auto& svc = catalog_->Get(request.service);
   if (svc.is_lc()) {
@@ -515,8 +620,12 @@ void EdgeCloudSystem::DropRequest(RequestRecord& rec) {
   if (rec.outcome != Outcome::kPending) return;
   rec.outcome = Outcome::kDropped;
   rec.completed = sim_.Now();
-  ++fault_drops_;
+  m_fault_drops_->Add();
   CurrentPeriod().dropped += 1;
+  TANGO_SCOPE_INSTANT("drop", "fault", sim_.Now(),
+                      .service = rec.request.service.value,
+                      .request = rec.request.id.value);
+  EndRequestSpan(rec.request.id, sim_.Now());
 }
 
 ClusterId EdgeCloudSystem::DelegateMaster(ClusterId cluster) const {
@@ -636,7 +745,7 @@ void EdgeCloudSystem::FailMaster(ClusterId cluster) {
     // The new central cannot trust the deltas the old one had applied —
     // force a full re-push of the BE view on its next sync.
     std::fill(be_seen_.begin(), be_seen_.end(), 0);
-    ++sync_stats_.full_resyncs;
+    m_full_resyncs_->Add();
     HandleLost(std::move(be_lost), cfg_.fault_detect_delay);
   }
 }
@@ -653,10 +762,10 @@ void EdgeCloudSystem::RecoverMaster(ClusterId cluster) {
   // seen-versions (and the BE ones on a central handover) so the next sync
   // is a full re-push, like a kubelet re-list after an apiserver restart.
   std::fill(clusters_[idx].lc_seen.begin(), clusters_[idx].lc_seen.end(), 0);
-  ++sync_stats_.full_resyncs;
+  m_full_resyncs_->Add();
   if (acting_central_ != previous_central) {
     std::fill(be_seen_.begin(), be_seen_.end(), 0);
-    ++sync_stats_.full_resyncs;
+    m_full_resyncs_->Add();
   }
   SyncState(sim_.Now());
   ScheduleLcDispatch(cluster);
@@ -694,7 +803,7 @@ void EdgeCloudSystem::SyncState(SimTime now) {
   // full rebuild. Seen-versions are zeroed on master failover to force a
   // full re-push; a cut link freezes the far side automatically because the
   // versions keep advancing while no push happens.
-  ++sync_stats_.syncs;
+  m_syncs_->Add();
   const bool delta = cfg_.fast_path;
   for (auto& cl : clusters_) {
     if (!MasterAlive(cl.spec.id)) continue;  // a dead master syncs nothing
@@ -723,12 +832,12 @@ void EdgeCloudSystem::SyncState(SimTime now) {
                 stored != nullptr &&
                     metrics::SameContent(*stored, w->SnapshotFresh(now)));
           }
-          ++sync_stats_.pushes_skipped;
+          m_pushes_skipped_->Add();
           continue;
         }
         cl.lc_storage.Update(w->Snapshot(now));
         cl.lc_seen[slot] = w->state_version();
-        ++sync_stats_.pushes;
+        m_pushes_->Add();
       }
       cl.lc_storage.MarkClusterReachability(c, true);
       SimDuration rtt = topology_.Rtt(cl.spec.id, c);
@@ -763,12 +872,12 @@ void EdgeCloudSystem::SyncState(SimTime now) {
                 stored != nullptr &&
                     metrics::SameContent(*stored, w->SnapshotFresh(now)));
           }
-          ++sync_stats_.pushes_skipped;
+          m_pushes_skipped_->Add();
           continue;
         }
         be_storage_.Update(w->Snapshot(now));
         be_seen_[slot] = w->state_version();
-        ++sync_stats_.pushes;
+        m_pushes_->Add();
       }
       be_storage_.MarkClusterReachability(cl.spec.id, true);
       SimDuration rtt = topology_.Rtt(acting_central_, cl.spec.id);
@@ -805,6 +914,9 @@ void EdgeCloudSystem::SampleMetrics(SimTime now) {
   tss_.Gauge("util.total", now, p.util_total);
   tss_.Gauge("util.lc", now, p.util_lc);
   tss_.Gauge("util.be", now, p.util_be);
+  g_util_total_->Set(p.util_total);
+  g_util_lc_->Set(p.util_lc);
+  g_util_be_->Set(p.util_be);
   period_stats_.push_back(PeriodStats{now});
 }
 
@@ -833,7 +945,7 @@ RunSummary EdgeCloudSystem::Summary() const {
       if (rec.outcome == Outcome::kDropped) s.be_dropped += 1;
     }
   }
-  s.fault_requeues = fault_requeues_;
+  s.fault_requeues = m_fault_requeues_->value();
   s.qos_satisfaction =
       s.lc_total > 0
           ? static_cast<double>(s.lc_qos_met) / static_cast<double>(s.lc_total)

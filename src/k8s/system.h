@@ -26,6 +26,8 @@
 #include "metrics/timeseries.h"
 #include "net/egress.h"
 #include "net/topology.h"
+#include "scope/metrics.h"
+#include "scope/scope.h"
 
 namespace tango::k8s {
 
@@ -66,8 +68,10 @@ struct SystemConfig {
   bool fast_path = true;
 };
 
-/// Counters for the delta state-sync protocol (see SyncState).
-struct SyncStats {
+/// View over the delta state-sync counters (see SyncState). Since
+/// TangoScope the authoritative values live in the system's metric
+/// registry ("sync.*"); sync_stats() rebuilds this struct from them.
+struct SyncStats {  // tango-lint: allow(stats-struct)
   std::int64_t syncs = 0;           // SyncState invocations
   std::int64_t pushes = 0;          // snapshots pushed into a storage
   std::int64_t pushes_skipped = 0;  // clean nodes skipped by the delta path
@@ -178,8 +182,8 @@ class EdgeCloudSystem {
   int masters_alive() const;
   ClusterId acting_central() const { return acting_central_; }
   LinkFault LinkStateOf(ClusterId a, ClusterId b) const;
-  std::int64_t fault_requeues() const { return fault_requeues_; }
-  std::int64_t fault_drops() const { return fault_drops_; }
+  std::int64_t fault_requeues() const { return m_fault_requeues_->value(); }
+  std::int64_t fault_drops() const { return m_fault_drops_->value(); }
 
   // ---- Introspection -----------------------------------------------------
   sim::Simulator& simulator() { return sim_; }
@@ -193,7 +197,13 @@ class EdgeCloudSystem {
   ClusterId central_cluster() const { return central_; }
   int num_clusters() const { return static_cast<int>(clusters_.size()); }
   int num_workers() const { return static_cast<int>(worker_list_.size()); }
-  const SyncStats& sync_stats() const { return sync_stats_; }
+  /// Rebuilt from the "sync.*" registry counters (kept as a struct for
+  /// existing consumers; see metrics_registry() for the full surface).
+  SyncStats sync_stats() const;
+  /// The system's TangoScope metric registry: request/QoS counters and
+  /// latency histograms, sync and fault counters, utilization gauges.
+  scope::MetricRegistry& metrics_registry() { return metrics_; }
+  const scope::MetricRegistry& metrics_registry() const { return metrics_; }
   WorkerNode* FindWorker(NodeId id);
   std::vector<WorkerNode*> AllWorkers();
   NodeId MasterOf(ClusterId cluster) const;
@@ -266,6 +276,12 @@ class EdgeCloudSystem {
   ClusterId ElectCentral() const;
   RequestRecord& Record(RequestId id);
   PeriodStats& CurrentPeriod();
+  /// Open the root arrival→terminal span for a request (no-op unless
+  /// tracing is active) and remember its handle so lifecycle sub-spans
+  /// can parent onto it.
+  void BeginRequestSpan(const workload::Request& request, bool is_lc);
+  scope::SpanId RequestSpan(RequestId id) const;
+  void EndRequestSpan(RequestId id, SimTime at);
 
   SystemConfig cfg_;
   const workload::ServiceCatalog* catalog_;
@@ -293,7 +309,31 @@ class EdgeCloudSystem {
   /// Last node state_version pushed into be_storage_, by worker slot
   /// (zeroed on central failover to force a full re-push).
   std::vector<std::uint64_t> be_seen_;
-  SyncStats sync_stats_;
+
+  // TangoScope surface. The registry itself is always live (it backs
+  // sync_stats() and the fault counters); metrics are registered once in
+  // the constructor and bumped through these cached pointers — a relaxed
+  // atomic add, same cost as the plain ++member it replaced. Span handles
+  // in request_spans_ parallel records_ and stay empty unless tracing is
+  // active.
+  scope::MetricRegistry metrics_;
+  scope::Counter* m_syncs_ = nullptr;
+  scope::Counter* m_pushes_ = nullptr;
+  scope::Counter* m_pushes_skipped_ = nullptr;
+  scope::Counter* m_full_resyncs_ = nullptr;
+  scope::Counter* m_fault_requeues_ = nullptr;
+  scope::Counter* m_fault_drops_ = nullptr;
+  scope::Counter* m_lc_arrived_ = nullptr;
+  scope::Counter* m_lc_completed_ = nullptr;
+  scope::Counter* m_lc_qos_met_ = nullptr;
+  scope::Counter* m_lc_abandoned_ = nullptr;
+  scope::Counter* m_be_completed_ = nullptr;
+  scope::Histogram* h_lc_latency_ = nullptr;
+  scope::Histogram* h_be_latency_ = nullptr;
+  scope::Gauge* g_util_total_ = nullptr;
+  scope::Gauge* g_util_lc_ = nullptr;
+  scope::Gauge* g_util_be_ = nullptr;
+  std::vector<scope::SpanId> request_spans_;
 
   // Incremental metrics aggregates, fed by WorkerNode::on_usage_delta.
   Millicores use_total_ = 0;
@@ -305,8 +345,6 @@ class EdgeCloudSystem {
   std::vector<bool> master_alive_;
   ClusterId acting_central_;
   std::map<std::pair<std::int32_t, std::int32_t>, LinkFault> link_faults_;
-  std::int64_t fault_requeues_ = 0;
-  std::int64_t fault_drops_ = 0;
 
   net::EgressRegulator egress_;
   metrics::QosDetector qos_detector_;

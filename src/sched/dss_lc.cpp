@@ -8,6 +8,7 @@
 #include "audit/audit.h"
 #include "audit/checkers.h"
 #include "common/logging.h"
+#include "scope/scope.h"
 
 namespace tango::sched {
 
@@ -19,6 +20,11 @@ namespace {
 /// Commitments decayed below this are dropped from the per-node maps so
 /// they stay bounded by the active node set, not every node ever seen.
 constexpr double kCommitEpsilon = 1e-6;
+
+double ElapsedUs(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
 
 /// Independent per-(type, round) RNG stream: the Rng constructor splitmixes
 /// the seed, so a distinct linear combination per stream is sufficient.
@@ -53,12 +59,23 @@ DssLcScheduler::DssLcScheduler(const workload::ServiceCatalog* catalog,
   }
   solvers_.resize(static_cast<std::size_t>(concurrency()));
   for (auto& s : solvers_) s = std::make_unique<flow::MinCostMaxFlow>();
+  m_rounds_ = &metrics_.GetCounter("sched.rounds");
+  m_assigned_ = &metrics_.GetCounter("sched.assigned");
+  m_overflow_ = &metrics_.GetCounter("sched.overflow");
+  h_round_ = &metrics_.GetHistogram("sched.round_us");
+  h_snapshot_ = &metrics_.GetHistogram("sched.phase.snapshot_us");
+  h_graph_build_ = &metrics_.GetHistogram("sched.phase.graph_build_us");
+  h_solve_ = &metrics_.GetHistogram("sched.phase.mcmf_solve_us");
+  h_merge_ = &metrics_.GetHistogram("sched.phase.merge_us");
+  h_commit_ = &metrics_.GetHistogram("sched.phase.commit_us");
 }
 
 std::vector<std::int64_t> DssLcScheduler::Route(
     flow::MinCostMaxFlow& mcmf, const std::vector<WorkerCap>& workers,
     std::int64_t amount, bool use_total, double lambda) {
   // Node layout: 0 = source, 1 = master, 2..n+1 = workers, n+2 = sink.
+  std::chrono::steady_clock::time_point t_build;
+  if (cfg_.profile_phases) t_build = std::chrono::steady_clock::now();
   const int n = static_cast<int>(workers.size());
   mcmf.Reset(n + 3);
   // Exact arc bound: source→master plus two arcs per eligible worker. The
@@ -83,7 +100,16 @@ std::vector<std::int64_t> DssLcScheduler::Route(
     // worker → sink: processing capacity (Eq. 5).
     mcmf.AddArc(2 + i, sink, cap, 0);
   }
-  mcmf.Solve(source, sink, amount);
+  if (cfg_.profile_phases) {
+    const auto t_solve = std::chrono::steady_clock::now();
+    h_graph_build_->Observe(
+        static_cast<std::int64_t>(ElapsedUs(t_build, t_solve)));
+    mcmf.Solve(source, sink, amount);
+    h_solve_->Observe(static_cast<std::int64_t>(
+        ElapsedUs(t_solve, std::chrono::steady_clock::now())));
+  } else {
+    mcmf.Solve(source, sink, amount);
+  }
   solves_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::int64_t> out(static_cast<std::size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
@@ -245,6 +271,9 @@ std::vector<Assignment> DssLcScheduler::Schedule(
     ClusterId /*cluster*/, const std::vector<PendingRequest>& queue,
     const metrics::StateStorage& storage, SimTime now) {
   const auto t0 = std::chrono::steady_clock::now();
+  const scope::SpanId round_span = scope::BeginSpan(
+      "dsslc.round", "sched", now,
+      {.value = static_cast<std::int64_t>(queue.size())});
   std::vector<Assignment> out;
 
   // Decay local commitments (half-life 125 ms ≈ typical service time), so
@@ -288,6 +317,10 @@ std::vector<Assignment> DssLcScheduler::Schedule(
     }
     snapshots.push_back(s);
   }
+  if (cfg_.profile_phases) {
+    h_snapshot_->Observe(static_cast<std::int64_t>(
+        ElapsedUs(t0, std::chrono::steady_clock::now())));
+  }
 
   // Fan the independent per-type graphs G_k out over the solver slots; the
   // serial path is the same code with worker slot 0. Every solver is warmed
@@ -323,15 +356,34 @@ std::vector<Assignment> DssLcScheduler::Schedule(
 
   // Merge in ascending service-id order: assignment order, commitment
   // application, λ, and overflow accounting all match serial execution.
+  // The two sweeps (assignment merge, then commitment application) are
+  // separate so each can be profiled as its own phase; commitment adds are
+  // commutative per node, so the split does not change the result.
+  const auto t_merge = std::chrono::steady_clock::now();
+  std::int64_t round_overflow = 0;
   for (const auto& outcome : outcomes) {
     out.insert(out.end(), outcome.assignments.begin(),
                outcome.assignments.end());
+    if (outcome.overloaded) last_lambda_ = outcome.lambda;
+    round_overflow += outcome.overflow;
+  }
+  overflow_routed_ += round_overflow;
+  const auto t_commit = std::chrono::steady_clock::now();
+  for (const auto& outcome : outcomes) {
     for (const auto& c : outcome.commits) {
       committed_cpu_[c.node] += c.cpu;
       committed_mem_[c.node] += c.mem;
     }
-    if (outcome.overloaded) last_lambda_ = outcome.lambda;
-    overflow_routed_ += outcome.overflow;
+  }
+  if (cfg_.profile_phases) {
+    h_merge_->Observe(
+        static_cast<std::int64_t>(ElapsedUs(t_merge, t_commit)));
+    h_commit_->Observe(static_cast<std::int64_t>(
+        ElapsedUs(t_commit, std::chrono::steady_clock::now())));
+  }
+  if (round_overflow > 0) {
+    TANGO_SCOPE_INSTANT("dsslc.overflow", "sched", now,
+                        .value = round_overflow);
   }
 
   if constexpr (audit::kEnabled) {
@@ -368,6 +420,11 @@ std::vector<Assignment> DssLcScheduler::Schedule(
   decision_seconds_ +=
       std::chrono::duration<double>(t1 - t0).count();
   ++decisions_;
+  m_rounds_->Add();
+  m_assigned_->Add(static_cast<std::int64_t>(out.size()));
+  m_overflow_->Add(round_overflow);
+  h_round_->Observe(static_cast<std::int64_t>(ElapsedUs(t0, t1)));
+  scope::EndSpan(round_span, now);
   return out;
 }
 

@@ -34,6 +34,7 @@
 #include "common/thread_pool.h"
 #include "flow/mcmf.h"
 #include "k8s/scheduling_api.h"
+#include "scope/metrics.h"
 
 namespace tango::sched {
 
@@ -52,6 +53,11 @@ struct DssLcConfig {
   /// 0 = one slot per hardware thread, N > 1 = N slots (N-1 pool threads
   /// plus the scheduling thread). Assignments are identical for any value.
   int num_threads = 1;
+  /// Record a wall-clock profile of each round's phases (snapshot filter,
+  /// graph build, MCMF solve, merge, commit) into the scheduler's metric
+  /// registry. Off by default: the extra steady_clock reads sit on the
+  /// per-type hot path.
+  bool profile_phases = false;
 };
 
 class DssLcScheduler : public k8s::LcScheduler {
@@ -97,6 +103,12 @@ class DssLcScheduler : public k8s::LcScheduler {
   std::size_t committed_entries() const {
     return committed_cpu_.size() + committed_mem_.size();
   }
+
+  /// Per-scheduler metric registry: "sched.rounds"/"sched.assigned"/
+  /// "sched.overflow" counters plus, when DssLcConfig::profile_phases is
+  /// set, the "sched.phase.*_us" wall-clock histograms of each round phase.
+  scope::MetricRegistry& metrics() { return metrics_; }
+  const scope::MetricRegistry& metrics() const { return metrics_; }
 
  private:
   struct WorkerCap {
@@ -161,6 +173,21 @@ class DssLcScheduler : public k8s::LcScheduler {
   std::map<NodeId, double> committed_cpu_;
   std::map<NodeId, double> committed_mem_;
   SimTime last_decay_ = 0;
+
+  /// TangoScope metrics (registered once in the constructor; pointers are
+  /// stable for the registry's lifetime). Histogram::Observe is a relaxed
+  /// atomic add, so the pool threads write h_graph_build_/h_solve_ without
+  /// extra synchronisation.
+  scope::MetricRegistry metrics_;
+  scope::Counter* m_rounds_ = nullptr;
+  scope::Counter* m_assigned_ = nullptr;
+  scope::Counter* m_overflow_ = nullptr;
+  scope::Histogram* h_round_ = nullptr;
+  scope::Histogram* h_snapshot_ = nullptr;
+  scope::Histogram* h_graph_build_ = nullptr;
+  scope::Histogram* h_solve_ = nullptr;
+  scope::Histogram* h_merge_ = nullptr;
+  scope::Histogram* h_commit_ = nullptr;
 };
 
 }  // namespace tango::sched

@@ -1,0 +1,136 @@
+#include "scope/export.h"
+
+#include <fstream>
+#include <set>
+#include <utility>
+
+namespace tango::scope {
+
+namespace {
+
+// pid/tid layout: 1 = control plane / no id; nodes and services shift by
+// 2 so id 0 stays distinguishable from the control-plane lane.
+std::int64_t PidOf(const SpanRecord& s) {
+  return s.ids.node >= 0 ? s.ids.node + 2 : 1;
+}
+std::int64_t TidOf(const SpanRecord& s) {
+  return s.ids.service >= 0 ? s.ids.service + 2 : 1;
+}
+
+void WriteEscaped(std::ostream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out << '\\';
+    out << *s;
+  }
+}
+
+void WriteEventCommon(std::ostream& out, const SpanRecord& s) {
+  out << "\"ts\": " << s.sim_begin << ", \"pid\": " << PidOf(s)
+      << ", \"tid\": " << TidOf(s) << ", \"name\": \"";
+  WriteEscaped(out, s.name);
+  out << "\", \"cat\": \"";
+  WriteEscaped(out, s.category[0] == '\0' ? "tango" : s.category);
+  out << "\", \"args\": {\"node\": " << s.ids.node
+      << ", \"service\": " << s.ids.service
+      << ", \"request\": " << s.ids.request << ", \"value\": " << s.ids.value
+      << ", \"span\": " << s.self << ", \"parent\": " << s.parent;
+  if (s.wall_begin_ns != 0) {
+    out << ", \"wall_begin_ns\": " << s.wall_begin_ns;
+    if (s.wall_end_ns != 0) out << ", \"wall_end_ns\": " << s.wall_end_ns;
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::size_t WriteChromeTrace(std::ostream& out,
+                             const std::vector<SpanRecord>& spans) {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  ";
+  };
+  // Name the process lanes so Perfetto shows "node N" instead of bare
+  // pids. Control plane is pid 1.
+  std::set<std::int64_t> pids;
+  for (const SpanRecord& s : spans) {
+    if (s.used()) pids.insert(PidOf(s));
+  }
+  pids.insert(1);
+  for (std::int64_t pid : pids) {
+    sep();
+    out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+        << ", \"tid\": 1, \"args\": {\"name\": \"";
+    if (pid == 1) {
+      out << "control-plane";
+    } else {
+      out << "node " << pid - 2;
+    }
+    out << "\"}}";
+  }
+  std::size_t events = 0;
+  for (const SpanRecord& s : spans) {
+    if (!s.used() || s.open()) continue;
+    sep();
+    if (s.instant) {
+      out << "{\"ph\": \"i\", \"s\": \"g\", ";
+    } else {
+      out << "{\"ph\": \"X\", \"dur\": " << s.sim_end - s.sim_begin << ", ";
+    }
+    WriteEventCommon(out, s);
+    out << "}";
+    ++events;
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return events;
+}
+
+std::size_t WriteChromeTrace(std::ostream& out, const Tracer& tracer) {
+  return WriteChromeTrace(out, tracer.Snapshot());
+}
+
+bool WriteChromeTraceFile(const std::string& path, const Tracer& tracer) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteChromeTrace(out, tracer);
+  return static_cast<bool>(out);
+}
+
+std::size_t WriteMetricsCsv(std::ostream& out,
+                            const std::vector<MetricRow>& rows) {
+  out << "name,kind,count,value,p50,p95,p99\n";
+  for (const MetricRow& r : rows) {
+    out << r.name << "," << r.kind << "," << r.count << "," << r.value << ","
+        << r.p50 << "," << r.p95 << "," << r.p99 << "\n";
+  }
+  return rows.size();
+}
+
+bool WriteMetricsCsvFile(const std::string& path,
+                         const std::vector<MetricRow>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteMetricsCsv(out, rows);
+  return static_cast<bool>(out);
+}
+
+std::size_t WriteMetricsJson(std::ostream& out,
+                             const std::vector<MetricRow>& rows) {
+  out << "[";
+  bool first = true;
+  for (const MetricRow& r : rows) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": \"";
+    WriteEscaped(out, r.name.c_str());
+    out << "\", \"kind\": \"" << r.kind << "\", \"count\": " << r.count
+        << ", \"value\": " << r.value << ", \"p50\": " << r.p50
+        << ", \"p95\": " << r.p95 << ", \"p99\": " << r.p99 << "}";
+  }
+  out << "\n]\n";
+  return rows.size();
+}
+
+}  // namespace tango::scope

@@ -1,0 +1,49 @@
+// TangoScope exporters.
+//
+// Chrome trace_event JSON (the "JSON Array Format" object flavor): load
+// the file in https://ui.perfetto.dev or chrome://tracing. Mapping:
+//   - ts/dur are sim-time microseconds verbatim (SimTime is already µs);
+//   - pid groups by node (pid = node + 2; control-plane spans with no
+//     node land on pid 1, named via process_name metadata);
+//   - tid groups by service within a node (tid = service + 2, else 1);
+//   - complete spans use ph:"X", instants ph:"i" (global scope);
+//   - node/service/request/value/parent ride in "args", so a request's
+//     causal chain reconstructs by its request id plus parent handles.
+// Spans still open at export time are skipped (their end is unknown).
+//
+// Metric summaries export as CSV (`name,kind,count,value,p50,p95,p99`)
+// and as a JSON array of the same rows; eval/export.h wraps the CSV with
+// an experiment-label column for multi-run tables.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "scope/metrics.h"
+#include "scope/scope.h"
+
+namespace tango::scope {
+
+/// Write `spans` as a Chrome trace_event JSON object. Returns the number
+/// of trace events written (metadata records not counted).
+std::size_t WriteChromeTrace(std::ostream& out,
+                             const std::vector<SpanRecord>& spans);
+/// Snapshot `tracer` and write it; usable whether or not the tracer is
+/// still enabled (an untouched tracer exports an empty-but-valid trace).
+std::size_t WriteChromeTrace(std::ostream& out, const Tracer& tracer);
+bool WriteChromeTraceFile(const std::string& path, const Tracer& tracer);
+
+/// `name,kind,count,value,p50,p95,p99` with a header row. Returns rows
+/// written (excluding the header).
+std::size_t WriteMetricsCsv(std::ostream& out,
+                            const std::vector<MetricRow>& rows);
+bool WriteMetricsCsvFile(const std::string& path,
+                         const std::vector<MetricRow>& rows);
+
+/// The same rows as a JSON array of objects.
+std::size_t WriteMetricsJson(std::ostream& out,
+                             const std::vector<MetricRow>& rows);
+
+}  // namespace tango::scope

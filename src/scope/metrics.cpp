@@ -1,0 +1,115 @@
+#include "scope/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace tango::scope {
+
+int Histogram::BucketOf(std::int64_t v) {
+  if (v < kSubBuckets) return v < 0 ? 0 : static_cast<int>(v);
+  const auto u = static_cast<std::uint64_t>(v);
+  const int exp = std::bit_width(u);  // in [kSubBits + 1, 63]
+  const int sub =
+      static_cast<int>((u >> (exp - 1 - kSubBits)) & (kSubBuckets - 1));
+  return ((exp - kSubBits) << kSubBits) + sub;
+}
+
+double Histogram::BucketValue(int b) {
+  if (b < kSubBuckets) return b;
+  const int exp = (b >> kSubBits) + kSubBits;
+  const int sub = b & (kSubBuckets - 1);
+  const double lo = std::ldexp(1.0, exp - 1);
+  const double width = std::ldexp(1.0, exp - 1 - kSubBits);
+  return lo + sub * width + width / 2.0;
+}
+
+void Histogram::Observe(std::int64_t v) {
+  buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::Mean() const {
+  const std::int64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::Percentile(double q) const {
+  // Copy the buckets first so a concurrent Observe can't make the
+  // cumulative walk disagree with the total.
+  std::array<std::int64_t, kBuckets> counts;
+  std::int64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+  // Nearest rank, matching common/stats.h Percentile on the sorted data.
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::int64_t>(
+      clamped * static_cast<double>(total - 1) + 0.5);
+  std::int64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cum += counts[b];
+    if (cum > rank) return BucketValue(b);
+  }
+  return BucketValue(kBuckets - 1);
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<MetricRow> MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricRow> rows;
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    rows.push_back(MetricRow{.name = name,
+                             .kind = "counter",
+                             .count = c->value()});
+  }
+  for (const auto& [name, g] : gauges_) {
+    rows.push_back(
+        MetricRow{.name = name, .kind = "gauge", .value = g->value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    rows.push_back(MetricRow{.name = name,
+                             .kind = "histogram",
+                             .count = h->count(),
+                             .value = h->Mean(),
+                             .p50 = h->Percentile(0.50),
+                             .p95 = h->Percentile(0.95),
+                             .p99 = h->Percentile(0.99)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+std::size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace tango::scope

@@ -1,0 +1,108 @@
+#include "scope/scope.h"
+
+#include <chrono>
+
+namespace tango::scope {
+
+namespace {
+std::int64_t WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void Tracer::Enable(const Config& cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.assign(cfg.capacity == 0 ? 1 : cfg.capacity, Slot{});
+  wall_clock_ = cfg.wall_clock;
+  cursor_ = 0;
+  emitted_.store(0, std::memory_order_relaxed);
+  dropped_open_.store(0, std::memory_order_relaxed);
+  stale_ends_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+SpanId Tracer::Emit(const char* name, const char* category, SimTime at,
+                    const SpanIds& ids, SpanId parent, bool instant) {
+  if (!enabled()) return kInvalidSpan;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return kInvalidSpan;
+  Slot& slot = ring_[cursor_ % ring_.size()];
+  if (slot.rec.open()) {
+    dropped_open_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Bump the generation on every reuse so handles to the old occupant go
+  // stale (same scheme as the event pool in sim::Simulator).
+  ++slot.gen;
+  const SpanId self = MakeHandle(cursor_ % ring_.size(), slot.gen);
+  slot.rec = SpanRecord{
+      .name = name,
+      .category = category,
+      .sim_begin = at,
+      .sim_end = instant ? at : -1,
+      .wall_begin_ns = wall_clock_ ? WallNowNs() : 0,
+      .wall_end_ns = 0,
+      .self = self,
+      .parent = parent,
+      .ids = ids,
+      .instant = instant,
+  };
+  ++cursor_;
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  return self;
+}
+
+SpanId Tracer::Begin(const char* name, const char* category, SimTime at,
+                     const SpanIds& ids, SpanId parent) {
+  return Emit(name, category, at, ids, parent, /*instant=*/false);
+}
+
+SpanId Tracer::Instant(const char* name, const char* category, SimTime at,
+                       const SpanIds& ids, SpanId parent) {
+  return Emit(name, category, at, ids, parent, /*instant=*/true);
+}
+
+void Tracer::End(SpanId span, SimTime at) {
+  if (span == kInvalidSpan) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t slot_index = (span & 0xffffffffULL) - 1;
+  if (slot_index >= ring_.size()) return;
+  Slot& slot = ring_[slot_index];
+  if (slot.rec.self != span || slot.gen != (span >> 32)) {
+    // The ring wrapped over this span since it began: stale handle.
+    stale_ends_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (!slot.rec.open()) return;  // instant or already ended
+  slot.rec.sim_end = at;
+  if (wall_clock_) slot.rec.wall_end_ns = WallNowNs();
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  if (ring_.empty()) return out;
+  const std::uint64_t live =
+      cursor_ < ring_.size() ? cursor_ : static_cast<std::uint64_t>(ring_.size());
+  out.reserve(live);
+  for (std::uint64_t i = cursor_ - live; i < cursor_; ++i) {
+    const SpanRecord& rec = ring_[i % ring_.size()].rec;
+    if (rec.used()) out.push_back(rec);
+  }
+  return out;
+}
+
+Tracer& DefaultTracer() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace tango::scope

@@ -2,17 +2,20 @@
 # Build and test the project under several configs: a plain RelWithDebInfo
 # configure, an ASan+UBSan configure (-DTANGO_SANITIZE=ON), a TSan
 # configure (-DTANGO_TSAN=ON) that runs only the concurrency-touching tests
-# (thread pool, parallel DSS-LC, MCMF reuse, harness fan-out), and a
-# TangoAudit configure (-DTANGO_AUDIT=ON) that runs the full suite with
-# every runtime invariant checker live. `lint` runs tools/lint.py (no
-# build). All selected configs must pass for check.sh to exit 0. Run from
-# anywhere; paths are relative to the repo root.
+# (thread pool, parallel DSS-LC, MCMF reuse, harness fan-out, TangoScope
+# emission), a TangoAudit configure (-DTANGO_AUDIT=ON) that runs the full
+# suite with every runtime invariant checker live, and a TangoScope
+# configure (-DTANGO_SCOPE=ON) that runs the full suite plus a traced
+# chaos_demo whose exported Chrome trace must parse as JSON. `lint` runs
+# tools/lint.py (no build). All selected configs must pass for check.sh to
+# exit 0. Run from anywhere; paths are relative to the repo root.
 #
 #   $ tools/check.sh            # all configs + lint
 #   $ tools/check.sh plain      # only the plain config
 #   $ tools/check.sh sanitize   # only the ASan+UBSan config
 #   $ tools/check.sh tsan       # only the TSan config (parallel-path tests)
 #   $ tools/check.sh audit      # only the TANGO_AUDIT config (full suite)
+#   $ tools/check.sh scope      # only the TANGO_SCOPE config (+trace smoke)
 #   $ tools/check.sh lint       # only the project lint
 set -euo pipefail
 
@@ -20,9 +23,9 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 what="${1:-all}"
 case "$what" in
-  all|plain|sanitize|tsan|audit|lint) ;;
+  all|plain|sanitize|tsan|audit|scope|lint) ;;
   *)
-    echo "usage: tools/check.sh [all|plain|sanitize|tsan|audit|lint]" >&2
+    echo "usage: tools/check.sh [all|plain|sanitize|tsan|audit|scope|lint]" >&2
     exit 2
     ;;
 esac
@@ -63,14 +66,26 @@ if [[ "$what" == "all" || "$what" == "tsan" ]]; then
   # threaded paths; the plain/sanitize configs already cover the rest.
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   run_config tsan "$repo_root/build-tsan" \
-    -R 'ThreadPool|ParallelDss|DssLc|McmfReuse|Harness|Experiment' \
-    -DTANGO_TSAN=ON
+    -R 'ThreadPool|ParallelDss|DssLc|McmfReuse|Harness|Experiment|Scope' \
+    -DTANGO_TSAN=ON -DTANGO_SCOPE=ON
 fi
 
 if [[ "$what" == "all" || "$what" == "audit" ]]; then
   # Full suite with every AUDIT_CHECK live: any invariant violation aborts
   # the offending test with a structured report.
   run_config audit "$repo_root/build-audit" -DTANGO_AUDIT=ON -DTANGO_WERROR=ON
+fi
+
+if [[ "$what" == "all" || "$what" == "scope" ]]; then
+  # Full suite with TangoScope compiled in, then a traced chaos_demo run:
+  # the exported Chrome trace must at minimum parse as JSON (the chain-
+  # reconstruction content checks live in tests/scope_test.cpp).
+  run_config scope "$repo_root/build-scope" -DTANGO_SCOPE=ON -DTANGO_WERROR=ON
+  echo "== [scope] traced chaos_demo =="
+  (cd "$repo_root/build-scope" && examples/chaos_demo >/dev/null)
+  python3 -m json.tool "$repo_root/build-scope/tango_chaos_trace.json" \
+    >/dev/null
+  echo "trace JSON ok"
 fi
 
 if [[ "$what" == "all" || "$what" == "lint" ]]; then

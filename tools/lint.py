@@ -12,6 +12,11 @@ degrades gracefully when optional external tools are missing:
   rng             no unseeded/global randomness (std::random_device,
                   std::mt19937, rand, srand) — determinism is a test
                   contract; use common/rng.h's seeded Rng.
+  stats-struct    no new ad-hoc `struct FooStats`/`FooCounters` bookkeeping
+                  outside src/scope — register counters/gauges/histograms
+                  with scope::MetricRegistry instead. Pre-TangoScope
+                  structs are grandfathered; annotate deliberate new ones
+                  with `// tango-lint: allow(stats-struct)`.
   headers         every header under src/ must be self-contained
                   (compiles alone with `g++ -fsyntax-only`).
   format          clang-format --dry-run over src/tests/bench/examples;
@@ -50,6 +55,16 @@ ALLOW_RAW_NEW = "tango-lint: allow(raw-new)"
 
 UNSEEDED_RNG = re.compile(
     r"std::random_device|std::mt19937|(?<![\w.>:])s?rand\s*\(")
+
+# Ad-hoc metric bookkeeping: new `struct FooStats` / `struct FooCounters`
+# outside src/scope should be scope::MetricRegistry metrics instead.
+STATS_STRUCT = re.compile(r"^\s*struct\s+(\w*(?:Stats|Counters))\b")
+ALLOW_STATS_STRUCT = "tango-lint: allow(stats-struct)"
+# Structs that predate TangoScope (kept as plain views/aggregates).
+GRANDFATHERED_STATS = {
+    "SyncStats", "PeriodStats", "LcRoundStats", "SolverPoolStats",
+    "TraceStats",
+}
 
 SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
 
@@ -126,6 +141,24 @@ def check_rng(findings: list[str]) -> None:
                         f"{raw.strip()}")
 
 
+def check_stats_struct(findings: list[str]) -> None:
+    for path in source_files(".h", ".cpp"):
+        r = rel(path)
+        if not r.startswith("src/") or r.startswith("src/scope"):
+            continue
+        with open(path, encoding="utf-8") as f:
+            for i, raw in enumerate(f, 1):
+                if ALLOW_STATS_STRUCT in raw:
+                    continue
+                m = STATS_STRUCT.match(strip_comments_and_strings(raw))
+                if m and m.group(1) not in GRANDFATHERED_STATS:
+                    findings.append(
+                        f"{r}:{i}: [stats-struct] ad-hoc counter struct "
+                        f"{m.group(1)!r} outside src/scope — use "
+                        f"scope::MetricRegistry (or annotate with "
+                        f"`// {ALLOW_STATS_STRUCT}`)")
+
+
 def check_headers(findings: list[str]) -> None:
     gxx = shutil.which("g++") or shutil.which("c++")
     if gxx is None:
@@ -178,8 +211,8 @@ def main() -> int:
     parser.add_argument("--base", metavar="REF", default=None,
                         help="also require CHANGES.md to differ from REF")
     parser.add_argument("--skip", action="append", default=[],
-                        choices=["hot-path", "raw-new", "rng", "headers",
-                                 "format"],
+                        choices=["hot-path", "raw-new", "rng", "stats-struct",
+                                 "headers", "format"],
                         help="disable one check (repeatable)")
     args = parser.parse_args()
 
@@ -188,6 +221,7 @@ def main() -> int:
         "hot-path": check_hot_path,
         "raw-new": check_raw_new,
         "rng": check_rng,
+        "stats-struct": check_stats_struct,
         "headers": check_headers,
         "format": check_format,
     }

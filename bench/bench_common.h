@@ -69,10 +69,20 @@ inline int RecordedCores(const char* path) {
 /// Provenance guard: refuse to overwrite a benchmark result recorded on a
 /// host with more cores — a laptop run must not clobber the numbers from a
 /// real multi-core box (that is how BENCH_sched.json once lost its ≥4-core
-/// measurement to a 1-core container). Prints the decision either way.
+/// measurement to a 1-core container). Set TANGO_BENCH_FORCE=1 to override
+/// deliberately (e.g. re-recording after a schema change). Prints the
+/// decision either way.
 inline bool ShouldWriteBench(const char* path, int cores) {
   const int prior = RecordedCores(path);
   if (prior > cores) {
+    const char* force = std::getenv("TANGO_BENCH_FORCE");
+    if (force != nullptr && *force != '\0' && *force != '0') {
+      std::printf(
+          "  [!!] TANGO_BENCH_FORCE: overwriting %s recorded on %d cores "
+          "with a %d-core run\n",
+          path, prior, cores);
+      return true;
+    }
     std::printf(
         "  [--] keeping existing %s (recorded on %d cores; this host has "
         "%d)\n",

@@ -185,6 +185,47 @@ FaultScript GenerateChaos(const ChaosProfile& profile,
   return script;
 }
 
+std::vector<FaultScript> SplitByCluster(
+    const FaultScript& script, int num_clusters,
+    const std::function<ClusterId(NodeId)>& cluster_of) {
+  std::vector<FaultScript> out(static_cast<std::size_t>(num_clusters));
+  const auto in_range = [num_clusters](ClusterId c) {
+    return c.valid() && c.value < num_clusters;
+  };
+  for (const FaultEvent& ev : script.events()) {
+    switch (ev.kind) {
+      case FaultKind::kNodeCrash:
+      case FaultKind::kNodeRecover:
+      case FaultKind::kNodeDrain:
+      case FaultKind::kNodeUndrain: {
+        const ClusterId c = cluster_of(ev.node);
+        if (in_range(c)) out[static_cast<std::size_t>(c.value)].Add(ev);
+        break;
+      }
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kLinkRestore:
+      case FaultKind::kPartition:
+      case FaultKind::kHeal: {
+        if (in_range(ev.cluster_a)) {
+          out[static_cast<std::size_t>(ev.cluster_a.value)].Add(ev);
+        }
+        if (in_range(ev.cluster_b) && ev.cluster_b != ev.cluster_a) {
+          out[static_cast<std::size_t>(ev.cluster_b.value)].Add(ev);
+        }
+        break;
+      }
+      case FaultKind::kMasterFail:
+      case FaultKind::kMasterRecover: {
+        if (in_range(ev.cluster_a)) {
+          out[static_cast<std::size_t>(ev.cluster_a.value)].Add(ev);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<NodeId> WorkerIds(const std::vector<k8s::ClusterSpec>& clusters) {
   std::vector<NodeId> out;
   std::int32_t next = 0;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/ids.h"
@@ -116,5 +117,17 @@ FaultScript GenerateChaos(const ChaosProfile& profile,
 /// (per cluster: master first, then its workers, ids sequential) — lets a
 /// chaos script target workers before the system is even built.
 std::vector<NodeId> WorkerIds(const std::vector<k8s::ClusterSpec>& clusters);
+
+/// Split a script into per-cluster scripts for the sharded engine: node and
+/// master events land on the owning cluster; link events are duplicated to
+/// *both* endpoints (each side of a degraded or cut link applies the fault
+/// to its own egress view at the same virtual time, so senders in different
+/// shards agree without exchanging messages). `cluster_of` maps a NodeId to
+/// its owning cluster; events targeting unknown nodes or out-of-range
+/// clusters are dropped. Per-cluster event order preserves the source
+/// script's (time, insertion) order — determinism is a contract.
+std::vector<FaultScript> SplitByCluster(
+    const FaultScript& script, int num_clusters,
+    const std::function<ClusterId(NodeId)>& cluster_of);
 
 }  // namespace tango::fault

@@ -1,0 +1,44 @@
+// Per-cluster BE admission & eviction guard — the HRM decision loop the
+// sharded engine runs on every master.
+//
+// §4.1's harvesting contract, reduced to the aggregate level a 100k-node
+// simulation can afford: BE may harvest idle capacity, but LC must always
+// find room, so each cluster (i) caps total BE residency at a fraction of
+// capacity that *shrinks* as LC pressure grows, and (ii) evicts-and-
+// restarts BE (never migrates — restart semantics per §4.1) when an LC
+// request cannot fit even though BE is resident. Pure functions over
+// aggregates: shard-safe, unit-testable, no system dependency.
+#pragma once
+
+#include "common/units.h"
+
+namespace tango::hrm {
+
+struct BeGuardConfig {
+  /// BE may fill the cluster up to this fraction of total capacity when LC
+  /// is idle...
+  double be_cap_idle = 0.90;
+  /// ...linearly squeezed down to this fraction as LC pressure approaches 1
+  /// (mirrors the D-VPA shrink direction: LC grows, BE yields).
+  double be_cap_busy = 0.20;
+};
+
+/// LC pressure of a cluster: LC usage over total capacity, in [0, 1].
+double LcPressure(Millicores used_lc, Millicores capacity);
+
+/// Maximum total BE residency the cluster tolerates at the given LC
+/// pressure (millicores).
+Millicores BeAdmissionBound(const BeGuardConfig& cfg, Millicores capacity,
+                            double lc_pressure);
+
+/// Admission check the target cluster's loop runs for one BE request:
+/// admitting `demand` must keep total BE at or under the bound.
+bool AdmitBe(const BeGuardConfig& cfg, Millicores capacity,
+             Millicores used_lc, Millicores used_be, Millicores demand);
+
+/// True when an LC request that cannot fit should trigger a BE
+/// evict-and-restart: some worker must hold at least `demand` of BE for an
+/// eviction to be able to free enough room.
+bool ShouldEvictForLc(Millicores max_worker_be, Millicores demand);
+
+}  // namespace tango::hrm

@@ -35,6 +35,19 @@ SimDuration Topology::TransferDelay(ClusterId a, ClusterId b, Bytes size,
   return d < 0 ? 0 : d;
 }
 
+SimDuration Topology::MinCrossClusterLatency() const {
+  SimDuration best = params_.wan_base_latency;
+  bool any_pair = false;
+  for (int i = 0; i < num_clusters(); ++i) {
+    for (int j = i + 1; j < num_clusters(); ++j) {
+      const SimDuration d = OneWayDelay(ClusterId{i}, ClusterId{j});
+      if (!any_pair || d < best) best = d;
+      any_pair = true;
+    }
+  }
+  return best;
+}
+
 std::vector<ClusterId> Topology::NearbyClusters(ClusterId from,
                                                 double radius_km) const {
   std::vector<ClusterId> out;

@@ -60,6 +60,17 @@ class Topology {
     return 2 * OneWayDelay(a, b);
   }
 
+  /// Minimum one-way propagation delay between any two *distinct* clusters
+  /// — the conservative lookahead of the sharded simulation engine
+  /// (src/shard): no cross-cluster effect can propagate faster than this,
+  /// so shards may advance independently for one such window. Fault
+  /// injection only ever *multiplies* link latency (LinkFault::latency_mult
+  /// >= 1), so the bound stays safe under chaos. Single-cluster topologies
+  /// return the WAN floor (`wan_base_latency`). Derived from OneWayDelay
+  /// itself rather than re-derived from LinkParams at call sites, so the
+  /// shard lookahead and the egress/transfer model can never drift apart.
+  SimDuration MinCrossClusterLatency() const;
+
   /// Total delivery time for a payload of `size` bytes from cluster `a` to
   /// cluster `b`, optionally jittered through `rng`.
   SimDuration TransferDelay(ClusterId a, ClusterId b, Bytes size,

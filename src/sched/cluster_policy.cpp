@@ -1,0 +1,78 @@
+#include "sched/cluster_policy.h"
+
+#include <algorithm>
+
+namespace tango::sched {
+
+int PickLocalWorker(const std::vector<WorkerView>& workers,
+                    Millicores demand) {
+  int best = -1;
+  Millicores best_free = 0;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerView& w = workers[i];
+    if (!w.usable()) continue;
+    const Millicores free = w.free();
+    if (free < demand) continue;
+    if (best < 0 || free > best_free) {
+      best = static_cast<int>(i);
+      best_free = free;
+    }
+  }
+  return best;
+}
+
+int PickEvictionWorker(const std::vector<WorkerView>& workers,
+                       const std::vector<Millicores>& be_used,
+                       Millicores min_be) {
+  int best = -1;
+  Millicores best_be = 0;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    if (!workers[i].usable()) continue;
+    const Millicores be = be_used[i];
+    if (be < min_be) continue;
+    if (best < 0 || be > best_be) {
+      best = static_cast<int>(i);
+      best_be = be;
+    }
+  }
+  return best;
+}
+
+ClusterId PickSpillCluster(const std::vector<ClusterView>& candidates,
+                           Millicores demand) {
+  ClusterId best;
+  Millicores best_free = 0;
+  for (const ClusterView& v : candidates) {
+    if (v.version == 0 || v.live_workers <= 0) continue;
+    if (v.free_total < demand) continue;
+    if (!best.valid() || v.free_total > best_free ||
+        (v.free_total == best_free && v.cluster < best)) {
+      best = v.cluster;
+      best_free = v.free_total;
+    }
+  }
+  return best;
+}
+
+std::vector<ClusterId> RankBeClusters(const std::vector<ClusterView>& views) {
+  std::vector<ClusterId> order;
+  order.reserve(views.size());
+  for (const ClusterView& v : views) {
+    if (v.version == 0 || v.live_workers <= 0) continue;
+    order.push_back(v.cluster);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](ClusterId a, ClusterId b) {
+                     const ClusterView& va =
+                         views[static_cast<std::size_t>(a.value)];
+                     const ClusterView& vb =
+                         views[static_cast<std::size_t>(b.value)];
+                     if (va.free_total != vb.free_total) {
+                       return va.free_total > vb.free_total;
+                     }
+                     return a < b;
+                   });
+  return order;
+}
+
+}  // namespace tango::sched

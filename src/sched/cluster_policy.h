@@ -1,0 +1,76 @@
+// Per-cluster decision loops for the sharded engine, plus the thin global
+// placement layer above them.
+//
+// DSS-LC and DCG-BE make *per-request* decisions against a full state
+// storage; at 100k nodes that global view is exactly what serializes the
+// simulation. The sharded engine instead splits scheduling Oakestra-style
+// into two tiers:
+//
+//   - a per-cluster loop (one per master, shard-local): place an LC request
+//     on the best local worker, fall back to a geo-nearby cluster chosen
+//     from delta-synced aggregate views when the cluster is full;
+//   - a thin global layer (the acting central master): rank clusters by
+//     synced free capacity to place BE batches, never touching per-worker
+//     state of remote clusters.
+//
+// Everything here is pure functions over POD views, so the policies are
+// trivially shard-safe (no hidden shared state) and unit-testable without
+// a system. Ties break on the lowest index — determinism is a contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace tango::sched {
+
+/// Local worker as the per-cluster loop sees it (exact, shard-local state).
+struct WorkerView {
+  Millicores capacity = 0;
+  Millicores used = 0;  // LC + BE combined
+  bool alive = true;
+  bool draining = false;
+
+  Millicores free() const { return capacity - used; }
+  bool usable() const { return alive && !draining; }
+};
+
+/// Remote cluster as last synced (aggregate, possibly stale — the version
+/// stamp tells how stale).
+struct ClusterView {
+  ClusterId cluster;
+  Millicores free_total = 0;
+  std::int32_t live_workers = 0;
+  std::uint64_t version = 0;  // 0 = never synced
+};
+
+/// Best usable local worker with at least `demand` free, by most-free with
+/// lowest-index tie-break; -1 when the cluster cannot host the request.
+int PickLocalWorker(const std::vector<WorkerView>& workers,
+                    Millicores demand);
+
+/// Worker holding the most BE usage (eviction victim candidate); -1 when no
+/// usable worker has `min_be` or more BE resident.
+int PickEvictionWorker(const std::vector<WorkerView>& workers,
+                       const std::vector<Millicores>& be_used,
+                       Millicores min_be);
+
+/// Best remote cluster for an LC spill-over: most synced free capacity
+/// among `candidates` with at least `demand` free and at least one live
+/// worker, lowest-cluster-id tie-break. Returns an invalid ClusterId when
+/// nothing fits. `candidates` must already be the geo-nearby scope (§5.2's
+/// 500 km rule) — the policy does not re-derive geography.
+ClusterId PickSpillCluster(const std::vector<ClusterView>& candidates,
+                           Millicores demand);
+
+/// The thin global layer: rank every cluster for BE placement by synced
+/// free capacity (descending, lowest-id ties). `views` must be indexed by
+/// cluster id (views[c].cluster == ClusterId{c}). The central master walks
+/// the ranking and sends each BE request to the first cluster that fits;
+/// per-worker admission stays with the *target* cluster's loop (see
+/// hrm::BeGuard), keeping the global layer aggregate-only.
+std::vector<ClusterId> RankBeClusters(const std::vector<ClusterView>& views);
+
+}  // namespace tango::sched

@@ -1,5 +1,7 @@
 #include "scope/export.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <set>
 #include <utility>
@@ -89,6 +91,38 @@ std::size_t WriteChromeTrace(std::ostream& out,
 
 std::size_t WriteChromeTrace(std::ostream& out, const Tracer& tracer) {
   return WriteChromeTrace(out, tracer.Snapshot());
+}
+
+std::vector<SpanRecord> MergeSnapshots(
+    const std::vector<const Tracer*>& tracers) {
+  std::vector<SpanRecord> merged;
+  for (std::size_t ring = 0; ring < tracers.size(); ++ring) {
+    if (tracers[ring] == nullptr) continue;
+    const std::uint64_t tag = (static_cast<std::uint64_t>(ring) + 1) << 48;
+    for (SpanRecord rec : tracers[ring]->Snapshot()) {
+      if (rec.self != kInvalidSpan) rec.self |= tag;
+      if (rec.parent != kInvalidSpan) rec.parent |= tag;
+      merged.push_back(rec);
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.sim_begin < b.sim_begin;
+                   });
+  return merged;
+}
+
+std::size_t WriteChromeTrace(std::ostream& out,
+                             const std::vector<const Tracer*>& tracers) {
+  return WriteChromeTrace(out, MergeSnapshots(tracers));
+}
+
+bool WriteChromeTraceFile(const std::string& path,
+                          const std::vector<const Tracer*>& tracers) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteChromeTrace(out, tracers);
+  return static_cast<bool>(out);
 }
 
 bool WriteChromeTraceFile(const std::string& path, const Tracer& tracer) {

@@ -35,6 +35,21 @@ std::size_t WriteChromeTrace(std::ostream& out,
 std::size_t WriteChromeTrace(std::ostream& out, const Tracer& tracer);
 bool WriteChromeTraceFile(const std::string& path, const Tracer& tracer);
 
+/// Merge the span rings of several tracers (one per shard in the sharded
+/// engine — each shard records into its own ring so emission never
+/// contends across shards) into one stream ordered by sim_begin, stable
+/// within a ring so per-shard causal order survives. Span/parent handles
+/// are ring-local; the merge re-tags each record's self/parent with the
+/// ring index (bits 48+, untouched by MakeHandle) so handles from
+/// different rings can never collide in the merged trace, while parent
+/// chains — always intra-shard — keep matching their re-tagged spans.
+std::vector<SpanRecord> MergeSnapshots(
+    const std::vector<const Tracer*>& tracers);
+std::size_t WriteChromeTrace(std::ostream& out,
+                             const std::vector<const Tracer*>& tracers);
+bool WriteChromeTraceFile(const std::string& path,
+                          const std::vector<const Tracer*>& tracers);
+
 /// `name,kind,count,value,p50,p95,p99` with a header row. Returns rows
 /// written (excluding the header).
 std::size_t WriteMetricsCsv(std::ostream& out,

@@ -1,0 +1,94 @@
+// TangoShard cross-cluster messages.
+//
+// Every interaction that crosses a cluster boundary in the sharded engine —
+// LC spill-overs and their results, BE forwarding through the acting
+// central master, state-sync deltas, master up/down control broadcasts,
+// fault-triggered bounces — is a ShardMessage dropped into a mailbox
+// (shard/mailbox.h) and delivered at an epoch barrier. There is no other
+// channel: a cluster may schedule events on its own shard's simulator
+// freely (intra-cluster effects ride the LAN, below the lookahead), but a
+// cross-cluster effect must be a message even when source and destination
+// happen to share a shard. That uniformity is what makes the engine
+// byte-identical across shard counts: the set of messages, their delivery
+// times, and their per-destination order depend only on the simulated
+// system, never on the partition.
+//
+// Messages carry a per-source-cluster sequence number assigned at send
+// time. (deliver, src, seq) is a total order that every partition agrees
+// on, so barrier-time delivery can sort on it and schedule deliveries in
+// one canonical order.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace tango::shard {
+
+enum class MsgKind : std::uint8_t {
+  kLcTransfer,   // origin/delegate master -> remote master: place this LC
+  kLcReject,     // remote master -> origin: could not place, re-route
+  kLcResult,     // executing cluster -> origin: LC request completed
+  kLcLost,       // executing cluster -> origin: request lost to a fault
+  kBeForward,    // origin master -> acting central: new BE request
+  kBeTransfer,   // central -> target cluster: place this BE
+  kBeBounce,     // target -> central: not admitted / evicted / lost
+  kBeResult,     // executing cluster -> origin: BE request completed
+  kBeDrop,       // central -> origin: bounce budget exhausted, give up
+  kStateDelta,   // master -> scoped masters + central: aggregate view
+  kMasterDown,   // control broadcast: payload.subject's master failed
+  kMasterUp,     // control broadcast: payload.subject's master recovered
+  kMasterNack,   // dead master's cluster bounces a request back to sender
+};
+
+const char* MsgKindName(MsgKind kind);
+
+/// Body shared by every message kind. Request kinds use the request block;
+/// kStateDelta uses the delta block; control kinds use `subject`. One flat
+/// POD (rather than a variant) keeps the mailbox slabs trivially copyable
+/// and the per-kind unused fields cost nothing but zeroed bytes.
+struct Payload {
+  // --- request block -----------------------------------------------------
+  /// Globally unique request id: (origin cluster << 40) | per-origin
+  /// counter. Folded into the determinism digest at every hop.
+  std::uint64_t uid = 0;
+  ClusterId origin;          // where the record (and the client) lives
+  std::int32_t slot = -1;    // record slot at the origin cluster
+  std::uint32_t gen = 0;     // record generation (stale replies are no-ops)
+  ServiceId service;
+  Millicores demand = 0;
+  SimDuration exec_us = 0;   // sampled work at exactly `demand` millicores
+  SimTime arrival = 0;
+  SimDuration deadline_us = 0;  // LC QoS target; 0 for BE
+  Bytes request_bytes = 0;
+  Bytes response_bytes = 0;
+  std::int16_t reroutes = 0;  // fault re-dispatches + spill rejections (LC)
+  std::int16_t bounces = 0;   // BE placement bounces through the central
+  bool is_lc = true;
+  /// For kMasterNack: the kind of the message that hit the dead master, so
+  /// the sender knows which recovery path to take.
+  MsgKind orig = MsgKind::kLcTransfer;
+
+  // --- delta block (kStateDelta) -----------------------------------------
+  std::uint64_t version = 0;      // per-source monotonic; 0 = never synced
+  Millicores free_total = 0;      // aggregate free CPU on usable workers
+  std::int32_t live_workers = 0;
+
+  // --- control block (kMasterDown/Up, kMasterNack) -----------------------
+  ClusterId subject;  // whose master the notice is about
+};
+
+struct ShardMessage {
+  MsgKind kind = MsgKind::kLcTransfer;
+  ClusterId src;
+  ClusterId dst;
+  SimTime sent = 0;     // virtual send time
+  SimTime deliver = 0;  // virtual delivery time; >= sent + lookahead
+  /// Per-source-cluster send counter. Unique per src, so
+  /// (deliver, src, seq) totally orders any message set.
+  std::uint64_t seq = 0;
+  Payload payload;
+};
+
+}  // namespace tango::shard

@@ -259,11 +259,13 @@ void Simulator::AuditHeap() const {
                                       pool_.size()));
 }
 
-void Simulator::RunUntil(SimTime until) {
+std::uint64_t Simulator::RunUntil(SimTime until) {
+  const std::uint64_t before = executed_;
   while (!heap_.empty() && pool_[heap_.front()].when <= until) {
     if (!PopAndRun()) break;
   }
   if (now_ < until) now_ = until;
+  return executed_ - before;
 }
 
 void Simulator::RunAll() {

@@ -35,7 +35,11 @@ namespace tango::sim {
 /// Handle used to cancel a scheduled (one-shot or periodic) event. Handles
 /// carry a slot generation, so a stale handle — already fired, already
 /// cancelled, or whose pool slot was since reused — never matches a live
-/// event and Cancel on it is a safe no-op.
+/// event and Cancel on it is a safe no-op. Handles are simulator-local
+/// (shard-local in the sharded engine): they index this simulator's pool
+/// and must never be passed to, or cancelled through, another shard — a
+/// cross-shard cancel is a cross-shard effect and has to travel through
+/// the shard mailbox API like any other message.
 using EventHandle = std::uint64_t;
 constexpr EventHandle kInvalidEvent = 0;
 
@@ -163,9 +167,17 @@ class Simulator {
   /// to call on already-fired, already-cancelled, or reused handles (no-op).
   void Cancel(EventHandle handle);
 
+  /// No pending event (NextEventTime sentinel).
+  static constexpr SimTime kNoEvent = INT64_MAX;
+
   /// Run until the event queue is empty or the clock passes `until`.
-  /// Events scheduled exactly at `until` are executed.
-  void RunUntil(SimTime until);
+  /// Events scheduled exactly at `until` are executed, and the clock is
+  /// left at `until` even when the queue drains early — so an epoch-bounded
+  /// caller (the sharded engine drives one RunUntil per epoch) observes
+  /// every shard clock at the same barrier time. Returns the number of
+  /// events executed by this call, letting the caller aggregate events/sec
+  /// across shards without re-reading executed_events().
+  std::uint64_t RunUntil(SimTime until);
 
   /// Run until the event queue drains completely.
   void RunAll();
@@ -180,6 +192,12 @@ class Simulator {
   /// Exact number of events currently scheduled (cancelled events are
   /// removed immediately and never counted).
   std::size_t pending_events() const { return heap_.size(); }
+  /// Virtual time of the earliest pending event, or kNoEvent when the
+  /// queue is empty. The sharded engine uses this to fast-forward over
+  /// epochs in which no shard has anything to run.
+  SimTime NextEventTime() const {
+    return heap_.empty() ? kNoEvent : pool_[heap_.front()].when;
+  }
   std::uint64_t executed_events() const { return executed_; }
 
   /// Heap-allocation events since construction: event-pool growth plus

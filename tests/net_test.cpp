@@ -77,6 +77,22 @@ TEST(Topology, NearbyClustersRespects500kmRule) {
   }
 }
 
+TEST(Topology, MinCrossClusterLatencyIsClosestPairDelay) {
+  const Topology t = MakeLine();
+  // Closest pair is 0–1 at 300 km; the minimum must match its one-way
+  // delay exactly (this is the shard engine's conservative lookahead).
+  EXPECT_EQ(t.MinCrossClusterLatency(),
+            t.OneWayDelay(ClusterId{0}, ClusterId{1}));
+  EXPECT_LE(t.MinCrossClusterLatency(),
+            t.OneWayDelay(ClusterId{0}, ClusterId{2}));
+  EXPECT_GE(t.MinCrossClusterLatency(), t.params().wan_base_latency);
+}
+
+TEST(Topology, MinCrossClusterLatencySingleClusterFallsBackToWanFloor) {
+  const Topology t({{0, 0}}, LinkParams{});
+  EXPECT_EQ(t.MinCrossClusterLatency(), t.params().wan_base_latency);
+}
+
 TEST(Topology, CentralClusterMinimizesTotalDistance) {
   const Topology t = MakeLine();
   // x=300 is the geometric 1-median of {0, 300, 1000}.

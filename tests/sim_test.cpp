@@ -93,6 +93,29 @@ TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
   EXPECT_EQ(fired.back(), 21);
 }
 
+TEST(Simulator, RunUntilReturnsExecutedCount) {
+  Simulator sim;
+  for (SimTime t : {5, 10, 10, 25}) {
+    sim.ScheduleAt(t, [] {});
+  }
+  EXPECT_EQ(sim.RunUntil(10), 3u);  // 5, 10, 10
+  EXPECT_EQ(sim.RunUntil(20), 0u);  // empty window still advances the clock
+  EXPECT_EQ(sim.Now(), 20);
+  EXPECT_EQ(sim.RunUntil(30), 1u);
+}
+
+TEST(Simulator, NextEventTimeTracksHeapHead) {
+  Simulator sim;
+  EXPECT_EQ(sim.NextEventTime(), Simulator::kNoEvent);
+  const EventHandle h = sim.ScheduleAt(40, [] {});
+  sim.ScheduleAt(70, [] {});
+  EXPECT_EQ(sim.NextEventTime(), 40);
+  sim.Cancel(h);
+  EXPECT_EQ(sim.NextEventTime(), 70);
+  sim.RunAll();
+  EXPECT_EQ(sim.NextEventTime(), Simulator::kNoEvent);
+}
+
 TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
   Simulator sim;
   sim.RunUntil(1000);

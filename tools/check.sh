@@ -66,8 +66,13 @@ if [[ "$what" == "all" || "$what" == "tsan" ]]; then
   # threaded paths; the plain/sanitize configs already cover the rest.
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   run_config tsan "$repo_root/build-tsan" \
-    -R 'ThreadPool|ParallelDss|DssLc|McmfReuse|Harness|Experiment|Scope' \
+    -R 'ThreadPool|ParallelDss|DssLc|McmfReuse|Harness|Experiment|Scope|Shard|Mailbox' \
     -DTANGO_TSAN=ON -DTANGO_SCOPE=ON
+  # The sharded engine's epoch fan-out under TSan: the mailbox exchange and
+  # the per-shard slabs are the only cross-thread surfaces, and the smoke
+  # sweep drives them with 2/4/8 shards on a real thread pool.
+  echo "== [tsan] sharded perf_sim --smoke =="
+  (cd "$repo_root/build-tsan" && bench/perf_sim --smoke)
 fi
 
 if [[ "$what" == "all" || "$what" == "audit" ]]; then

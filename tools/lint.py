@@ -17,6 +17,14 @@ degrades gracefully when optional external tools are missing:
                   with scope::MetricRegistry instead. Pre-TangoScope
                   structs are grandfathered; annotate deliberate new ones
                   with `// tango-lint: allow(stats-struct)`.
+  shard-isolation in src/shard, scheduling calls (ScheduleAt/ScheduleAfter/
+                  StartPeriodic/SchedulePeriodic) may only target the
+                  caller's own simulator (`sim_->...` in ClusterModel,
+                  `sh.sim....` in the engine's epoch driver) — reaching into
+                  another shard's simulator bypasses the mailbox protocol
+                  and silently breaks byte-identity across shard counts.
+                  Annotate deliberate uses with
+                  `// tango-lint: allow(shard-isolation)`.
   headers         every header under src/ must be self-contained
                   (compiles alone with `g++ -fsyntax-only`).
   format          clang-format --dry-run over src/tests/bench/examples;
@@ -65,6 +73,14 @@ GRANDFATHERED_STATS = {
     "SyncStats", "PeriodStats", "LcRoundStats", "SolverPoolStats",
     "TraceStats",
 }
+
+# Scheduling inside src/shard must go through the owner's own simulator;
+# any other receiver is a cross-shard schedule that must ride the mailbox.
+SCHEDULE_CALL = re.compile(
+    r"([A-Za-z_][\w.\[\]()*>-]*\s*(?:->|\.)\s*)?"
+    r"(ScheduleAt|ScheduleAfter|StartPeriodic|SchedulePeriodic)\s*\(")
+SHARD_OK_RECEIVERS = re.compile(r"^(sim_\s*->|sh\.sim\s*\.)\s*$")
+ALLOW_SHARD_ISOLATION = "tango-lint: allow(shard-isolation)"
 
 SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
 
@@ -159,6 +175,28 @@ def check_stats_struct(findings: list[str]) -> None:
                         f"`// {ALLOW_STATS_STRUCT}`)")
 
 
+def check_shard_isolation(findings: list[str]) -> None:
+    for path in source_files(".h", ".cpp"):
+        r = rel(path)
+        if not r.startswith("src/shard"):
+            continue
+        with open(path, encoding="utf-8") as f:
+            for i, raw in enumerate(f, 1):
+                if ALLOW_SHARD_ISOLATION in raw:
+                    continue
+                line = strip_comments_and_strings(raw)
+                for m in SCHEDULE_CALL.finditer(line):
+                    receiver = m.group(1) or ""
+                    if SHARD_OK_RECEIVERS.match(receiver):
+                        continue
+                    findings.append(
+                        f"{r}:{i}: [shard-isolation] {m.group(2)} on "
+                        f"receiver {receiver.strip() or '<free call>'!r} — "
+                        f"cross-shard effects must use the mailbox API "
+                        f"(MailboxGrid::Send), not another shard's "
+                        f"simulator: {raw.strip()}")
+
+
 def check_headers(findings: list[str]) -> None:
     gxx = shutil.which("g++") or shutil.which("c++")
     if gxx is None:
@@ -212,7 +250,7 @@ def main() -> int:
                         help="also require CHANGES.md to differ from REF")
     parser.add_argument("--skip", action="append", default=[],
                         choices=["hot-path", "raw-new", "rng", "stats-struct",
-                                 "headers", "format"],
+                                 "shard-isolation", "headers", "format"],
                         help="disable one check (repeatable)")
     args = parser.parse_args()
 
@@ -222,6 +260,7 @@ def main() -> int:
         "raw-new": check_raw_new,
         "rng": check_rng,
         "stats-struct": check_stats_struct,
+        "shard-isolation": check_shard_isolation,
         "headers": check_headers,
         "format": check_format,
     }

@@ -1,15 +1,23 @@
 // perf_sched — scheduling-core performance baseline.
 //
 // Measures DSS-LC dispatch rounds/sec with the per-type G_k fan-out serial
-// vs parallel on a small (16-node) and a large (256-node) cluster view,
-// verifies the parallel mode is byte-identical to serial and that
-// steady-state rounds perform zero MCMF graph allocations, then times a
-// short end-to-end simulation and concurrent benchmark repetitions.
-// Emits BENCH_sched.json (cwd) so later PRs can diff scheduling throughput
-// against this baseline. The ≥2× parallel speedup expectation only applies
-// on hosts with ≥4 cores; the JSON records the core count either way.
+// vs parallel on small (16-node), large (256-node) and huge (1024-node)
+// cluster views, verifies the parallel mode is byte-identical to serial and
+// that steady-state rounds perform zero MCMF graph allocations, compares
+// TangoSolve warm-start incremental solving against full cold rebuilds,
+// then times a short end-to-end simulation and concurrent benchmark
+// repetitions. Emits BENCH_sched.json (cwd) so later PRs can diff
+// scheduling throughput against this baseline. The ≥2× parallel speedup
+// expectation only applies on hosts with ≥4 cores; the JSON records the
+// core count either way.
+//
+// Flags: --smoke            small configs + invariant checks only, exit 1 on
+//                           failure, no BENCH write (CI gate)
+//        --nodes N          single custom config of ~N workers (16/cluster)
+//        --queue Q          requests per round for the custom config
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <thread>
 
@@ -24,6 +32,7 @@ using k8s::Assignment;
 using k8s::PendingRequest;
 using metrics::NodeSnapshot;
 using metrics::StateStorage;
+using SolverPoolStats = sched::DssLcScheduler::SolverPoolStats;
 
 double Now() {
   return std::chrono::duration<double>(
@@ -71,13 +80,15 @@ struct SchedRun {
   double rounds_per_sec = 0.0;
   std::int64_t assignments = 0;
   std::int64_t steady_alloc_events = 0;  // MCMF allocations after warm-up
+  SolverPoolStats stats;                 // solver pool counters at run end
   std::vector<std::vector<Assignment>> per_round;  // for the identity check
 };
 
 SchedRun RunRounds(int num_threads, const StateStorage& st, int queue_len,
-                   int rounds, int warmup) {
+                   int rounds, int warmup, bool warm_start = true) {
   sched::DssLcConfig cfg;
   cfg.num_threads = num_threads;
+  cfg.warm_start = warm_start;
   sched::DssLcScheduler dss(&bench::Catalog(), cfg);
   SchedRun run;
   std::int64_t warm_allocs = 0;
@@ -95,6 +106,7 @@ SchedRun RunRounds(int num_threads, const StateStorage& st, int queue_len,
   const double elapsed = Now() - t0;
   run.rounds_per_sec = elapsed > 0.0 ? rounds / elapsed : 0.0;
   run.steady_alloc_events = dss.solver_pool_stats().alloc_events - warm_allocs;
+  run.stats = dss.solver_pool_stats();
   return run;
 }
 
@@ -139,9 +151,48 @@ SchedComparison CompareSched(const char* label, int clusters, int workers,
   return cmp;
 }
 
+/// TangoSolve warm-start vs cold rebuild, both serial, same storage/queue.
+/// The cold run still uses the SoA solver and the dispatch-star kernel —
+/// this isolates what the incremental machinery (memo + delta re-solve)
+/// buys on top of the fast solver itself.
+struct WarmVsCold {
+  const char* label;
+  int nodes = 0;
+  int queue_len = 0;
+  SchedRun cold;
+  SchedRun warm;
+  bool identical = false;
+  double speedup = 0.0;
+  double avg_deltas = 0.0;  // UpdateArc deltas per warm (delta) re-solve
+};
+
+WarmVsCold CompareWarmCold(const char* label, int clusters, int workers,
+                           int queue_len, int rounds) {
+  WarmVsCold w;
+  w.label = label;
+  w.nodes = clusters * workers;
+  w.queue_len = queue_len;
+  const StateStorage st = MakeStorage(clusters, workers, 77);
+  w.cold = RunRounds(/*num_threads=*/1, st, queue_len, rounds, 3,
+                     /*warm_start=*/false);
+  w.warm = RunRounds(/*num_threads=*/1, st, queue_len, rounds, 3,
+                     /*warm_start=*/true);
+  w.identical = Identical(w.cold, w.warm);
+  w.speedup = w.cold.rounds_per_sec > 0.0
+                  ? w.warm.rounds_per_sec / w.cold.rounds_per_sec
+                  : 0.0;
+  w.avg_deltas =
+      w.warm.stats.warm_solves > 0
+          ? static_cast<double>(w.warm.stats.delta_updates) /
+                static_cast<double>(w.warm.stats.warm_solves)
+          : 0.0;
+  return w;
+}
+
 /// Per-phase wall-clock profile of the DSS-LC round (snapshot filter,
-/// graph build, MCMF solve, merge, commit) from a profile_phases run.
-/// Serial mode so phase timings are not interleaved across pool threads.
+/// graph build, delta build, MCMF solve, merge, commit) from a
+/// profile_phases run. Serial mode so phase timings are not interleaved
+/// across pool threads.
 std::vector<scope::MetricRow> ProfilePhases(const StateStorage& st,
                                             int queue_len, int rounds) {
   sched::DssLcConfig cfg;
@@ -230,7 +281,8 @@ RepsComparison CompareRepetitions() {
 
 void WriteJson(const char* path, int cores,
                const std::vector<SchedComparison>& sched,
-               const E2eComparison& e2e, const RepsComparison& reps,
+               const WarmVsCold& wc, const E2eComparison& e2e,
+               const RepsComparison& reps,
                const std::vector<scope::MetricRow>& phases) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"perf_sched\",\n  "
@@ -250,10 +302,33 @@ void WriteJson(const char* path, int cores,
         << "      \"steady_state_alloc_events_serial\": "
         << c.serial.steady_alloc_events << ",\n"
         << "      \"steady_state_alloc_events_parallel\": "
-        << c.parallel.steady_alloc_events << "\n    }"
-        << (i + 1 < sched.size() ? "," : "") << "\n";
+        << c.parallel.steady_alloc_events << ",\n"
+        << "      \"memo_hits\": " << c.serial.stats.memo_hits << ",\n"
+        << "      \"warm_solves\": " << c.serial.stats.warm_solves << ",\n"
+        << "      \"cold_solves\": " << c.serial.stats.cold_solves << ",\n"
+        << "      \"star_solves\": " << c.serial.stats.star_solves << ",\n"
+        << "      \"spfa_downgrades\": " << c.serial.stats.spfa_downgrades
+        << ",\n"
+        << "      \"delta_updates\": " << c.serial.stats.delta_updates
+        << "\n    }" << (i + 1 < sched.size() ? "," : "") << "\n";
   }
-  out << "  },\n  \"e2e_sim\": {\n"
+  out << "  },\n  \"warm_vs_cold\": {\n"
+      << "    \"label\": \"" << wc.label << "\",\n"
+      << "    \"nodes\": " << wc.nodes << ",\n"
+      << "    \"queue_per_round\": " << wc.queue_len << ",\n"
+      << "    \"cold_rounds_per_sec\": " << wc.cold.rounds_per_sec << ",\n"
+      << "    \"warm_rounds_per_sec\": " << wc.warm.rounds_per_sec << ",\n"
+      << "    \"speedup\": " << wc.speedup << ",\n"
+      << "    \"identical_assignments\": "
+      << (wc.identical ? "true" : "false") << ",\n"
+      << "    \"memo_hits\": " << wc.warm.stats.memo_hits << ",\n"
+      << "    \"warm_solves\": " << wc.warm.stats.warm_solves << ",\n"
+      << "    \"cold_solves\": " << wc.warm.stats.cold_solves << ",\n"
+      << "    \"star_solves\": " << wc.warm.stats.star_solves << ",\n"
+      << "    \"spfa_downgrades\": " << wc.warm.stats.spfa_downgrades << ",\n"
+      << "    \"delta_updates\": " << wc.warm.stats.delta_updates << ",\n"
+      << "    \"avg_deltas_per_warm_solve\": " << wc.avg_deltas << "\n"
+      << "  },\n  \"e2e_sim\": {\n"
       << "    \"serial_wall_s\": " << e2e.serial_s << ",\n"
       << "    \"parallel_wall_s\": " << e2e.parallel_s << ",\n"
       << "    \"speedup\": " << e2e.speedup << "\n  },\n"
@@ -275,14 +350,56 @@ void WriteJson(const char* path, int cores,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int nodes_override = 0;
+  int queue_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    const auto next_int = [&](int fallback) {
+      return i + 1 < argc ? std::atoi(argv[++i]) : fallback;
+    };
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      nodes_override = next_int(0);
+    } else if (std::strcmp(argv[i], "--queue") == 0) {
+      queue_override = next_int(0);
+    } else {
+      std::fprintf(stderr, "usage: perf_sched [--smoke] [--nodes N] "
+                           "[--queue Q]\n");
+      return 2;
+    }
+  }
   const int cores = static_cast<int>(std::thread::hardware_concurrency());
-  std::printf("perf_sched — DSS-LC scheduling core (host: %d cores)\n\n",
-              cores);
+  std::printf("perf_sched — DSS-LC scheduling core (host: %d cores)%s\n\n",
+              cores, smoke ? "  [smoke]" : "");
+  bool ok = true;
+
+  struct Config {
+    const char* label;
+    int clusters, workers, queue, rounds;
+  };
+  std::vector<Config> configs;
+  const bool custom = !smoke && (nodes_override > 0 || queue_override > 0);
+  if (smoke) {
+    configs.push_back({"smoke", 2, 4, 128, 10});
+  } else if (custom) {
+    // ~N workers at 16 per cluster; queue defaults to the large config's.
+    const int nodes = nodes_override > 0 ? nodes_override : 256;
+    const int queue = queue_override > 0 ? queue_override : 4096;
+    configs.push_back({"custom", std::max(1, (nodes + 15) / 16), 16, queue,
+                       10});
+  } else {
+    configs.push_back({"small", 4, 4, 256, 60});
+    configs.push_back({"large", 16, 16, 4096, 15});
+    configs.push_back({"huge", 64, 16, 16384, 8});
+  }
 
   std::vector<SchedComparison> sched;
-  sched.push_back(CompareSched("small", 4, 4, 256, 60));
-  sched.push_back(CompareSched("large", 16, 16, 4096, 15));
+  for (const auto& c : configs) {
+    sched.push_back(
+        CompareSched(c.label, c.clusters, c.workers, c.queue, c.rounds));
+  }
 
   std::vector<std::vector<std::string>> rows;
   for (const auto& c : sched) {
@@ -301,28 +418,55 @@ int main() {
        "identical", "steady allocs (s/p)"},
       rows);
 
+  // TangoSolve warm-start vs cold rebuild on the largest standard view
+  // (or the smoke/custom config when one was requested).
+  const Config wc_cfg = custom || smoke
+                            ? configs.back()
+                            : Config{"large", 16, 16, 4096, 15};
+  const WarmVsCold wc = CompareWarmCold(wc_cfg.label, wc_cfg.clusters,
+                                        wc_cfg.workers, wc_cfg.queue,
+                                        wc_cfg.rounds);
+  std::printf("\n== warm-start vs cold rebuild (serial, %s) ==\n", wc.label);
+  std::printf("  cold %.1f r/s  warm %.1f r/s  (%.2fx)  %s\n",
+              wc.cold.rounds_per_sec, wc.warm.rounds_per_sec, wc.speedup,
+              wc.identical ? "identical" : "DIVERGED");
+  std::printf("  warm rounds: memo %lld  delta %lld  cold %lld  star %lld  "
+              "downgrades %lld  avg %.1f deltas/warm-solve\n",
+              static_cast<long long>(wc.warm.stats.memo_hits),
+              static_cast<long long>(wc.warm.stats.warm_solves),
+              static_cast<long long>(wc.warm.stats.cold_solves),
+              static_cast<long long>(wc.warm.stats.star_solves),
+              static_cast<long long>(wc.warm.stats.spfa_downgrades),
+              wc.avg_deltas);
+
   // Per-phase wall-clock breakdown of a round on the large cluster view —
   // where a scheduling round actually spends its time.
-  const auto phases =
-      ProfilePhases(MakeStorage(16, 16, 77), /*queue_len=*/4096,
-                    /*rounds=*/20);
-  std::vector<std::vector<std::string>> phase_rows;
-  for (const auto& p : phases) {
-    phase_rows.push_back({p.name, std::to_string(p.count),
-                          eval::Fmt(p.value, 1), eval::Fmt(p.p50, 1),
-                          eval::Fmt(p.p95, 1), eval::Fmt(p.p99, 1)});
+  std::vector<scope::MetricRow> phases;
+  if (!smoke) {
+    phases = ProfilePhases(MakeStorage(16, 16, 77), /*queue_len=*/4096,
+                           /*rounds=*/20);
+    std::vector<std::vector<std::string>> phase_rows;
+    for (const auto& p : phases) {
+      phase_rows.push_back({p.name, std::to_string(p.count),
+                            eval::Fmt(p.value, 1), eval::Fmt(p.p50, 1),
+                            eval::Fmt(p.p95, 1), eval::Fmt(p.p99, 1)});
+    }
+    eval::PrintTable("DSS-LC round phase profile (µs, large cluster)",
+                     {"phase", "samples", "mean", "p50", "p95", "p99"},
+                     phase_rows);
   }
-  eval::PrintTable("DSS-LC round phase profile (µs, large cluster)",
-                   {"phase", "samples", "mean", "p50", "p95", "p99"},
-                   phase_rows);
 
-  const auto e2e = CompareEndToEnd();
-  const auto reps = CompareRepetitions();
-  std::printf("\n== end-to-end ==\n");
-  std::printf("  sim wall time     serial %.2fs  parallel %.2fs  (%.2fx)\n",
-              e2e.serial_s, e2e.parallel_s, e2e.speedup);
-  std::printf("  3 reps wall time  serial %.2fs  parallel %.2fs  (%.2fx)\n",
-              reps.serial_s, reps.parallel_s, reps.speedup);
+  E2eComparison e2e;
+  RepsComparison reps;
+  if (!smoke) {
+    e2e = CompareEndToEnd();
+    reps = CompareRepetitions();
+    std::printf("\n== end-to-end ==\n");
+    std::printf("  sim wall time     serial %.2fs  parallel %.2fs  (%.2fx)\n",
+                e2e.serial_s, e2e.parallel_s, e2e.speedup);
+    std::printf("  3 reps wall time  serial %.2fs  parallel %.2fs  (%.2fx)\n",
+                reps.serial_s, reps.parallel_s, reps.speedup);
+  }
 
   std::printf("\n");
   for (const auto& c : sched) {
@@ -339,9 +483,25 @@ int main() {
                       std::to_string(c.serial.steady_alloc_events) + "/" +
                           std::to_string(c.parallel.steady_alloc_events),
                       no_alloc);
+    ok = ok && c.identical && no_alloc;
   }
+  bench::PaperCheck((std::string("warm == cold assignments (") + wc.label +
+                     ")")
+                        .c_str(),
+                    "byte-identical assignments",
+                    wc.identical ? "identical" : "DIVERGED", wc.identical);
+  const bool warm_used =
+      wc.warm.stats.memo_hits + wc.warm.stats.warm_solves > 0;
+  bench::PaperCheck("warm path exercised", "memo hits + delta re-solves > 0",
+                    std::to_string(wc.warm.stats.memo_hits) + "+" +
+                        std::to_string(wc.warm.stats.warm_solves),
+                    warm_used);
+  ok = ok && wc.identical && warm_used;
   const auto& large = sched.back();
-  if (cores >= 4) {
+  if (smoke) {
+    // Throughput targets are meaningless at smoke scale; only the
+    // invariants above gate.
+  } else if (cores >= 4) {
     bench::PaperCheck("large-cluster scheduling speedup", ">= 2x on >=4 cores",
                       eval::Fmt(large.speedup, 2) + "x", large.speedup >= 2.0);
   } else {
@@ -350,9 +510,14 @@ int main() {
                 cores, large.speedup);
   }
 
-  if (bench::ShouldWriteBench("BENCH_sched.json", cores)) {
-    WriteJson("BENCH_sched.json", cores, sched, e2e, reps, phases);
+  if (!smoke && bench::ShouldWriteBench("BENCH_sched.json", cores)) {
+    WriteJson("BENCH_sched.json", cores, sched, wc, e2e, reps, phases);
     std::printf("\nwrote BENCH_sched.json\n");
+  }
+  if (!ok) {
+    std::printf("\nFAILED: identity, allocation or warm-path invariant "
+                "violated\n");
+    return 1;
   }
   return 0;
 }

@@ -9,18 +9,33 @@
 
 namespace tango::flow {
 
+namespace {
+constexpr std::size_t Z(int v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
 MinCostMaxFlow::MinCostMaxFlow(int num_nodes) { Reset(num_nodes); }
 
 void MinCostMaxFlow::Reset(int num_nodes) {
   TANGO_CHECK(num_nodes > 0, "graph needs at least one node");
-  const auto n = static_cast<std::size_t>(num_nodes);
-  arcs_.clear();
+  num_nodes_ = num_nodes;
+  const auto n = Z(num_nodes);
+  arc_to_.clear();
+  arc_cost_.clear();
+  arc_cap_.clear();
   initial_cap_.clear();
-  AssignCounted(first_out_, n, -1);
+  finalized_ = false;
+  has_solution_ = false;
+  has_base_ = false;
+  dirty_arcs_.clear();
+  stamp_ = 0;
+  AssignCounted(head_, n + 1, 0);
+  AssignCounted(csr_cursor_, n, 0);
   AssignCounted(potential_, n, CostUnit{0});
+  AssignCounted(base_potential_, n, CostUnit{0});
   AssignCounted(dist_, n, kInfCost);
-  AssignCounted(prev_arc_, n, -1);
-  AssignCounted(visited_, n, char{0});
+  AssignCounted(prev_slot_, n, -1);
+  AssignCounted(dist_stamp_, n, std::uint64_t{0});
+  AssignCounted(visited_stamp_, n, std::uint64_t{0});
   AssignCounted(in_queue_, n, char{0});
   // SPFA ring buffer: a node is enqueued at most once at a time, so
   // num_nodes + 1 slots always suffice.
@@ -28,175 +43,529 @@ void MinCostMaxFlow::Reset(int num_nodes) {
 }
 
 void MinCostMaxFlow::ReserveArcs(std::size_t num_arcs) {
-  if (2 * num_arcs > arcs_.capacity()) {
-    ++alloc_events_;
-    arcs_.reserve(2 * num_arcs);
-  }
-  if (num_arcs > initial_cap_.capacity()) {
-    ++alloc_events_;
-    initial_cap_.reserve(num_arcs);
-  }
+  ReserveCounted(arc_to_, 2 * num_arcs);
+  ReserveCounted(arc_cost_, 2 * num_arcs);
+  ReserveCounted(arc_cap_, 2 * num_arcs);
+  ReserveCounted(initial_cap_, num_arcs);
+  ReserveCounted(csr_arc_, 2 * num_arcs);
+  ReserveCounted(arc_slot_, 2 * num_arcs);
+  ReserveCounted(csr_to_, 2 * num_arcs);
+  ReserveCounted(csr_cap_, 2 * num_arcs);
+  ReserveCounted(csr_cost_, 2 * num_arcs);
+  ReserveCounted(arc_dirty_, num_arcs);
+  ReserveCounted(dirty_arcs_, num_arcs);
+  ReserveCounted(star_order_, num_arcs + 1);
   // Dijkstra pushes at most once per successful relaxation, so the heap
   // never outgrows the residual arc count (+1 for the source seed).
   // Reserving here makes the capacity deterministic: without it the heap
   // grows with solve history, which differs run-to-run in parallel mode.
-  const std::size_t heap_bound = 2 * num_arcs + 1;
-  if (heap_bound > heap_.capacity()) {
-    ++alloc_events_;
-    heap_.reserve(heap_bound);
-  }
+  ReserveCounted(heap_, 2 * num_arcs + 1);
 }
 
 int MinCostMaxFlow::AddArc(int from, int to, FlowUnit capacity,
                            CostUnit cost) {
-  TANGO_CHECK(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes(),
+  TANGO_CHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_,
               "arc endpoints out of range: %d -> %d", from, to);
   TANGO_CHECK(capacity >= 0, "negative capacity");
-  const int id = static_cast<int>(arcs_.size());
-  if (arcs_.size() + 2 > arcs_.capacity()) ++alloc_events_;
+  if (finalized_) Definalize();
+  const int id = static_cast<int>(arc_to_.size());
+  if (arc_to_.size() + 2 > arc_to_.capacity()) ++alloc_events_;
+  if (arc_cost_.size() + 2 > arc_cost_.capacity()) ++alloc_events_;
+  if (arc_cap_.size() + 2 > arc_cap_.capacity()) ++alloc_events_;
   if (initial_cap_.size() + 1 > initial_cap_.capacity()) ++alloc_events_;
-  arcs_.push_back({to, first_out_[static_cast<std::size_t>(from)], capacity,
-                   cost});
-  first_out_[static_cast<std::size_t>(from)] = id;
-  arcs_.push_back({from, first_out_[static_cast<std::size_t>(to)], 0, -cost});
-  first_out_[static_cast<std::size_t>(to)] = id + 1;
+  arc_to_.push_back(to);
+  arc_to_.push_back(from);
+  arc_cost_.push_back(cost);
+  arc_cost_.push_back(-cost);
+  arc_cap_.push_back(capacity);
+  arc_cap_.push_back(0);
   initial_cap_.push_back(capacity);
   return id / 2;
 }
 
+void MinCostMaxFlow::Finalize() {
+  const auto n = Z(num_nodes_);
+  const std::size_t num_logical = arc_to_.size();
+  AssignCounted(head_, n + 1, 0);
+  AssignCounted(csr_cursor_, n, 0);
+  for (std::size_t l = 0; l < num_logical; ++l) {
+    ++head_[Z(arc_to_[l ^ 1]) + 1];
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    head_[u + 1] += head_[u];
+    csr_cursor_[u] = head_[u];
+  }
+  AssignCounted(csr_arc_, num_logical, 0);
+  AssignCounted(arc_slot_, num_logical, 0);
+  AssignCounted(csr_to_, num_logical, 0);
+  AssignCounted(csr_cap_, num_logical, FlowUnit{0});
+  AssignCounted(csr_cost_, num_logical, CostUnit{0});
+  // Fill each tail's slots with its arcs in descending logical id: that is
+  // exactly the order the old `first_out_`/`next` linked list (which
+  // prepended on AddArc) walked them, so relaxation order — and therefore
+  // every tie-break and every solution — is unchanged by the CSR rebuild.
+  for (std::size_t li = num_logical; li > 0; --li) {
+    const std::size_t l = li - 1;
+    const int tail = arc_to_[l ^ 1];
+    const int slot = csr_cursor_[Z(tail)]++;
+    csr_arc_[Z(slot)] = static_cast<int>(l);
+    arc_slot_[l] = slot;
+    csr_to_[Z(slot)] = arc_to_[l];
+    csr_cap_[Z(slot)] = arc_cap_[l];
+    csr_cost_[Z(slot)] = arc_cost_[l];
+  }
+  AssignCounted(arc_dirty_, num_logical / 2, char{0});
+  ReserveCounted(dirty_arcs_, num_logical / 2);
+  ReserveCounted(star_order_, num_logical / 2 + 1);
+  ReserveCounted(heap_, num_logical + 1);
+  dirty_arcs_.clear();
+  finalized_ = true;
+}
+
+void MinCostMaxFlow::Definalize() {
+  for (std::size_t l = 0; l < arc_to_.size(); ++l) {
+    arc_cap_[l] = csr_cap_[Z(arc_slot_[l])];
+  }
+  for (const int i : dirty_arcs_) arc_dirty_[Z(i)] = 0;
+  dirty_arcs_.clear();
+  finalized_ = false;
+  has_solution_ = false;
+  has_base_ = false;
+}
+
+void MinCostMaxFlow::RestoreCaps() {
+  for (std::size_t s = 0; s < csr_arc_.size(); ++s) {
+    const int l = csr_arc_[s];
+    csr_cap_[s] = (l & 1) != 0 ? FlowUnit{0} : initial_cap_[Z(l / 2)];
+  }
+}
+
 FlowUnit MinCostMaxFlow::Flow(int arc_id) const {
   // Flow on the forward arc equals the residual capacity of its reverse.
-  return arcs_[static_cast<std::size_t>(2 * arc_id + 1)].cap;
+  const auto rev = Z(2 * arc_id + 1);
+  return finalized_ ? csr_cap_[Z(arc_slot_[rev])] : arc_cap_[rev];
 }
 
 FlowUnit MinCostMaxFlow::Residual(int arc_id) const {
-  return arcs_[static_cast<std::size_t>(2 * arc_id)].cap;
+  const auto fwd = Z(2 * arc_id);
+  return finalized_ ? csr_cap_[Z(arc_slot_[fwd])] : arc_cap_[fwd];
 }
 
 void MinCostMaxFlow::ResetFlow() {
-  for (std::size_t i = 0; i < initial_cap_.size(); ++i) {
-    arcs_[2 * i].cap = initial_cap_[i];
-    arcs_[2 * i + 1].cap = 0;
+  if (finalized_) {
+    RestoreCaps();
+  } else {
+    for (std::size_t i = 0; i < initial_cap_.size(); ++i) {
+      arc_cap_[2 * i] = initial_cap_[i];
+      arc_cap_[2 * i + 1] = 0;
+    }
   }
-  std::fill(potential_.begin(), potential_.end(), 0);
+  std::fill(potential_.begin(), potential_.end(), CostUnit{0});
+  has_solution_ = false;
+  has_base_ = false;
 }
 
-bool MinCostMaxFlow::BellmanFord(int source) {
-  std::fill(dist_.begin(), dist_.end(), kInfCost);
+void MinCostMaxFlow::BeginRound() {
+  TANGO_CHECK(num_nodes_ > 0, "Reset(num_nodes) before BeginRound");
+  if (!finalized_) Finalize();
+}
+
+void MinCostMaxFlow::UpdateArc(int arc_id, FlowUnit capacity, CostUnit cost) {
+  TANGO_CHECK(finalized_, "UpdateArc requires a finalized graph "
+                          "(call BeginRound first)");
+  TANGO_CHECK(arc_id >= 0 && arc_id < num_arcs(), "arc id %d out of range",
+              arc_id);
+  TANGO_CHECK(capacity >= 0, "negative capacity");
+  const auto fwd = Z(2 * arc_id);
+  initial_cap_[Z(arc_id)] = capacity;
+  arc_cost_[fwd] = cost;
+  arc_cost_[fwd + 1] = -cost;
+  csr_cost_[Z(arc_slot_[fwd])] = cost;
+  csr_cost_[Z(arc_slot_[fwd + 1])] = -cost;
+  ++delta_updates_;
+  if (arc_dirty_[Z(arc_id)] == 0) {
+    arc_dirty_[Z(arc_id)] = 1;
+    dirty_arcs_.push_back(arc_id);
+  }
+}
+
+void MinCostMaxFlow::Spfa(int source) {
+  ++stamp_;
   std::fill(in_queue_.begin(), in_queue_.end(), char{0});
-  dist_[static_cast<std::size_t>(source)] = 0;
+  dist_[Z(source)] = 0;
+  dist_stamp_[Z(source)] = stamp_;
   // SPFA queue-based relaxation over the preallocated ring buffer.
   const std::size_t ring = spfa_queue_.size();
-  std::size_t head = 0, tail = 0;
-  spfa_queue_[tail] = source;
-  tail = (tail + 1) % ring;
-  in_queue_[static_cast<std::size_t>(source)] = 1;
-  while (head != tail) {
-    const int u = spfa_queue_[head];
-    head = (head + 1) % ring;
-    in_queue_[static_cast<std::size_t>(u)] = 0;
-    for (int a = first_out_[static_cast<std::size_t>(u)]; a != -1;
-         a = arcs_[static_cast<std::size_t>(a)].next) {
-      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
-      if (arc.cap <= 0) continue;
-      const CostUnit nd = dist_[static_cast<std::size_t>(u)] + arc.cost;
-      if (nd < dist_[static_cast<std::size_t>(arc.to)]) {
-        dist_[static_cast<std::size_t>(arc.to)] = nd;
-        if (!in_queue_[static_cast<std::size_t>(arc.to)]) {
-          spfa_queue_[tail] = arc.to;
-          tail = (tail + 1) % ring;
-          in_queue_[static_cast<std::size_t>(arc.to)] = 1;
+  std::size_t qhead = 0, qtail = 0;
+  spfa_queue_[qtail] = source;
+  qtail = (qtail + 1) % ring;
+  in_queue_[Z(source)] = 1;
+  while (qhead != qtail) {
+    const int u = spfa_queue_[qhead];
+    qhead = (qhead + 1) % ring;
+    in_queue_[Z(u)] = 0;
+    const CostUnit du = dist_[Z(u)];
+    const int end = head_[Z(u) + 1];
+    for (int s = head_[Z(u)]; s < end; ++s) {
+      if (csr_cap_[Z(s)] <= 0) continue;
+      const int v = csr_to_[Z(s)];
+      const CostUnit nd = du + csr_cost_[Z(s)];
+      if (dist_stamp_[Z(v)] != stamp_ || nd < dist_[Z(v)]) {
+        dist_[Z(v)] = nd;
+        dist_stamp_[Z(v)] = stamp_;
+        if (in_queue_[Z(v)] == 0) {
+          spfa_queue_[qtail] = v;
+          qtail = (qtail + 1) % ring;
+          in_queue_[Z(v)] = 1;
         }
       }
     }
   }
-  for (int v = 0; v < num_nodes(); ++v) {
-    if (dist_[static_cast<std::size_t>(v)] < kInfCost) {
-      potential_[static_cast<std::size_t>(v)] =
-          dist_[static_cast<std::size_t>(v)];
+  // Exact shortest distances become both the working potentials and the
+  // cached basis the next warm solve can refresh from.
+  for (std::size_t v = 0; v < Z(num_nodes_); ++v) {
+    if (dist_stamp_[v] == stamp_) {
+      potential_[v] = dist_[v];
+      base_potential_[v] = dist_[v];
+    }
+  }
+  has_base_ = true;
+}
+
+bool MinCostMaxFlow::BaseFeasible() const {
+  // The basis is feasible iff every full-capacity forward arc has
+  // non-negative reduced cost under it; reverse arcs carry zero capacity
+  // after RestoreCaps so they impose no constraint.
+  for (std::size_t i = 0; i < initial_cap_.size(); ++i) {
+    if (initial_cap_[i] <= 0) continue;
+    const std::size_t fwd = 2 * i;
+    const int from = arc_to_[fwd ^ 1];
+    const int to = arc_to_[fwd];
+    if (arc_cost_[fwd] + base_potential_[Z(from)] - base_potential_[Z(to)] <
+        0) {
+      return false;
     }
   }
   return true;
 }
 
-bool MinCostMaxFlow::DijkstraReduced(int source, int sink) {
-  std::fill(dist_.begin(), dist_.end(), kInfCost);
-  std::fill(prev_arc_.begin(), prev_arc_.end(), -1);
-  std::fill(visited_.begin(), visited_.end(), char{0});
-  // Min-heap over the persistent scratch vector (no per-call allocation
-  // once it has grown to the solve's working-set size).
+void MinCostMaxFlow::DijkstraRefresh(int source) {
+  ++stamp_;
   heap_.clear();
-  const auto heap_push = [this](CostUnit d, int v) {
-    if (heap_.size() + 1 > heap_.capacity()) ++alloc_events_;
-    heap_.emplace_back(d, v);
-    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  };
-  dist_[static_cast<std::size_t>(source)] = 0;
-  heap_push(0, source);
+  dist_[Z(source)] = 0;
+  dist_stamp_[Z(source)] = stamp_;
+  heap_.emplace_back(0, source);
   while (!heap_.empty()) {
     const auto [d, u] = heap_.front();
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     heap_.pop_back();
-    if (visited_[static_cast<std::size_t>(u)]) continue;
-    visited_[static_cast<std::size_t>(u)] = 1;
-    for (int a = first_out_[static_cast<std::size_t>(u)]; a != -1;
-         a = arcs_[static_cast<std::size_t>(a)].next) {
-      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
-      if (arc.cap <= 0 || visited_[static_cast<std::size_t>(arc.to)]) continue;
-      const CostUnit reduced = arc.cost +
-                               potential_[static_cast<std::size_t>(u)] -
-                               potential_[static_cast<std::size_t>(arc.to)];
-      TANGO_CHECK(reduced >= 0, "negative reduced cost %lld",
-                  static_cast<long long>(reduced));
+    if (visited_stamp_[Z(u)] == stamp_) continue;
+    visited_stamp_[Z(u)] = stamp_;
+    const int end = head_[Z(u) + 1];
+    for (int s = head_[Z(u)]; s < end; ++s) {
+      if (csr_cap_[Z(s)] <= 0) continue;
+      const int v = csr_to_[Z(s)];
+      if (visited_stamp_[Z(v)] == stamp_) continue;
+      const CostUnit reduced = csr_cost_[Z(s)] + base_potential_[Z(u)] -
+                               base_potential_[Z(v)];
+      if constexpr (audit::kEnabled) {
+        TANGO_CHECK(reduced >= 0, "negative reduced cost %lld in refresh",
+                    static_cast<long long>(reduced));
+      }
       const CostUnit nd = d + reduced;
-      if (nd < dist_[static_cast<std::size_t>(arc.to)]) {
-        dist_[static_cast<std::size_t>(arc.to)] = nd;
-        prev_arc_[static_cast<std::size_t>(arc.to)] = a;
-        heap_push(nd, arc.to);
+      if (dist_stamp_[Z(v)] != stamp_ || nd < dist_[Z(v)]) {
+        dist_[Z(v)] = nd;
+        dist_stamp_[Z(v)] = stamp_;
+        if (heap_.size() + 1 > heap_.capacity()) ++alloc_events_;
+        heap_.emplace_back(nd, v);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
       }
     }
   }
-  if (!visited_[static_cast<std::size_t>(sink)]) return false;
-  for (int v = 0; v < num_nodes(); ++v) {
-    if (dist_[static_cast<std::size_t>(v)] < kInfCost) {
-      potential_[static_cast<std::size_t>(v)] +=
-          dist_[static_cast<std::size_t>(v)];
+  // Un-reduce: true distance = reduced distance - pi(source) + pi(v). The
+  // result is numerically identical to what Spfa would compute for every
+  // reachable node, which is what makes warm solves byte-identical to cold
+  // ones. Unreachable nodes keep stale potentials; they are never read
+  // (every relaxation and every audit constraint is gated on a
+  // positive-capacity arc whose tail is reachable).
+  const CostUnit base_src = base_potential_[Z(source)];
+  for (std::size_t v = 0; v < Z(num_nodes_); ++v) {
+    if (dist_stamp_[v] == stamp_) {
+      potential_[v] = dist_[v] + base_potential_[v] - base_src;
     }
   }
+  for (std::size_t v = 0; v < Z(num_nodes_); ++v) {
+    if (dist_stamp_[v] == stamp_) base_potential_[v] = potential_[v];
+  }
+}
+
+bool MinCostMaxFlow::DijkstraToSink(int source, int sink) {
+  ++stamp_;
+  heap_.clear();
+  dist_[Z(source)] = 0;
+  dist_stamp_[Z(source)] = stamp_;
+  heap_.emplace_back(0, source);
+  CostUnit dist_sink = kInfCost;
+  while (!heap_.empty()) {
+    const auto [d, u] = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+    if (visited_stamp_[Z(u)] == stamp_) continue;
+    visited_stamp_[Z(u)] = stamp_;
+    if (u == sink) {
+      // Early exit: the sink is finalized, so its label — and the shortest
+      // augmenting path recorded in prev_slot_ — can no longer change.
+      dist_sink = d;
+      break;
+    }
+    const int end = head_[Z(u) + 1];
+    for (int s = head_[Z(u)]; s < end; ++s) {
+      if (csr_cap_[Z(s)] <= 0) continue;
+      const int v = csr_to_[Z(s)];
+      if (visited_stamp_[Z(v)] == stamp_) continue;
+      const CostUnit reduced =
+          csr_cost_[Z(s)] + potential_[Z(u)] - potential_[Z(v)];
+      if constexpr (audit::kEnabled) {
+        TANGO_CHECK(reduced >= 0, "negative reduced cost %lld",
+                    static_cast<long long>(reduced));
+      }
+      const CostUnit nd = d + reduced;
+      if (dist_stamp_[Z(v)] != stamp_ || nd < dist_[Z(v)]) {
+        dist_[Z(v)] = nd;
+        dist_stamp_[Z(v)] = stamp_;
+        prev_slot_[Z(v)] = s;
+        if (heap_.size() + 1 > heap_.capacity()) ++alloc_events_;
+        heap_.emplace_back(nd, v);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      }
+    }
+  }
+  if (dist_sink >= kInfCost) return false;
+  // Capped potential update pi(v) += min(dist(v), dist(sink)): keeps every
+  // reduced cost non-negative (case analysis in DESIGN.md §14) without
+  // needing labels beyond the sink, which the early exit never computed.
+  for (std::size_t v = 0; v < Z(num_nodes_); ++v) {
+    const bool labeled =
+        dist_stamp_[v] == stamp_ && dist_[v] < dist_sink;
+    potential_[v] += labeled ? dist_[v] : dist_sink;
+  }
   return true;
+}
+
+MinCostMaxFlow::Result MinCostMaxFlow::RunSsp(int source, int sink,
+                                              FlowUnit amount) {
+  Result result;
+  while (result.max_flow < amount) {
+    if (!DijkstraToSink(source, sink)) break;
+    // Find bottleneck along the shortest path.
+    FlowUnit push = amount - result.max_flow;
+    for (int v = sink; v != source;) {
+      const int s = prev_slot_[Z(v)];
+      push = std::min(push, csr_cap_[Z(s)]);
+      v = TailOf(s);
+    }
+    // Apply it.
+    for (int v = sink; v != source;) {
+      const int s = prev_slot_[Z(v)];
+      csr_cap_[Z(s)] -= push;
+      csr_cap_[Z(RevSlot(s))] += push;
+      result.total_cost += push * csr_cost_[Z(s)];
+      v = TailOf(s);
+    }
+    result.max_flow += push;
+  }
+  result.saturated = (result.max_flow == amount);
+  return result;
+}
+
+bool MinCostMaxFlow::IsDispatchStar(int source, int sink) const {
+  if (head_[Z(source) + 1] - head_[Z(source)] != 1) return false;
+  const int s_slot = head_[Z(source)];
+  const int s_arc = csr_arc_[Z(s_slot)];
+  if ((s_arc & 1) != 0) return false;
+  const int hub = csr_to_[Z(s_slot)];
+  if (hub == source || hub == sink) return false;
+  const int hub_end = head_[Z(hub) + 1];
+  for (int hs = head_[Z(hub)]; hs < hub_end; ++hs) {
+    const int l = csr_arc_[Z(hs)];
+    if ((l & 1) != 0) {
+      // The only reverse arc out of the hub may be source->hub's (anything
+      // else means some other node feeds the hub).
+      if (l != (s_arc | 1)) return false;
+      continue;
+    }
+    const int w = csr_to_[Z(hs)];
+    if (w == source || w == sink || w == hub) return false;
+    if (head_[Z(w) + 1] - head_[Z(w)] != 2) return false;
+    bool saw_hub_rev = false;
+    bool saw_sink_arc = false;
+    for (int ws = head_[Z(w)]; ws < head_[Z(w) + 1]; ++ws) {
+      const int lw = csr_arc_[Z(ws)];
+      if (lw == (l | 1)) {
+        saw_hub_rev = true;
+      } else if ((lw & 1) == 0 && csr_to_[Z(ws)] == sink) {
+        saw_sink_arc = true;
+      } else {
+        return false;
+      }
+    }
+    if (!saw_hub_rev || !saw_sink_arc) return false;
+  }
+  // Forward arcs out of the sink would need consistent potentials beyond
+  // the closed-form ones the kernel installs; leave those to SSP.
+  const int sink_end = head_[Z(sink) + 1];
+  for (int ts = head_[Z(sink)]; ts < sink_end; ++ts) {
+    if ((csr_arc_[Z(ts)] & 1) == 0) return false;
+  }
+  return true;
+}
+
+MinCostMaxFlow::Result MinCostMaxFlow::SolveStar(int source, int sink,
+                                                 FlowUnit amount) {
+  Result result;
+  const int s_slot = head_[Z(source)];
+  const int hub = csr_to_[Z(s_slot)];
+  const CostUnit hub_cost = csr_cost_[Z(s_slot)];
+  // A worker's slot pair is {reverse-to-hub, forward-to-sink}; pick the
+  // forward one.
+  const auto sink_slot_of = [&](int w) {
+    const int first = head_[Z(w)];
+    return (csr_arc_[Z(first)] & 1) == 0 ? first : first + 1;
+  };
+  star_order_.clear();
+  const int hub_end = head_[Z(hub) + 1];
+  for (int hs = head_[Z(hub)]; hs < hub_end; ++hs) {
+    const int l = csr_arc_[Z(hs)];
+    if ((l & 1) != 0) continue;
+    const int wt = sink_slot_of(csr_to_[Z(hs)]);
+    if (star_order_.size() + 1 > star_order_.capacity()) ++alloc_events_;
+    star_order_.emplace_back(hub_cost + csr_cost_[Z(hs)] + csr_cost_[Z(wt)],
+                             l);
+  }
+  // Fill chains in ascending (path cost, arc id): arc ids ascend in
+  // insertion order, which is exactly the order SSP's heap breaks
+  // equal-cost ties in (smallest node id first), so the greedy fill is
+  // byte-identical to running successive shortest paths.
+  std::sort(star_order_.begin(), star_order_.end());
+  FlowUnit remaining = std::min(amount, csr_cap_[Z(s_slot)]);
+  for (const auto& [path_cost, l] : star_order_) {
+    if (remaining <= 0) break;
+    const int m_slot = arc_slot_[Z(l)];
+    const int wt_slot = sink_slot_of(csr_to_[Z(m_slot)]);
+    const FlowUnit take = std::min(
+        {remaining, csr_cap_[Z(m_slot)], csr_cap_[Z(wt_slot)]});
+    if (take <= 0) continue;
+    csr_cap_[Z(m_slot)] -= take;
+    csr_cap_[Z(RevSlot(m_slot))] += take;
+    csr_cap_[Z(wt_slot)] -= take;
+    csr_cap_[Z(RevSlot(wt_slot))] += take;
+    csr_cap_[Z(s_slot)] -= take;
+    csr_cap_[Z(RevSlot(s_slot))] += take;
+    result.total_cost += take * path_cost;
+    result.max_flow += take;
+    remaining -= take;
+  }
+  result.saturated = (result.max_flow == amount);
+  // Closed-form certificate potentials (DESIGN.md §14): pi(source) = 0,
+  // pi(hub) = c(source->hub), pi(w) = pi(hub) + c(hub->w); the sink takes
+  // the most expensive used path (greedy fills the cheapest prefix, so
+  // every residual worker->sink arc costs at least that).
+  potential_[Z(source)] = 0;
+  potential_[Z(hub)] = hub_cost;
+  bool any_flow = false;
+  CostUnit max_used = 0;
+  CostUnit min_chain = kInfCost;
+  for (int hs = head_[Z(hub)]; hs < hub_end; ++hs) {
+    const int l = csr_arc_[Z(hs)];
+    if ((l & 1) != 0) continue;
+    const int w = csr_to_[Z(hs)];
+    const CostUnit pi_w = hub_cost + csr_cost_[Z(hs)];
+    potential_[Z(w)] = pi_w;
+    const int wt = sink_slot_of(w);
+    const CostUnit chain = pi_w + csr_cost_[Z(wt)];
+    min_chain = std::min(min_chain, chain);
+    if (csr_cap_[Z(RevSlot(wt))] > 0) {
+      max_used = any_flow ? std::max(max_used, chain) : chain;
+      any_flow = true;
+    }
+  }
+  potential_[Z(sink)] =
+      any_flow ? max_used : (min_chain == kInfCost ? 0 : min_chain);
+  return result;
+}
+
+void MinCostMaxFlow::FinishSolve(int source, int sink, FlowUnit amount,
+                                 const Result& r) {
+  has_solution_ = true;
+  memo_source_ = source;
+  memo_sink_ = sink;
+  memo_amount_ = amount;
+  memo_result_ = r;
+  for (const int i : dirty_arcs_) arc_dirty_[Z(i)] = 0;
+  dirty_arcs_.clear();
 }
 
 MinCostMaxFlow::Result MinCostMaxFlow::Solve(int source, int sink,
                                              FlowUnit amount) {
   TANGO_CHECK(source != sink, "source == sink");
-  TANGO_CHECK(num_nodes() > 0, "Reset(num_nodes) before Solve");
+  TANGO_CHECK(num_nodes_ > 0, "Reset(num_nodes) before Solve");
+  TANGO_CHECK(dirty_arcs_.empty(),
+              "pending UpdateArc deltas require SolveIncremental");
+  if (!finalized_) Finalize();
   Result result;
-  // Admit negative costs once, then switch to Dijkstra on reduced costs.
-  BellmanFord(source);
-  while (result.max_flow < amount) {
-    if (!DijkstraReduced(source, sink)) break;
-    // Find bottleneck along the shortest path.
-    FlowUnit push = amount - result.max_flow;
-    for (int v = sink; v != source;
-         v = arcs_[static_cast<std::size_t>(
-                       prev_arc_[static_cast<std::size_t>(v)] ^ 1)]
-                 .to) {
-      const int a = prev_arc_[static_cast<std::size_t>(v)];
-      push = std::min(push, arcs_[static_cast<std::size_t>(a)].cap);
-    }
-    // Apply it.
-    for (int v = sink; v != source;
-         v = arcs_[static_cast<std::size_t>(
-                       prev_arc_[static_cast<std::size_t>(v)] ^ 1)]
-                 .to) {
-      const int a = prev_arc_[static_cast<std::size_t>(v)];
-      arcs_[static_cast<std::size_t>(a)].cap -= push;
-      arcs_[static_cast<std::size_t>(a ^ 1)].cap += push;
-      result.total_cost += push * arcs_[static_cast<std::size_t>(a)].cost;
-    }
-    result.max_flow += push;
+  if (IsDispatchStar(source, sink)) {
+    ++star_solves_;
+    result = SolveStar(source, sink, amount);
+    has_base_ = false;
+  } else {
+    ++cold_solves_;
+    // Admit negative costs once, then switch to Dijkstra on reduced costs.
+    Spfa(source);
+    result = RunSsp(source, sink, amount);
   }
-  result.saturated = (result.max_flow == amount);
+  FinishSolve(source, sink, amount, result);
+  if constexpr (audit::kEnabled) {
+    AuditSolution(source, sink, result.max_flow, result.saturated);
+  }
+  return result;
+}
+
+MinCostMaxFlow::Result MinCostMaxFlow::SolveIncremental(int source, int sink,
+                                                        FlowUnit amount) {
+  TANGO_CHECK(source != sink, "source == sink");
+  TANGO_CHECK(num_nodes_ > 0, "Reset(num_nodes) before SolveIncremental");
+  if (!finalized_) Finalize();
+  if (has_solution_ && dirty_arcs_.empty() && source == memo_source_ &&
+      sink == memo_sink_ && amount == memo_amount_) {
+    // Nothing changed since the last solve: the retained flows and
+    // potentials are the solution.
+    ++memo_hits_;
+    if constexpr (audit::kEnabled) {
+      AuditSolution(source, sink, memo_result_.max_flow,
+                    memo_result_.saturated);
+    }
+    return memo_result_;
+  }
+  ++warm_solves_;
+  RestoreCaps();
+  Result result;
+  if (IsDispatchStar(source, sink)) {
+    ++star_solves_;
+    result = SolveStar(source, sink, amount);
+    has_base_ = false;
+  } else if (has_base_ && BaseFeasible()) {
+    DijkstraRefresh(source);
+    result = RunSsp(source, sink, amount);
+  } else {
+    // Self-downgrade: a delta broke the cached basis (or none exists), so
+    // start cold — zero potentials then Bellman-Ford, exactly what a fresh
+    // solver would do.
+    if (has_base_) ++spfa_downgrades_;
+    std::fill(potential_.begin(), potential_.end(), CostUnit{0});
+    Spfa(source);
+    result = RunSsp(source, sink, amount);
+  }
+  FinishSolve(source, sink, amount, result);
   if constexpr (audit::kEnabled) {
     AuditSolution(source, sink, result.max_flow, result.saturated);
   }
@@ -206,15 +575,16 @@ MinCostMaxFlow::Result MinCostMaxFlow::Solve(int source, int sink,
 void MinCostMaxFlow::AuditSolution(int source, int sink,
                                    FlowUnit expected_flow,
                                    bool saturated) const {
+  if (!finalized_) return;
   // Scratch lives locally: this sweep only runs in audit builds, where the
   // zero-steady-state-allocation contract is deliberately suspended.
-  const auto n = static_cast<std::size_t>(num_nodes());
+  const auto n = Z(num_nodes_);
   std::vector<FlowUnit> net(n, 0);
   for (int i = 0; i < num_arcs(); ++i) {
-    const auto fwd = static_cast<std::size_t>(2 * i);
-    const FlowUnit flow = arcs_[fwd ^ 1].cap;
-    const FlowUnit residual = arcs_[fwd].cap;
-    const FlowUnit cap = initial_cap_[static_cast<std::size_t>(i)];
+    const auto fwd = Z(2 * i);
+    const FlowUnit flow = csr_cap_[Z(arc_slot_[fwd ^ 1])];
+    const FlowUnit residual = csr_cap_[Z(arc_slot_[fwd])];
+    const FlowUnit cap = initial_cap_[Z(i)];
     AUDIT_CHECK(flow >= 0 && flow <= cap && residual + flow == cap,
                 .subsystem = "flow", .invariant = "flow.capacity_respect",
                 .detail = audit::Detail(
@@ -222,64 +592,60 @@ void MinCostMaxFlow::AuditSolution(int source, int sink,
                     static_cast<long long>(flow),
                     static_cast<long long>(residual),
                     static_cast<long long>(cap)));
-    const int from = arcs_[fwd ^ 1].to;
-    const int to = arcs_[fwd].to;
-    net[static_cast<std::size_t>(from)] += flow;
-    net[static_cast<std::size_t>(to)] -= flow;
+    const int from = arc_to_[fwd ^ 1];
+    const int to = arc_to_[fwd];
+    net[Z(from)] += flow;
+    net[Z(to)] -= flow;
   }
-  for (int v = 0; v < num_nodes(); ++v) {
+  for (int v = 0; v < num_nodes_; ++v) {
     if (v == source || v == sink) continue;
-    AUDIT_CHECK(net[static_cast<std::size_t>(v)] == 0, .subsystem = "flow",
+    AUDIT_CHECK(net[Z(v)] == 0, .subsystem = "flow",
                 .invariant = "flow.conservation",
                 .detail = audit::Detail("node %d: net outflow %lld", v,
-                                        static_cast<long long>(
-                                            net[static_cast<std::size_t>(
-                                                v)])));
+                                        static_cast<long long>(net[Z(v)])));
   }
-  AUDIT_CHECK(net[static_cast<std::size_t>(source)] == expected_flow,
+  AUDIT_CHECK(net[Z(source)] == expected_flow,
               .subsystem = "flow", .invariant = "flow.source_outflow",
               .detail = audit::Detail("source pushes %lld, solver reported "
                                       "%lld",
-                                      static_cast<long long>(
-                                          net[static_cast<std::size_t>(
-                                              source)]),
+                                      static_cast<long long>(net[Z(source)]),
                                       static_cast<long long>(expected_flow)));
   // Residual reachability from the source (DFS over a local stack).
   std::vector<char> reach(n, 0);
   std::vector<int> stack = {source};
-  reach[static_cast<std::size_t>(source)] = 1;
+  reach[Z(source)] = 1;
   while (!stack.empty()) {
     const int u = stack.back();
     stack.pop_back();
-    for (int a = first_out_[static_cast<std::size_t>(u)]; a != -1;
-         a = arcs_[static_cast<std::size_t>(a)].next) {
-      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
-      if (arc.cap <= 0 || reach[static_cast<std::size_t>(arc.to)]) continue;
-      reach[static_cast<std::size_t>(arc.to)] = 1;
-      stack.push_back(arc.to);
+    const int end = head_[Z(u) + 1];
+    for (int s = head_[Z(u)]; s < end; ++s) {
+      if (csr_cap_[Z(s)] <= 0 || reach[Z(csr_to_[Z(s)])] != 0) continue;
+      reach[Z(csr_to_[Z(s)])] = 1;
+      stack.push_back(csr_to_[Z(s)]);
     }
   }
   // Max-flow certificate: an unsaturated solve means a saturated s-t cut.
-  AUDIT_CHECK(saturated || !reach[static_cast<std::size_t>(sink)],
+  AUDIT_CHECK(saturated || reach[Z(sink)] == 0,
               .subsystem = "flow", .invariant = "flow.maxflow_certificate",
               .detail = audit::Detail("solve stopped below the requested "
                                       "amount but the sink is still "
                                       "reachable in the residual graph"));
   // Cost-optimality certificate: Johnson potentials stay feasible on the
   // source-reachable residual subgraph, which certifies no negative residual
-  // cycle (the solution cost cannot be improved).
-  for (std::size_t a = 0; a < arcs_.size(); ++a) {
-    const Arc& arc = arcs_[a];
-    const int from = arcs_[a ^ 1].to;
-    if (arc.cap <= 0 || !reach[static_cast<std::size_t>(from)]) continue;
-    const CostUnit reduced = arc.cost +
-                             potential_[static_cast<std::size_t>(from)] -
-                             potential_[static_cast<std::size_t>(arc.to)];
+  // cycle (the solution cost cannot be improved). Warm-started and
+  // star-kernel solves must pass this unchanged — it is the correctness
+  // oracle for the whole TangoSolve path.
+  for (std::size_t l = 0; l < arc_to_.size(); ++l) {
+    const FlowUnit cap = csr_cap_[Z(arc_slot_[l])];
+    const int from = arc_to_[l ^ 1];
+    if (cap <= 0 || reach[Z(from)] == 0) continue;
+    const CostUnit reduced =
+        arc_cost_[l] + potential_[Z(from)] - potential_[Z(arc_to_[l])];
     AUDIT_CHECK(reduced >= 0, .subsystem = "flow",
                 .invariant = "flow.reduced_cost_optimality",
                 .detail = audit::Detail(
                     "residual arc %d -> %d has reduced cost %lld", from,
-                    arc.to, static_cast<long long>(reduced)));
+                    arc_to_[l], static_cast<long long>(reduced)));
   }
 }
 

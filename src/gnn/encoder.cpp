@@ -77,7 +77,35 @@ Matrix AdjacencyMask(const GraphBatch& g) {
   return m;
 }
 
+/// Horizontal concat [a | b] on raw matrices — the value half of the taped
+/// nn::ConcatCols.
+Matrix ConcatColsMatrix(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) out.at(r, c) = a.at(r, c);
+    for (int c = 0; c < b.cols(); ++c) out.at(r, a.cols() + c) = b.at(r, c);
+  }
+  return out;
+}
+
+/// Re-pack `layers` when `version` moved past what `packed` was built at.
+void RepackLayers(const std::vector<nn::Linear>& layers,
+                  std::vector<nn::PackedLinear>* packed,
+                  std::uint64_t* packed_version, std::uint64_t version) {
+  if (*packed_version == version && !packed->empty()) return;
+  packed->clear();
+  packed->reserve(layers.size());
+  for (const auto& l : layers) packed->emplace_back(l.weight(), l.bias());
+  *packed_version = version;
+}
+
 }  // namespace
+
+bool Encoder::EncodeInference(const GraphBatch& /*g*/, Rng& /*rng*/,
+                              std::uint64_t /*param_version*/,
+                              nn::Matrix* /*out*/) {
+  return false;
+}
 
 GraphSage::GraphSage(nn::ParamStore& store, const std::string& name,
                      int in_dim, int hidden_dim, int layers, int sample_p,
@@ -103,6 +131,25 @@ Var GraphSage::Encode(const GraphBatch& g, Rng& rng) {
   return h;
 }
 
+bool GraphSage::EncodeInference(const GraphBatch& g, Rng& rng,
+                                std::uint64_t param_version,
+                                nn::Matrix* out) {
+  RepackLayers(layers_, &packed_, &packed_version_, param_version);
+  Matrix h = g.features;
+  Matrix next;
+  for (std::size_t l = 0; l < packed_.size(); ++l) {
+    // Same sampling call as Encode(): the RNG stream stays in lock-step.
+    const Matrix agg = SampledMeanMatrix(g, sample_p_, rng);
+    const Matrix neigh = agg.MatMul(h);
+    packed_[l].Forward(ConcatColsMatrix(h, neigh), &next);
+    nn::ReluInPlace(&next);
+    h = std::move(next);
+    next = Matrix();
+  }
+  *out = std::move(h);
+  return true;
+}
+
 Gcn::Gcn(nn::ParamStore& store, const std::string& name, int in_dim,
          int hidden_dim, int layers, Rng& rng)
     : hidden_(hidden_dim) {
@@ -122,6 +169,22 @@ Var Gcn::Encode(const GraphBatch& g, Rng& /*rng*/) {
     h = nn::Relu(layer.Forward(nn::MatMul(norm, h)));
   }
   return h;
+}
+
+bool Gcn::EncodeInference(const GraphBatch& g, Rng& /*rng*/,
+                          std::uint64_t param_version, nn::Matrix* out) {
+  RepackLayers(layers_, &packed_, &packed_version_, param_version);
+  const Matrix norm = GcnNormMatrix(g);
+  Matrix h = g.features;
+  Matrix next;
+  for (std::size_t l = 0; l < packed_.size(); ++l) {
+    packed_[l].Forward(norm.MatMul(h), &next);
+    nn::ReluInPlace(&next);
+    h = std::move(next);
+    next = Matrix();
+  }
+  *out = std::move(h);
+  return true;
 }
 
 Gat::Gat(nn::ParamStore& store, const std::string& name, int in_dim,
@@ -187,6 +250,18 @@ NativeEncoder::NativeEncoder(nn::ParamStore& store, const std::string& name,
 
 Var NativeEncoder::Encode(const GraphBatch& g, Rng& /*rng*/) {
   return nn::Relu(proj_.Forward(nn::Constant(g.features)));
+}
+
+bool NativeEncoder::EncodeInference(const GraphBatch& g, Rng& /*rng*/,
+                                    std::uint64_t param_version,
+                                    nn::Matrix* out) {
+  if (packed_version_ != param_version) {
+    packed_ = nn::PackedLinear(proj_.weight(), proj_.bias());
+    packed_version_ = param_version;
+  }
+  packed_.Forward(g.features, out);
+  nn::ReluInPlace(out);
+  return true;
 }
 
 const char* EncoderKindName(EncoderKind k) {

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "nn/adam.h"
 #include "nn/module.h"
+#include "nn/packed.h"
 
 namespace tango::gnn {
 
@@ -28,6 +29,16 @@ class Encoder {
   /// Encode a graph into per-node embeddings (N×out_dim). `rng` drives
   /// neighbor sampling where the encoder uses it.
   virtual nn::Var Encode(const GraphBatch& g, Rng& rng) = 0;
+  /// Tape-free inference encode (TangoSolve packed path): bit-identical
+  /// embeddings to Encode()->value, produced through pre-packed layer
+  /// weights without allocating autograd nodes. `param_version` invalidates
+  /// the packed cache — pass a counter that advances on every training
+  /// step. Consumes exactly the RNG draws Encode() would (neighbor
+  /// sampling), so callers can swap paths without desynchronizing streams.
+  /// Returns false when the encoder has no packed path (GAT's data-
+  /// dependent attention) — the caller falls back to Encode().
+  virtual bool EncodeInference(const GraphBatch& g, Rng& rng,
+                               std::uint64_t param_version, nn::Matrix* out);
   virtual int out_dim() const = 0;
   virtual std::string name() const = 0;
 };
@@ -40,12 +51,16 @@ class GraphSage : public Encoder {
   GraphSage(nn::ParamStore& store, const std::string& name, int in_dim,
             int hidden_dim, int layers, int sample_p, Rng& rng);
   nn::Var Encode(const GraphBatch& g, Rng& rng) override;
+  bool EncodeInference(const GraphBatch& g, Rng& rng,
+                       std::uint64_t param_version, nn::Matrix* out) override;
   int out_dim() const override { return hidden_; }
   std::string name() const override { return "GraphSAGE"; }
   int sample_p() const { return sample_p_; }
 
  private:
   std::vector<nn::Linear> layers_;
+  std::vector<nn::PackedLinear> packed_;
+  std::uint64_t packed_version_ = ~std::uint64_t{0};
   int hidden_;
   int sample_p_;
 };
@@ -56,11 +71,15 @@ class Gcn : public Encoder {
   Gcn(nn::ParamStore& store, const std::string& name, int in_dim,
       int hidden_dim, int layers, Rng& rng);
   nn::Var Encode(const GraphBatch& g, Rng& rng) override;
+  bool EncodeInference(const GraphBatch& g, Rng& rng,
+                       std::uint64_t param_version, nn::Matrix* out) override;
   int out_dim() const override { return hidden_; }
   std::string name() const override { return "GCN"; }
 
  private:
   std::vector<nn::Linear> layers_;
+  std::vector<nn::PackedLinear> packed_;
+  std::uint64_t packed_version_ = ~std::uint64_t{0};
   int hidden_;
 };
 
@@ -90,11 +109,15 @@ class NativeEncoder : public Encoder {
   NativeEncoder(nn::ParamStore& store, const std::string& name, int in_dim,
                 int hidden_dim, Rng& rng);
   nn::Var Encode(const GraphBatch& g, Rng& rng) override;
+  bool EncodeInference(const GraphBatch& g, Rng& rng,
+                       std::uint64_t param_version, nn::Matrix* out) override;
   int out_dim() const override { return hidden_; }
   std::string name() const override { return "Native"; }
 
  private:
   nn::Linear proj_;
+  nn::PackedLinear packed_;
+  std::uint64_t packed_version_ = ~std::uint64_t{0};
   int hidden_;
 };
 

@@ -1,17 +1,24 @@
 #include "nn/autograd.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "nn/packed.h"
 
 namespace tango::nn {
 
 namespace {
 
+/// Every tape node ever created; read through NodeCount() so inference-only
+/// paths can prove they never touched the tape.
+std::atomic<std::int64_t> node_count{0};
+
 Var MakeNode(Matrix value, std::vector<Var> parents,
              std::function<void(Node&)> backward) {
+  node_count.fetch_add(1, std::memory_order_relaxed);
   auto n = std::make_shared<Node>();
   n->value = std::move(value);
   n->parents = std::move(parents);
@@ -30,35 +37,18 @@ void Topo(const Var& v, std::unordered_set<Node*>& seen,
   order.push_back(v);
 }
 
-/// Row-wise softmax probabilities with optional 0/1 mask.
-Matrix SoftmaxProbs(const Matrix& logits, const Matrix* mask) {
-  Matrix p(logits.rows(), logits.cols());
-  for (int r = 0; r < logits.rows(); ++r) {
-    float maxv = -1e30f;
-    for (int c = 0; c < logits.cols(); ++c) {
-      if (mask != nullptr && mask->at(r, c) == 0.0f) continue;
-      maxv = std::max(maxv, logits.at(r, c));
-    }
-    float denom = 0.0f;
-    for (int c = 0; c < logits.cols(); ++c) {
-      if (mask != nullptr && mask->at(r, c) == 0.0f) {
-        p.at(r, c) = 0.0f;
-        continue;
-      }
-      const float e = std::exp(logits.at(r, c) - maxv);
-      p.at(r, c) = e;
-      denom += e;
-    }
-    if (denom > 0.0f) {
-      for (int c = 0; c < logits.cols(); ++c) p.at(r, c) /= denom;
-    }
-  }
-  return p;
-}
-
 }  // namespace
 
+// SoftmaxProbs lives in nn/packed.cpp: it is the shared forward kernel of
+// both the taped Softmax/LogSoftmax ops below and the tape-free inference
+// path, which is what keeps their probabilities bit-identical.
+
+std::int64_t NodeCount() {
+  return node_count.load(std::memory_order_relaxed);
+}
+
 Var Constant(Matrix m) {
+  node_count.fetch_add(1, std::memory_order_relaxed);
   auto n = std::make_shared<Node>();
   n->value = std::move(m);
   n->requires_grad = false;
@@ -66,6 +56,7 @@ Var Constant(Matrix m) {
 }
 
 Var Parameter(Matrix m) {
+  node_count.fetch_add(1, std::memory_order_relaxed);
   auto n = std::make_shared<Node>();
   n->value = std::move(m);
   n->requires_grad = true;

@@ -1,0 +1,115 @@
+#include "nn/packed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tango::nn {
+
+Matrix SoftmaxProbs(const Matrix& logits, const Matrix* mask) {
+  Matrix p(logits.rows(), logits.cols());
+  for (int r = 0; r < logits.rows(); ++r) {
+    float maxv = -1e30f;
+    for (int c = 0; c < logits.cols(); ++c) {
+      if (mask != nullptr && mask->at(r, c) == 0.0f) continue;
+      maxv = std::max(maxv, logits.at(r, c));
+    }
+    float denom = 0.0f;
+    for (int c = 0; c < logits.cols(); ++c) {
+      if (mask != nullptr && mask->at(r, c) == 0.0f) {
+        p.at(r, c) = 0.0f;
+        continue;
+      }
+      const float e = std::exp(logits.at(r, c) - maxv);
+      p.at(r, c) = e;
+      denom += e;
+    }
+    if (denom > 0.0f) {
+      for (int c = 0; c < logits.cols(); ++c) p.at(r, c) /= denom;
+    }
+  }
+  return p;
+}
+
+void PackedMatrix::Pack(const Matrix& w) {
+  rows_ = w.rows();
+  cols_ = w.cols();
+  data_.resize(static_cast<std::size_t>(rows_) *
+               static_cast<std::size_t>(cols_));
+  // Panel-major: all rows of panel 0, then all rows of panel 1, …  Within a
+  // panel, row k's slice is contiguous, so the kernel's k-step loads one
+  // short run instead of striding across the full row.
+  std::size_t cursor = 0;
+  for (int p0 = 0; p0 < cols_; p0 += kPanel) {
+    const int p1 = std::min(cols_, p0 + kPanel);
+    for (int k = 0; k < rows_; ++k) {
+      for (int j = p0; j < p1; ++j) {
+        data_[cursor++] = w.at(k, j);
+      }
+    }
+  }
+}
+
+void PackedMatrix::MatMulInto(const Matrix& x, Matrix* out) const {
+  TANGO_CHECK(x.cols() == rows_, "packed matmul shape mismatch %dx%d * %dx%d",
+              x.rows(), x.cols(), rows_, cols_);
+  if (out->rows() != x.rows() || out->cols() != cols_) {
+    *out = Matrix(x.rows(), cols_);
+  } else {
+    out->Fill(0.0f);
+  }
+  const float* pk = data_.data();
+  for (int p0 = 0; p0 < cols_; p0 += kPanel) {
+    const int width = std::min(cols_ - p0, kPanel);
+    const float* panel = pk;
+    for (int i = 0; i < x.rows(); ++i) {
+      const float* xrow = x.data() + static_cast<std::size_t>(i) *
+                                         static_cast<std::size_t>(rows_);
+      float* orow = out->data() + static_cast<std::size_t>(i) *
+                                      static_cast<std::size_t>(cols_) +
+                    p0;
+      const float* wk = panel;
+      for (int k = 0; k < rows_; ++k, wk += width) {
+        const float a = xrow[k];
+        // Mirrors Matrix::MatMul's sparse-activation skip so the sequence
+        // of adds per output element is identical.
+        if (a == 0.0f) continue;
+        for (int j = 0; j < width; ++j) {
+          orow[j] += a * wk[j];
+        }
+      }
+    }
+    pk += static_cast<std::size_t>(width) * static_cast<std::size_t>(rows_);
+  }
+}
+
+void PackedLinear::Forward(const Matrix& x, Matrix* out) const {
+  w_.MatMulInto(x, out);
+  for (int r = 0; r < out->rows(); ++r) {
+    for (int c = 0; c < out->cols(); ++c) {
+      out->at(r, c) += b_.at(0, c);
+    }
+  }
+}
+
+const Matrix& PackedMlp::Forward(const Matrix& x) {
+  TANGO_CHECK(!layers_.empty(), "forward through an empty PackedMlp");
+  const Matrix* in = &x;
+  int slot = 0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Matrix* out = &buf_[slot];
+    layers_[l].Forward(*in, out);
+    if (l + 1 < layers_.size()) ReluInPlace(out);
+    in = out;
+    slot ^= 1;
+  }
+  return *in;
+}
+
+void ReluInPlace(Matrix* m) {
+  float* d = m->data();
+  for (std::size_t i = 0; i < m->size(); ++i) d[i] = std::max(0.0f, d[i]);
+}
+
+}  // namespace tango::nn

@@ -1,0 +1,109 @@
+// TangoSolve packed inference path (DESIGN.md §14).
+//
+// Inference-only forward passes for the DCG-BE policy: layer weights are
+// pre-packed once at policy load (and re-packed only when a training step
+// changes them) into a panel-blocked layout, and batched node encodings run
+// through a blocked GEMM kernel that never touches the autograd tape.
+//
+// Exactness contract: every routine here produces bit-identical floats to
+// the naive taped pipeline it replaces. The GEMM accumulates each output
+// element over k in ascending order with one rounding per fused
+// multiply-add, exactly like Matrix::MatMul — panel blocking only reorders
+// the j loop, which touches independent output elements. The `a == 0.0f`
+// skip of the naive kernel is mirrored for the same reason.
+//
+// This header must stay free of the autograd engine: including autograd.h
+// (or referencing Var/Node) here is a lint error (`inference-tape` in
+// tools/lint.py) — the whole point of the path is that inference cannot
+// accidentally allocate tape nodes.
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace tango::nn {
+
+/// Row-wise softmax probabilities with optional 0/1 mask; masked entries
+/// get probability exactly 0 and a fully-masked row stays all-zero. This is
+/// THE softmax kernel: the autograd Softmax op calls it for its forward
+/// value, so packed inference and the taped path agree bit-for-bit.
+Matrix SoftmaxProbs(const Matrix& logits, const Matrix* mask);
+
+/// A weight matrix (in×out) re-laid-out into column panels: panel `p` holds
+/// rows 0..in-1 of columns [p*kPanel, min(out, (p+1)*kPanel)) contiguously,
+/// so the GEMM inner loop streams one cache-resident panel per k step.
+class PackedMatrix {
+ public:
+  /// Panel width in floats (48 floats = 192 bytes ≈ 3 cache lines; the
+  /// paper's layer widths 256/128/64/32 split into a handful of panels).
+  static constexpr int kPanel = 48;
+
+  PackedMatrix() = default;
+  explicit PackedMatrix(const Matrix& w) { Pack(w); }
+
+  void Pack(const Matrix& w);
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  /// out = x · W, bit-identical to x.MatMul(W) on the unpacked matrix.
+  /// `out` is resized as needed and fully overwritten.
+  void MatMulInto(const Matrix& x, Matrix* out) const;
+
+ private:
+  int rows_ = 0;  // in features
+  int cols_ = 0;  // out features
+  std::vector<float> data_;
+};
+
+/// Inference twin of nn::Linear: y = xW + b on pre-packed weights.
+class PackedLinear {
+ public:
+  PackedLinear() = default;
+  /// Pack from the layer's raw weight (in×out) and bias (1×out) values.
+  PackedLinear(const Matrix& w, const Matrix& b) : w_(w), b_(b) {}
+
+  int in_features() const { return w_.rows(); }
+  int out_features() const { return w_.cols(); }
+
+  /// `out` = x·W + b (bias broadcast over rows, one add per element — the
+  /// same arithmetic the taped Add(MatMul(x, w), b) performs).
+  void Forward(const Matrix& x, Matrix* out) const;
+
+ private:
+  PackedMatrix w_;
+  Matrix b_;
+};
+
+/// Inference twin of nn::Mlp: hidden layers ReLU, output linear. Holds the
+/// ping-pong scratch buffers so steady-state forwards reuse storage.
+class PackedMlp {
+ public:
+  PackedMlp() = default;
+
+  void Clear() { layers_.clear(); }
+  bool empty() const { return layers_.empty(); }
+  void AddLayer(const Matrix& w, const Matrix& b) {
+    layers_.emplace_back(w, b);
+  }
+
+  /// Full forward pass; the result lives in an internal buffer that stays
+  /// valid until the next Forward call.
+  const Matrix& Forward(const Matrix& x);
+
+ private:
+  std::vector<PackedLinear> layers_;
+  Matrix buf_[2];
+};
+
+/// In-place ReLU, bit-identical to the taped Relu forward (max(0, v)).
+void ReluInPlace(Matrix* m);
+
+/// Running count of autograd tape nodes ever created (relaxed atomic).
+/// Inference-only code paths are validated by asserting this stays flat
+/// across a forward pass. Defined in autograd.cpp; declared here so tape-
+/// free code can observe it without pulling in the engine.
+std::int64_t NodeCount();
+
+}  // namespace tango::nn

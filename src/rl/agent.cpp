@@ -83,13 +83,43 @@ Var A2cAgent::PolicyLogits(const GraphState& s, Var* value_out) {
   return logits;
 }
 
+bool A2cAgent::PackedActionProbs(const GraphState& s, const Matrix& mask,
+                                 Matrix* probs) {
+  const auto version = static_cast<std::uint64_t>(train_steps_);
+  if (!encoder_->EncodeInference(s.graph, rng_, version, &embed_buf_)) {
+    return false;  // no packed path (GAT): RNG untouched, tape fallback
+  }
+  if (actor_packed_version_ != version || actor_packed_.empty()) {
+    actor_packed_.Clear();
+    for (const auto& l : actor_.layers()) {
+      actor_packed_.AddLayer(l.weight(), l.bias());
+    }
+    actor_packed_version_ = version;
+  }
+  const Matrix& scores = actor_packed_.Forward(embed_buf_);  // N×1
+  Matrix logits(1, scores.rows());
+  for (int i = 0; i < scores.rows(); ++i) {
+    logits.at(0, i) = scores.at(i, 0);
+  }
+  *probs = nn::SoftmaxProbs(logits, &mask);
+  return true;
+}
+
 int A2cAgent::Act(const GraphState& state, bool greedy) {
   const int n = state.graph.num_nodes();
   TANGO_CHECK(n > 0, "empty graph state");
   const Matrix mask = MaskRow(state.valid, n);
-  const Var logits = PolicyLogits(state, nullptr);
-  const Var probs = nn::Softmax(logits, &mask);
-  const int action = SampleRow(probs->value, rng_, greedy);
+  int action;
+  Matrix packed_probs;
+  if (cfg_.packed_inference && PackedActionProbs(state, mask, &packed_probs)) {
+    // Tape-free path: bit-identical probabilities (same GEMM accumulation
+    // order, same SoftmaxProbs kernel), zero autograd nodes allocated.
+    action = SampleRow(packed_probs, rng_, greedy);
+  } else {
+    const Var logits = PolicyLogits(state, nullptr);
+    const Var probs = nn::Softmax(logits, &mask);
+    action = SampleRow(probs->value, rng_, greedy);
+  }
   pending_state_ = state;
   pending_action_ = action;
   return action;

@@ -16,6 +16,7 @@
 
 #include "gnn/encoder.h"
 #include "nn/adam.h"
+#include "nn/packed.h"
 
 namespace tango::rl {
 
@@ -49,6 +50,12 @@ struct A2cConfig {
   int train_interval = 16;
   nn::AdamConfig adam{};  // lr 2e-4 per the paper
   std::uint64_t seed = 7;
+  /// TangoSolve packed inference: Act() runs the encoder and actor head
+  /// through pre-packed weights without allocating autograd nodes. Actions
+  /// are bit-identical either way (the packed kernels reproduce the taped
+  /// arithmetic exactly); false forces the taped forward, used by the
+  /// equivalence tests. Training always uses the tape.
+  bool packed_inference = true;
 };
 
 class A2cAgent : public Agent {
@@ -74,6 +81,10 @@ class A2cAgent : public Agent {
 
   nn::Var PolicyLogits(const GraphState& s, nn::Var* value_out);
   void Train(const GraphState& bootstrap_state, bool done);
+  /// Packed Act() forward; returns false (leaving the RNG untouched) when
+  /// the encoder has no inference path and the caller must use the tape.
+  bool PackedActionProbs(const GraphState& s, const nn::Matrix& mask,
+                         nn::Matrix* probs);
 
   A2cConfig cfg_;
   Rng rng_;
@@ -81,6 +92,10 @@ class A2cAgent : public Agent {
   std::unique_ptr<gnn::Encoder> encoder_;
   nn::Mlp actor_;
   nn::Mlp critic_;
+  /// Packed actor head, lazily re-packed when train_steps_ moves.
+  nn::PackedMlp actor_packed_;
+  std::uint64_t actor_packed_version_ = ~std::uint64_t{0};
+  nn::Matrix embed_buf_;
   std::unique_ptr<nn::Adam> opt_;
   std::vector<Step> rollout_;
   std::optional<GraphState> pending_state_;

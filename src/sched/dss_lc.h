@@ -21,8 +21,17 @@
 //   * results are merged in ascending service-id order.
 // Under a fixed seed the emitted assignments are therefore byte-identical
 // whatever num_threads is — serial mode is just the pool-free special case.
-// Each worker slot owns a reusable MinCostMaxFlow, so steady-state rounds
-// perform zero flow-graph allocations (see solver_pool_stats()).
+//
+// TangoSolve warm start (DESIGN.md §14): each (service type, graph kind ∈
+// {immediate G_k, overflow Ĝ'_k}) pair owns a MinCostMaxFlow that stays
+// warm across rounds. At round start the worker capacity/cost view is
+// diffed against what the solver was last built with; unchanged rounds hit
+// the solver's memo, changed rounds route UpdateArc deltas in and
+// SolveIncremental re-solves warm — byte-identical to a cold rebuild
+// (DssLcConfig::warm_start = false forces the cold path for comparison).
+// A type is only ever solved by the thread that claimed it, so the warm
+// state preserves the serial/parallel identity contract, and steady-state
+// rounds perform zero flow-graph allocations (see solver_pool_stats()).
 #pragma once
 
 #include <atomic>
@@ -54,10 +63,15 @@ struct DssLcConfig {
   /// plus the scheduling thread). Assignments are identical for any value.
   int num_threads = 1;
   /// Record a wall-clock profile of each round's phases (snapshot filter,
-  /// graph build, MCMF solve, merge, commit) into the scheduler's metric
-  /// registry. Off by default: the extra steady_clock reads sit on the
-  /// per-type hot path.
+  /// graph build / delta build, MCMF solve, merge, commit) into the
+  /// scheduler's metric registry. Off by default: the extra steady_clock
+  /// reads sit on the per-type hot path.
   bool profile_phases = false;
+  /// Keep per-type solvers warm across rounds and route capacity/cost
+  /// deltas into them (SolveIncremental) instead of rebuilding each G_k
+  /// from scratch. Assignments are byte-identical either way; false forces
+  /// the cold rebuild path (used by the warm_vs_cold bench comparison).
+  bool warm_start = true;
 };
 
 class DssLcScheduler : public k8s::LcScheduler {
@@ -88,13 +102,20 @@ class DssLcScheduler : public k8s::LcScheduler {
     return pool_ != nullptr ? pool_->concurrency() : 1;
   }
 
-  /// Reuse statistics of the per-worker MinCostMaxFlow pool. A flat
+  /// Reuse statistics of the per-(type, graph) MinCostMaxFlow pool. A flat
   /// `alloc_events` across rounds proves steady-state rounds build their
-  /// flow graphs without touching the heap.
+  /// flow graphs without touching the heap; the warm-start counters expose
+  /// how rounds were actually answered (memo / warm delta / cold rebuild).
   struct SolverPoolStats {
-    int solvers = 0;                 // solver instances instantiated
-    std::int64_t solves = 0;         // flow instances solved so far
-    std::int64_t alloc_events = 0;   // Σ solver alloc_events()
+    int solvers = 0;                // solver instances instantiated
+    std::int64_t solves = 0;        // flow instances solved so far
+    std::int64_t alloc_events = 0;  // Σ solver alloc_events()
+    std::int64_t memo_hits = 0;     // rounds answered from the memo
+    std::int64_t warm_solves = 0;   // warm (delta) re-solves
+    std::int64_t cold_solves = 0;   // cold generic solves
+    std::int64_t star_solves = 0;   // dispatch-star kernel solves
+    std::int64_t spfa_downgrades = 0;  // warm rounds that fell back cold
+    std::int64_t delta_updates = 0;    // Σ UpdateArc deltas routed in
   };
   SolverPoolStats solver_pool_stats() const;
 
@@ -136,18 +157,41 @@ class DssLcScheduler : public k8s::LcScheduler {
     std::int64_t overflow = 0;
   };
 
+  /// One warm flow graph: the solver retains the previous round's G_k and
+  /// the prev_* arrays hold the values it was last built with, so the next
+  /// round's view diffs into an UpdateArc delta list. Arc ids are fixed by
+  /// construction order: 0 = source→master, 1+2i = master→worker i,
+  /// 2+2i = worker i→sink.
+  struct WarmGraph {
+    flow::MinCostMaxFlow solver;
+    bool built = false;
+    std::vector<NodeId> nodes;  // worker identity the graph was built for
+    std::vector<std::int64_t> prev_edge_cap;   // master→worker capacity
+    std::vector<std::int64_t> prev_edge_cost;  // master→worker cost
+    std::vector<std::int64_t> prev_sink_cap;   // worker→sink capacity
+    std::int64_t prev_amount = -1;
+  };
+  /// Warm graphs for one service type: the immediate G_k and the λ-scaled
+  /// overflow Ĝ'_k. Only the thread that claimed the type touches it.
+  struct TypeSolvers {
+    WarmGraph immediate;
+    WarmGraph overflow;
+  };
+
   /// Solve one type's graph(s) against the round-start state view using the
-  /// given worker slot's solver. Pure w.r.t. scheduler state except for the
-  /// slot's solver and the atomic solve counter.
+  /// type's warm solvers. Pure w.r.t. scheduler state except for `ts` and
+  /// the atomic solve counter.
   TypeOutcome ScheduleType(ServiceId svc,
                            const std::vector<const k8s::PendingRequest*>& reqs,
                            const std::vector<metrics::NodeSnapshot>& snapshots,
                            const metrics::StateStorage& storage, SimTime now,
-                           std::uint64_t round, int worker_slot);
+                           std::uint64_t round, TypeSolvers& ts);
 
-  /// Route `amount` requests across workers via min-cost flow on the slot's
-  /// reusable solver; returns per-worker counts aligned with `workers`.
-  std::vector<std::int64_t> Route(flow::MinCostMaxFlow& mcmf,
+  /// Route `amount` requests across workers via min-cost flow on the warm
+  /// graph `g` (delta path when the worker set matches what `g` was built
+  /// for, cold rebuild otherwise); returns per-worker counts aligned with
+  /// `workers`.
+  std::vector<std::int64_t> Route(WarmGraph& g,
                                   const std::vector<WorkerCap>& workers,
                                   std::int64_t amount, bool use_total,
                                   double lambda);
@@ -156,8 +200,10 @@ class DssLcScheduler : public k8s::LcScheduler {
   DssLcConfig cfg_;
   /// Created when cfg_.num_threads != 1; absent in serial mode.
   std::unique_ptr<ThreadPool> pool_;
-  /// One reusable solver per worker slot (index = ParallelFor worker id).
-  std::vector<std::unique_ptr<flow::MinCostMaxFlow>> solvers_;
+  /// Warm solver pair per service type ever scheduled. Entries are created
+  /// serially at round start; pool threads only dereference their own
+  /// type's pointer, so the map itself is never mutated concurrently.
+  std::map<ServiceId, std::unique_ptr<TypeSolvers>> type_solvers_;
   std::atomic<std::int64_t> solves_{0};  // Route calls (pool threads write)
   double decision_seconds_ = 0.0;
   std::int64_t decisions_ = 0;
@@ -185,6 +231,7 @@ class DssLcScheduler : public k8s::LcScheduler {
   scope::Histogram* h_round_ = nullptr;
   scope::Histogram* h_snapshot_ = nullptr;
   scope::Histogram* h_graph_build_ = nullptr;
+  scope::Histogram* h_delta_build_ = nullptr;
   scope::Histogram* h_solve_ = nullptr;
   scope::Histogram* h_merge_ = nullptr;
   scope::Histogram* h_commit_ = nullptr;

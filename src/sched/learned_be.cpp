@@ -201,6 +201,7 @@ std::unique_ptr<LearnedBeScheduler> MakeDcgBe(
   cfg.encoder = encoder;
   cfg.seed = seed;
   cfg.adam.lr = be_cfg.learning_rate;
+  cfg.packed_inference = be_cfg.packed_inference;
   return std::make_unique<LearnedBeScheduler>(
       catalog, std::make_unique<rl::A2cAgent>(cfg), be_cfg);
 }

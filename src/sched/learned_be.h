@@ -35,6 +35,11 @@ struct LearnedBeConfig {
   /// Learning rate. The paper fixes 2e-4 over hours-long traces; compressed
   /// experiment horizons scale it up proportionally (see DESIGN.md).
   float learning_rate = 2e-4f;
+  /// TangoSolve packed inference (A2C/DCG-BE only): per-request Act()
+  /// forwards run through pre-packed weights off the autograd tape.
+  /// Actions are bit-identical either way; false forces the taped forward
+  /// (used for equivalence comparisons).
+  bool packed_inference = true;
 };
 
 /// Builds graph states from the state storage and drives an rl::Agent.

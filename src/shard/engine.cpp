@@ -150,7 +150,11 @@ void ShardEngine::RunShardEpoch(std::size_t s, SimTime bound) {
   sh.inbox.clear();
   sh.executed += sh.sim.RunUntil(bound);
   AUDIT_CHECK(sh.sim.Now() == bound, .subsystem = "shard",
-              .invariant = "shard.barrier_time", .sim_time = sh.sim.Now());
+              .invariant = "shard.barrier_time", .sim_time = sh.sim.Now(),
+              .detail = audit::Detail(
+                  "shard stopped at %lld, epoch barrier %lld",
+                  static_cast<long long>(sh.sim.Now()),
+                  static_cast<long long>(bound)));
 }
 
 RunResult ShardEngine::Run() {

@@ -308,13 +308,13 @@ TEST_F(ParallelDssFixture, SteadyStateRoundsAllocateNoGraphStorage) {
   cfg.num_threads = 4;
   DssLcScheduler dss(&catalog, cfg);
   StateStorage st = MakeStorage(16, 11);
-  // Warm-up rounds grow each worker slot's solver to its working set.
+  // Warm-up rounds grow each type's warm solver pair to its working set.
   for (int round = 0; round < 3; ++round) {
     dss.Schedule(ClusterId{0}, MixedQueue(200, round * 100 * kMillisecond),
                  st, round * 100 * kMillisecond);
   }
   const auto warm = dss.solver_pool_stats();
-  EXPECT_EQ(warm.solvers, 4);
+  EXPECT_EQ(warm.solvers, 2 * 5);  // immediate + overflow per LC type
   EXPECT_GT(warm.solves, 0);
   for (int round = 3; round < 10; ++round) {
     dss.Schedule(ClusterId{0}, MixedQueue(200, round * 100 * kMillisecond),
@@ -324,6 +324,40 @@ TEST_F(ParallelDssFixture, SteadyStateRoundsAllocateNoGraphStorage) {
   EXPECT_GT(steady.solves, warm.solves);
   EXPECT_EQ(steady.alloc_events, warm.alloc_events)
       << "steady-state rounds must reuse solver storage, not allocate";
+}
+
+TEST_F(ParallelDssFixture, WarmStartMatchesColdRebuildAcrossDriftingRounds) {
+  // TangoSolve correctness bar: the warm delta path must emit byte-identical
+  // assignments to a from-scratch rebuild every round, while the load, the
+  // commitments, and hence every graph's capacities drift between rounds.
+  DssLcConfig warm_cfg;
+  warm_cfg.warm_start = true;
+  DssLcConfig cold_cfg;
+  cold_cfg.warm_start = false;
+  DssLcScheduler warm(&catalog, warm_cfg);
+  DssLcScheduler cold(&catalog, cold_cfg);
+  StateStorage st = MakeStorage(12, 29);
+  for (int round = 0; round < 12; ++round) {
+    const SimTime now = round * 100 * kMillisecond;
+    // Oscillating queue depth exercises both the underload single-graph
+    // case and the overload split, plus amount-only deltas.
+    const int depth = (round % 3 == 0) ? 500 : 40 + 15 * round;
+    const auto q = MixedQueue(depth, now);
+    const auto a = warm.Schedule(ClusterId{0}, q, st, now);
+    const auto b = cold.Schedule(ClusterId{0}, q, st, now);
+    ExpectSameAssignments(a, b);
+  }
+  EXPECT_EQ(warm.overflow_routed(), cold.overflow_routed());
+  EXPECT_DOUBLE_EQ(warm.last_lambda(), cold.last_lambda());
+  // The warm scheduler must actually have taken the warm path: after the
+  // first round every Route call diffs into an existing graph.
+  const auto ws = warm.solver_pool_stats();
+  EXPECT_GT(ws.memo_hits + ws.warm_solves, 0)
+      << "warm_start=true never exercised the incremental path";
+  const auto cs = cold.solver_pool_stats();
+  EXPECT_EQ(cs.memo_hits, 0);
+  EXPECT_EQ(cs.warm_solves, 0);
+  EXPECT_EQ(cs.delta_updates, 0);
 }
 
 TEST_F(ParallelDssFixture, CommittedMapsAreBoundedByDecayEviction) {

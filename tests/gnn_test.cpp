@@ -193,5 +193,80 @@ TEST(EncoderFactory, NamesAreStable) {
   EXPECT_STREQ(EncoderKindName(EncoderKind::kNative), "Native");
 }
 
+// ---- TangoSolve packed inference ------------------------------------------
+
+TEST_P(EncoderKindTest, PackedInferenceMatchesTapedEncodeExactly) {
+  Rng rng(7);
+  nn::ParamStore store;
+  auto enc = MakeEncoder(GetParam(), store, "e", 4, 16, rng);
+  const GraphBatch g = TwoTriangles();
+  // Identical RNG streams: the packed path promises to consume exactly the
+  // draws Encode() would (GraphSAGE's neighbor sampling).
+  Rng fwd_taped(11);
+  Rng fwd_packed(11);
+  const nn::Var taped = enc->Encode(g, fwd_taped);
+
+  nn::Matrix packed;
+  const auto before = nn::NodeCount();
+  const bool supported = enc->EncodeInference(g, fwd_packed, 0, &packed);
+  if (GetParam() == EncoderKind::kGat) {
+    // GAT's data-dependent attention has no packed path; the fallback
+    // contract is a clean false with the RNG untouched.
+    EXPECT_FALSE(supported);
+    EXPECT_EQ(fwd_packed.NextDouble(), Rng(11).NextDouble());
+    return;
+  }
+  ASSERT_TRUE(supported);
+  EXPECT_EQ(nn::NodeCount(), before)
+      << "EncodeInference must not allocate tape nodes";
+  ASSERT_EQ(packed.rows(), taped->value.rows());
+  ASSERT_EQ(packed.cols(), taped->value.cols());
+  for (int r = 0; r < packed.rows(); ++r) {
+    for (int c = 0; c < packed.cols(); ++c) {
+      ASSERT_EQ(packed.at(r, c), taped->value.at(r, c))
+          << "entry (" << r << "," << c << ")";
+    }
+  }
+  // Both paths must leave the RNG in the same state.
+  EXPECT_EQ(fwd_taped.NextDouble(), fwd_packed.NextDouble());
+}
+
+TEST(GraphSage, PackedCacheRepacksWhenParamVersionMoves) {
+  Rng rng(19);
+  nn::ParamStore store;
+  auto enc = MakeEncoder(EncoderKind::kGraphSage, store, "e", 4, 8, rng);
+  const GraphBatch g = TwoTriangles();
+  nn::Matrix before_update;
+  Rng f1(3);
+  ASSERT_TRUE(enc->EncodeInference(g, f1, /*param_version=*/0,
+                                   &before_update));
+  // Perturb a weight (as a training step would), keep the version: the
+  // stale pack must still be served (repack is version-driven, not
+  // value-driven)...
+  store.params()[0]->value.at(0, 0) += 1.0f;
+  nn::Matrix stale;
+  Rng f2(3);
+  ASSERT_TRUE(enc->EncodeInference(g, f2, /*param_version=*/0, &stale));
+  for (int r = 0; r < stale.rows(); ++r) {
+    for (int c = 0; c < stale.cols(); ++c) {
+      ASSERT_EQ(stale.at(r, c), before_update.at(r, c));
+    }
+  }
+  // ...and bumping the version must re-pack and match a fresh taped pass.
+  nn::Matrix repacked;
+  Rng f3(3);
+  ASSERT_TRUE(enc->EncodeInference(g, f3, /*param_version=*/1, &repacked));
+  Rng f4(3);
+  const nn::Var taped = enc->Encode(g, f4);
+  bool any_diff = false;
+  for (int r = 0; r < repacked.rows(); ++r) {
+    for (int c = 0; c < repacked.cols(); ++c) {
+      ASSERT_EQ(repacked.at(r, c), taped->value.at(r, c));
+      any_diff = any_diff || repacked.at(r, c) != before_update.at(r, c);
+    }
+  }
+  EXPECT_TRUE(any_diff) << "weight perturbation should change embeddings";
+}
+
 }  // namespace
 }  // namespace tango::gnn

@@ -114,6 +114,34 @@ TEST_F(LearnedBeFixture, EmptyStorageYieldsNullopt) {
   EXPECT_FALSE(sched->ScheduleOne(BeReq(), st, 0).has_value());
 }
 
+TEST_F(LearnedBeFixture, PackedInferenceSchedulesIdenticallyToTaped) {
+  // TangoSolve: DCG-BE with the packed (tape-free) Act path must place
+  // every request on the same node the taped forward would, through
+  // training steps and completions.
+  LearnedBeConfig packed_cfg;
+  packed_cfg.packed_inference = true;
+  LearnedBeConfig taped_cfg;
+  taped_cfg.packed_inference = false;
+  auto packed =
+      MakeDcgBe(&catalog, gnn::EncoderKind::kGraphSage, 17, packed_cfg);
+  auto taped =
+      MakeDcgBe(&catalog, gnn::EncoderKind::kGraphSage, 17, taped_cfg);
+  StateStorage st;
+  st.Update(Worker(1, 0, 3000, 6000));
+  st.Update(Worker(2, 0, 2000, 8192));
+  st.Update(Worker(3, 1, 4000, 8192));
+  for (int i = 0; i < 40; ++i) {
+    const auto a = packed->ScheduleOne(BeReq(), st, i);
+    const auto b = taped->ScheduleOne(BeReq(), st, i);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "step " << i;
+    if (a.has_value()) {
+      EXPECT_EQ(*a, *b) << "step " << i;
+      packed->OnBeCompleted(*a, BeReq().request, i);
+      taped->OnBeCompleted(*b, BeReq().request, i);
+    }
+  }
+}
+
 TEST_F(LearnedBeFixture, RewardAccumulatesCompletions) {
   StateStorage st;
   st.Update(Worker(1, 0, 4000, 8192));

@@ -8,6 +8,7 @@
 #include "nn/adam.h"
 #include "nn/autograd.h"
 #include "nn/module.h"
+#include "nn/packed.h"
 
 namespace tango::nn {
 namespace {
@@ -323,6 +324,100 @@ TEST(Module, MlpGradientFlowsToAllLayers) {
     for (int c = 0; c < g.cols(); ++c) norm += std::abs(g.at(r, c));
   }
   EXPECT_GT(norm, 0.0f);
+}
+
+// ---- TangoSolve packed inference (nn/packed.h) ----------------------------
+
+/// Exact float equality, element by element — the packed kernels promise
+/// bit-identical results, not approximate ones.
+void ExpectExactlyEqual(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      ASSERT_EQ(a.at(r, c), b.at(r, c)) << "entry (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(Packed, GemmMatchesNaiveExactlyAcrossShapes) {
+  // Shapes straddle the panel width (48) and include the paper's layer
+  // sizes; sprinkled exact zeros exercise the mirrored sparse-row skip.
+  Rng rng(31);
+  const int shapes[][3] = {{1, 9, 64},   {6, 64, 256}, {3, 256, 128},
+                           {2, 128, 32}, {5, 32, 1},   {4, 47, 49},
+                           {2, 96, 95},  {1, 1, 1}};
+  for (const auto& s : shapes) {
+    Matrix a = RandomMatrix(s[0], s[1], rng);
+    Matrix b = RandomMatrix(s[1], s[2], rng);
+    for (int r = 0; r < a.rows(); ++r) {
+      for (int c = 0; c < a.cols(); ++c) {
+        if (rng.UniformInt(0, 3) == 0) a.at(r, c) = 0.0f;
+      }
+    }
+    const Matrix naive = a.MatMul(b);
+    PackedMatrix pb(b);
+    Matrix packed;
+    pb.MatMulInto(a, &packed);
+    ExpectExactlyEqual(naive, packed);
+    // Reusing the output buffer (the steady-state path) must also be exact.
+    pb.MatMulInto(a, &packed);
+    ExpectExactlyEqual(naive, packed);
+  }
+}
+
+TEST(Packed, LinearAndMlpMatchTapedForwardExactly) {
+  Rng rng(32);
+  ParamStore store;
+  Mlp mlp = Mlp::PaperHead(store, "m", 9, 1, rng);
+  const Matrix x = RandomMatrix(7, 9, rng);
+  const Var taped = mlp.Forward(Constant(x));
+
+  PackedMlp packed;
+  for (const auto& l : mlp.layers()) packed.AddLayer(l.weight(), l.bias());
+  ExpectExactlyEqual(taped->value, packed.Forward(x));
+
+  // Single layer, same contract.
+  Linear lin(store, "l", 9, 13, rng);
+  const Var ty = lin.Forward(Constant(x));
+  PackedLinear pl(lin.weight(), lin.bias());
+  Matrix py;
+  pl.Forward(x, &py);
+  ExpectExactlyEqual(ty->value, py);
+}
+
+TEST(Packed, SoftmaxProbsIsTheTapedSoftmaxForward) {
+  Rng rng(33);
+  const Matrix logits = RandomMatrix(3, 8, rng, 4.0f);
+  Matrix mask(3, 8, 1.0f);
+  mask.at(0, 2) = 0.0f;
+  mask.at(2, 7) = 0.0f;
+  const Var taped = Softmax(Constant(logits), &mask);
+  ExpectExactlyEqual(taped->value, SoftmaxProbs(logits, &mask));
+  const Var unmasked = Softmax(Constant(logits), nullptr);
+  ExpectExactlyEqual(unmasked->value, SoftmaxProbs(logits, nullptr));
+}
+
+TEST(Packed, ForwardAllocatesNoTapeNodes) {
+  Rng rng(34);
+  ParamStore store;
+  Mlp mlp = Mlp::PaperHead(store, "m", 9, 1, rng);
+  PackedMlp packed;
+  for (const auto& l : mlp.layers()) packed.AddLayer(l.weight(), l.bias());
+  const Matrix x = RandomMatrix(16, 9, rng);
+  Matrix mask(1, 16, 1.0f);
+  const auto before = NodeCount();
+  for (int i = 0; i < 10; ++i) {
+    const Matrix& y = packed.Forward(x);
+    Matrix logits(1, y.rows());
+    for (int r = 0; r < y.rows(); ++r) logits.at(0, r) = y.at(r, 0);
+    SoftmaxProbs(logits, &mask);
+  }
+  EXPECT_EQ(NodeCount(), before)
+      << "packed inference must never touch the autograd tape";
+  // Sanity: the taped path does move the counter.
+  mlp.Forward(Constant(x));
+  EXPECT_GT(NodeCount(), before);
 }
 
 }  // namespace

@@ -195,5 +195,63 @@ TEST(Agents, DeterministicUnderSeed) {
   EXPECT_EQ(run(11), run(11));
 }
 
+TEST(A2cAgent, PackedInferenceMatchesTapedActionsAcrossTraining) {
+  // TangoSolve equivalence bar: with identical seeds, the packed (tape-
+  // free) Act path and the taped path pick identical actions through
+  // multiple interleaved training steps (which change the weights and
+  // force re-packs).
+  auto run = [](bool packed) {
+    A2cConfig cfg;
+    cfg.feature_dim = 3;
+    cfg.embed_dim = 8;
+    cfg.seed = 23;
+    cfg.train_interval = 8;
+    cfg.packed_inference = packed;
+    A2cAgent agent(cfg);
+    std::vector<int> actions;
+    for (int t = 0; t < 48; ++t) {
+      const GraphState s = BanditState(t % 4);
+      actions.push_back(agent.Act(s));
+      agent.Observe(actions.back() == t % 4 ? 1.0f : -0.1f, s, false);
+    }
+    return actions;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(A2cAgent, PackedActDoesNotTouchTheTape) {
+  A2cConfig cfg;
+  cfg.feature_dim = 3;
+  cfg.embed_dim = 8;
+  cfg.seed = 9;
+  cfg.packed_inference = true;
+  A2cAgent agent(cfg);
+  const GraphState s = BanditState(2);
+  agent.Act(s);  // first call packs the weights
+  agent.Observe(0.1f, s, false);
+  const auto before = nn::NodeCount();
+  for (int t = 0; t < 5; ++t) agent.Act(s);
+  EXPECT_EQ(nn::NodeCount(), before)
+      << "steady-state packed Act must allocate zero autograd nodes";
+}
+
+TEST(A2cAgent, GatEncoderFallsBackToTapedActPath) {
+  A2cConfig cfg;
+  cfg.feature_dim = 3;
+  cfg.embed_dim = 8;
+  cfg.seed = 13;
+  cfg.encoder = gnn::EncoderKind::kGat;
+  cfg.packed_inference = true;
+  A2cAgent packed_agent(cfg);
+  cfg.packed_inference = false;
+  A2cAgent taped_agent(cfg);
+  const GraphState s = BanditState(1);
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_EQ(packed_agent.Act(s), taped_agent.Act(s));
+    packed_agent.Observe(0.2f, s, false);
+    taped_agent.Observe(0.2f, s, false);
+  }
+}
+
 }  // namespace
 }  // namespace tango::rl

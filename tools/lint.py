@@ -25,6 +25,11 @@ degrades gracefully when optional external tools are missing:
                   and silently breaks byte-identity across shard counts.
                   Annotate deliberate uses with
                   `// tango-lint: allow(shard-isolation)`.
+  inference-tape  the packed inference kernels (src/nn/packed.h/.cpp) must
+                  stay off the autograd tape: no include of nn/autograd.h
+                  and no Var/Node/MakeNode/Backward references. autograd
+                  depends on packed (shared SoftmaxProbs kernel), so a
+                  reverse edge would also be an include cycle.
   headers         every header under src/ must be self-contained
                   (compiles alone with `g++ -fsyntax-only`).
   format          clang-format --dry-run over src/tests/bench/examples;
@@ -81,6 +86,15 @@ SCHEDULE_CALL = re.compile(
     r"(ScheduleAt|ScheduleAfter|StartPeriodic|SchedulePeriodic)\s*\(")
 SHARD_OK_RECEIVERS = re.compile(r"^(sim_\s*->|sh\.sim\s*\.)\s*$")
 ALLOW_SHARD_ISOLATION = "tango-lint: allow(shard-isolation)"
+
+# The packed inference kernels promise tape-free forwards; any autograd
+# reference here silently reintroduces per-request Node allocations (and an
+# include cycle, since autograd.cpp uses packed's SoftmaxProbs).
+INFERENCE_TAPE_FILES = ("src/nn/packed.h", "src/nn/packed.cpp")
+INFERENCE_TAPE_INCLUDE = re.compile(r'#\s*include\s*"nn/autograd\.h"')
+INFERENCE_TAPE_BAN = re.compile(
+    r"\b(?:nn::)?(Var|MakeNode|Backward|ZeroGrad)\b|\bstruct\s+Node\b"
+    r"|\bNode\s*\*")
 
 SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
 
@@ -197,6 +211,25 @@ def check_shard_isolation(findings: list[str]) -> None:
                         f"simulator: {raw.strip()}")
 
 
+def check_inference_tape(findings: list[str]) -> None:
+    for r in INFERENCE_TAPE_FILES:
+        path = os.path.join(REPO, r)
+        if not os.path.exists(path):
+            continue
+        with open(path, encoding="utf-8") as f:
+            for i, raw in enumerate(f, 1):
+                if INFERENCE_TAPE_INCLUDE.search(raw):
+                    findings.append(
+                        f"{r}:{i}: [inference-tape] packed inference must "
+                        f"not include nn/autograd.h: {raw.strip()}")
+                    continue
+                line = strip_comments_and_strings(raw)
+                if INFERENCE_TAPE_BAN.search(line):
+                    findings.append(
+                        f"{r}:{i}: [inference-tape] autograd reference in "
+                        f"the tape-free inference kernel: {raw.strip()}")
+
+
 def check_headers(findings: list[str]) -> None:
     gxx = shutil.which("g++") or shutil.which("c++")
     if gxx is None:
@@ -250,7 +283,8 @@ def main() -> int:
                         help="also require CHANGES.md to differ from REF")
     parser.add_argument("--skip", action="append", default=[],
                         choices=["hot-path", "raw-new", "rng", "stats-struct",
-                                 "shard-isolation", "headers", "format"],
+                                 "shard-isolation", "inference-tape",
+                                 "headers", "format"],
                         help="disable one check (repeatable)")
     args = parser.parse_args()
 
@@ -261,6 +295,7 @@ def main() -> int:
         "rng": check_rng,
         "stats-struct": check_stats_struct,
         "shard-isolation": check_shard_isolation,
+        "inference-tape": check_inference_tape,
         "headers": check_headers,
         "format": check_format,
     }

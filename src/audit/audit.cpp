@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/vet.h"
+
 namespace tango::audit {
 
 namespace {
@@ -26,7 +28,7 @@ void CountCheck() {
 }
 }  // namespace internal
 
-std::string Detail(const char* fmt, ...) {
+TANGO_COLD std::string Detail(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);
   va_list copy;

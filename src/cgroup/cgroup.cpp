@@ -141,6 +141,7 @@ WriteResult Hierarchy::WriteCpuQuota(const std::string& path,
 
 WriteResult Hierarchy::WriteCpuShares(const std::string& path,
                                       std::int64_t shares) {
+  AUDIT_SCOPE([this] { Audit(); });
   Group* g = Find(path);
   if (g == nullptr) return WriteResult::kNoSuchGroup;
   if (shares < 2) return WriteResult::kInvalidArgument;  // kernel floor

@@ -1,0 +1,37 @@
+// TangoVet function markers (DESIGN.md §15).
+//
+// TangoVet (tools/vet) is the static half of the repo's invariant story: it
+// builds a translation-unit-merged call graph over src/ and proves, at CI
+// time, that every TANGO_HOT entry point is allocation-free, that the
+// deterministic subsystems never reach wall-clock or global randomness, that
+// the audit manifest's mutators carry AUDIT_SCOPE/AUDIT_CHECK coverage, and
+// that mutex acquisitions follow the declared order manifest.
+//
+//   TANGO_HOT   marks a steady-state entry point whose entire call closure
+//               must be allocation-free: no operator new / malloc, no
+//               container growth, no std::function construction, no string
+//               building. The analyzer walks every call path from the marker.
+//   TANGO_COLD  marks a function as deliberately outside the hot closure
+//               (build-time, first-round growth, failure path). Traversal
+//               stops at the marker; the annotation is the reviewable record
+//               of why the cut is sound.
+//
+// Per-site escapes use trailing comments, mirroring clang-tidy's NOLINT:
+//
+//   buf_.push_back(x);  // TANGOVET_ALLOW(pooled: capacity retained by Reset)
+//   // TANGOVET_ALLOW_NEXT(profiling: steady_clock feeds metrics only)
+//   const auto t0 = std::chrono::steady_clock::now();
+//
+// Under Clang the markers lower to annotate attributes so the libclang
+// frontend reads them straight off the AST; under GCC they expand to nothing
+// and the degraded tokenizer frontend matches the marker tokens instead.
+// Either way they cost zero codegen.
+#pragma once
+
+#if defined(__clang__)
+#define TANGO_HOT __attribute__((annotate("tango_hot")))
+#define TANGO_COLD __attribute__((annotate("tango_cold")))
+#else
+#define TANGO_HOT
+#define TANGO_COLD
+#endif

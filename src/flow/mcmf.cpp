@@ -6,6 +6,7 @@
 
 #include "audit/audit.h"
 #include "common/logging.h"
+#include "common/vet.h"
 
 namespace tango::flow {
 
@@ -15,7 +16,7 @@ constexpr std::size_t Z(int v) { return static_cast<std::size_t>(v); }
 
 MinCostMaxFlow::MinCostMaxFlow(int num_nodes) { Reset(num_nodes); }
 
-void MinCostMaxFlow::Reset(int num_nodes) {
+TANGO_COLD void MinCostMaxFlow::Reset(int num_nodes) {
   TANGO_CHECK(num_nodes > 0, "graph needs at least one node");
   num_nodes_ = num_nodes;
   const auto n = Z(num_nodes);
@@ -62,7 +63,7 @@ void MinCostMaxFlow::ReserveArcs(std::size_t num_arcs) {
   ReserveCounted(heap_, 2 * num_arcs + 1);
 }
 
-int MinCostMaxFlow::AddArc(int from, int to, FlowUnit capacity,
+TANGO_COLD int MinCostMaxFlow::AddArc(int from, int to, FlowUnit capacity,
                            CostUnit cost) {
   TANGO_CHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_,
               "arc endpoints out of range: %d -> %d", from, to);
@@ -83,7 +84,7 @@ int MinCostMaxFlow::AddArc(int from, int to, FlowUnit capacity,
   return id / 2;
 }
 
-void MinCostMaxFlow::Finalize() {
+TANGO_COLD void MinCostMaxFlow::Finalize() {
   const auto n = Z(num_nodes_);
   const std::size_t num_logical = arc_to_.size();
   AssignCounted(head_, n + 1, 0);
@@ -185,6 +186,7 @@ void MinCostMaxFlow::UpdateArc(int arc_id, FlowUnit capacity, CostUnit cost) {
   ++delta_updates_;
   if (arc_dirty_[Z(arc_id)] == 0) {
     arc_dirty_[Z(arc_id)] = 1;
+    // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
     dirty_arcs_.push_back(arc_id);
   }
 }
@@ -254,6 +256,7 @@ void MinCostMaxFlow::DijkstraRefresh(int source) {
   heap_.clear();
   dist_[Z(source)] = 0;
   dist_stamp_[Z(source)] = stamp_;
+  // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
   heap_.emplace_back(0, source);
   while (!heap_.empty()) {
     const auto [d, u] = heap_.front();
@@ -277,6 +280,7 @@ void MinCostMaxFlow::DijkstraRefresh(int source) {
         dist_[Z(v)] = nd;
         dist_stamp_[Z(v)] = stamp_;
         if (heap_.size() + 1 > heap_.capacity()) ++alloc_events_;
+        // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
         heap_.emplace_back(nd, v);
         std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
       }
@@ -304,6 +308,7 @@ bool MinCostMaxFlow::DijkstraToSink(int source, int sink) {
   heap_.clear();
   dist_[Z(source)] = 0;
   dist_stamp_[Z(source)] = stamp_;
+  // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
   heap_.emplace_back(0, source);
   CostUnit dist_sink = kInfCost;
   while (!heap_.empty()) {
@@ -335,6 +340,7 @@ bool MinCostMaxFlow::DijkstraToSink(int source, int sink) {
         dist_stamp_[Z(v)] = stamp_;
         prev_slot_[Z(v)] = s;
         if (heap_.size() + 1 > heap_.capacity()) ++alloc_events_;
+        // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
         heap_.emplace_back(nd, v);
         std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
       }
@@ -439,6 +445,7 @@ MinCostMaxFlow::Result MinCostMaxFlow::SolveStar(int source, int sink,
     if ((l & 1) != 0) continue;
     const int wt = sink_slot_of(csr_to_[Z(hs)]);
     if (star_order_.size() + 1 > star_order_.capacity()) ++alloc_events_;
+    // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
     star_order_.emplace_back(hub_cost + csr_cost_[Z(hs)] + csr_cost_[Z(wt)],
                              l);
   }
@@ -505,7 +512,7 @@ void MinCostMaxFlow::FinishSolve(int source, int sink, FlowUnit amount,
   dirty_arcs_.clear();
 }
 
-MinCostMaxFlow::Result MinCostMaxFlow::Solve(int source, int sink,
+TANGO_HOT MinCostMaxFlow::Result MinCostMaxFlow::Solve(int source, int sink,
                                              FlowUnit amount) {
   TANGO_CHECK(source != sink, "source == sink");
   TANGO_CHECK(num_nodes_ > 0, "Reset(num_nodes) before Solve");
@@ -530,7 +537,8 @@ MinCostMaxFlow::Result MinCostMaxFlow::Solve(int source, int sink,
   return result;
 }
 
-MinCostMaxFlow::Result MinCostMaxFlow::SolveIncremental(int source, int sink,
+TANGO_HOT MinCostMaxFlow::Result MinCostMaxFlow::SolveIncremental(
+    int source, int sink,
                                                         FlowUnit amount) {
   TANGO_CHECK(source != sink, "source == sink");
   TANGO_CHECK(num_nodes_ > 0, "Reset(num_nodes) before SolveIncremental");
@@ -572,7 +580,7 @@ MinCostMaxFlow::Result MinCostMaxFlow::SolveIncremental(int source, int sink,
   return result;
 }
 
-void MinCostMaxFlow::AuditSolution(int source, int sink,
+TANGO_COLD void MinCostMaxFlow::AuditSolution(int source, int sink,
                                    FlowUnit expected_flow,
                                    bool saturated) const {
   if (!finalized_) return;

@@ -226,6 +226,7 @@ class MinCostMaxFlow {
   void ReserveCounted(V& v, std::size_t n) {
     if (n > v.capacity()) {
       ++alloc_events_;
+      // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
       v.reserve(n);
     }
   }

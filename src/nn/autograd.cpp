@@ -90,13 +90,13 @@ void ZeroGrad(const Var& root) {
 Var MatMul(const Var& a, const Var& b) {
   Matrix out = a->value.MatMul(b->value);
   return MakeNode(std::move(out), {a, b}, [](Node& n) {
-    const Var& a = n.parents[0];
-    const Var& b = n.parents[1];
-    if (a->requires_grad) {
-      a->EnsureGrad().Add(n.grad.MatMul(b->value.Transposed()));
+    const Var& pa = n.parents[0];
+    const Var& pb = n.parents[1];
+    if (pa->requires_grad) {
+      pa->EnsureGrad().Add(n.grad.MatMul(pb->value.Transposed()));
     }
-    if (b->requires_grad) {
-      b->EnsureGrad().Add(a->value.Transposed().MatMul(n.grad));
+    if (pb->requires_grad) {
+      pb->EnsureGrad().Add(pa->value.Transposed().MatMul(n.grad));
     }
   });
 }
@@ -117,11 +117,11 @@ Var Add(const Var& a, const Var& b) {
     out.Add(b->value);
   }
   return MakeNode(std::move(out), {a, b}, [broadcast](Node& n) {
-    const Var& a = n.parents[0];
-    const Var& b = n.parents[1];
-    if (a->requires_grad) a->EnsureGrad().Add(n.grad);
-    if (b->requires_grad) {
-      Matrix& bg = b->EnsureGrad();
+    const Var& pa = n.parents[0];
+    const Var& pb = n.parents[1];
+    if (pa->requires_grad) pa->EnsureGrad().Add(n.grad);
+    if (pb->requires_grad) {
+      Matrix& bg = pb->EnsureGrad();
       if (broadcast) {
         for (int r = 0; r < n.grad.rows(); ++r) {
           for (int c = 0; c < n.grad.cols(); ++c) {
@@ -154,21 +154,21 @@ Var Mul(const Var& a, const Var& b) {
     for (int c = 0; c < out.cols(); ++c) out.at(r, c) *= b->value.at(r, c);
   }
   return MakeNode(std::move(out), {a, b}, [](Node& n) {
-    const Var& a = n.parents[0];
-    const Var& b = n.parents[1];
-    if (a->requires_grad) {
-      Matrix& ag = a->EnsureGrad();
+    const Var& pa = n.parents[0];
+    const Var& pb = n.parents[1];
+    if (pa->requires_grad) {
+      Matrix& ag = pa->EnsureGrad();
       for (int r = 0; r < n.grad.rows(); ++r) {
         for (int c = 0; c < n.grad.cols(); ++c) {
-          ag.at(r, c) += n.grad.at(r, c) * b->value.at(r, c);
+          ag.at(r, c) += n.grad.at(r, c) * pb->value.at(r, c);
         }
       }
     }
-    if (b->requires_grad) {
-      Matrix& bg = b->EnsureGrad();
+    if (pb->requires_grad) {
+      Matrix& bg = pb->EnsureGrad();
       for (int r = 0; r < n.grad.rows(); ++r) {
         for (int c = 0; c < n.grad.cols(); ++c) {
-          bg.at(r, c) += n.grad.at(r, c) * a->value.at(r, c);
+          bg.at(r, c) += n.grad.at(r, c) * pa->value.at(r, c);
         }
       }
     }
@@ -354,16 +354,16 @@ Var ConcatCols(const Var& a, const Var& b) {
   }
   const int acols = a->value.cols();
   return MakeNode(std::move(out), {a, b}, [acols](Node& n) {
-    const Var& a = n.parents[0];
-    const Var& b = n.parents[1];
-    if (a->requires_grad) {
-      Matrix& ag = a->EnsureGrad();
+    const Var& pa = n.parents[0];
+    const Var& pb = n.parents[1];
+    if (pa->requires_grad) {
+      Matrix& ag = pa->EnsureGrad();
       for (int r = 0; r < n.grad.rows(); ++r) {
         for (int c = 0; c < acols; ++c) ag.at(r, c) += n.grad.at(r, c);
       }
     }
-    if (b->requires_grad) {
-      Matrix& bg = b->EnsureGrad();
+    if (pb->requires_grad) {
+      Matrix& bg = pb->EnsureGrad();
       for (int r = 0; r < n.grad.rows(); ++r) {
         for (int c = 0; c < bg.cols(); ++c) {
           bg.at(r, c) += n.grad.at(r, acols + c);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/vet.h"
 
 namespace tango::nn {
 
@@ -93,7 +94,7 @@ void PackedLinear::Forward(const Matrix& x, Matrix* out) const {
   }
 }
 
-const Matrix& PackedMlp::Forward(const Matrix& x) {
+TANGO_HOT const Matrix& PackedMlp::Forward(const Matrix& x) {
   TANGO_CHECK(!layers_.empty(), "forward through an empty PackedMlp");
   const Matrix* in = &x;
   int slot = 0;

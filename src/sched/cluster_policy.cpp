@@ -54,14 +54,19 @@ ClusterId PickSpillCluster(const std::vector<ClusterView>& candidates,
   return best;
 }
 
-std::vector<ClusterId> RankBeClusters(const std::vector<ClusterView>& views) {
-  std::vector<ClusterId> order;
-  order.reserve(views.size());
+void RankBeClusters(const std::vector<ClusterView>& views,
+                    std::vector<ClusterId>* order) {
+  order->clear();
+  // Bounded by the cluster count, so the caller's retained buffer stops
+  // growing after the first full-view tick.
+  // TANGOVET_ALLOW_NEXT(amortized: scratch retains cluster-count capacity)
+  order->reserve(views.size());
   for (const ClusterView& v : views) {
     if (v.version == 0 || v.live_workers <= 0) continue;
-    order.push_back(v.cluster);
+    // TANGOVET_ALLOW_NEXT(amortized: within capacity reserved above)
+    order->push_back(v.cluster);
   }
-  std::stable_sort(order.begin(), order.end(),
+  std::stable_sort(order->begin(), order->end(),
                    [&](ClusterId a, ClusterId b) {
                      const ClusterView& va =
                          views[static_cast<std::size_t>(a.value)];
@@ -72,6 +77,11 @@ std::vector<ClusterId> RankBeClusters(const std::vector<ClusterView>& views) {
                      }
                      return a < b;
                    });
+}
+
+std::vector<ClusterId> RankBeClusters(const std::vector<ClusterView>& views) {
+  std::vector<ClusterId> order;
+  RankBeClusters(views, &order);
   return order;
 }
 

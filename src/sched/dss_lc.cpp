@@ -8,6 +8,7 @@
 #include "audit/audit.h"
 #include "audit/checkers.h"
 #include "common/logging.h"
+#include "common/vet.h"
 #include "scope/scope.h"
 
 namespace tango::sched {
@@ -69,7 +70,7 @@ DssLcScheduler::DssLcScheduler(const workload::ServiceCatalog* catalog,
   h_commit_ = &metrics_.GetHistogram("sched.phase.commit_us");
 }
 
-std::vector<std::int64_t> DssLcScheduler::Route(
+TANGO_HOT std::vector<std::int64_t> DssLcScheduler::Route(
     WarmGraph& g, const std::vector<WorkerCap>& workers, std::int64_t amount,
     bool use_total, double lambda) {
   // Node layout: 0 = source, 1 = master, 2..n+1 = workers, n+2 = sink.
@@ -77,6 +78,7 @@ std::vector<std::int64_t> DssLcScheduler::Route(
   // never carries flow, but the fixed structure is what lets the next
   // round diff into the same graph instead of rebuilding it.
   std::chrono::steady_clock::time_point t_build;
+  // TANGOVET_ALLOW_NEXT(profiling: phase timing never feeds routing state)
   if (cfg_.profile_phases) t_build = std::chrono::steady_clock::now();
   const int n = static_cast<int>(workers.size());
   const auto nz = static_cast<std::size_t>(n);
@@ -122,11 +124,13 @@ std::vector<std::int64_t> DssLcScheduler::Route(
       }
     }
     if (cfg_.profile_phases) {
+      // TANGOVET_ALLOW_NEXT(profiling: phase timing never feeds routing)
       const auto t_solve = std::chrono::steady_clock::now();
       h_delta_build_->Observe(
           static_cast<std::int64_t>(ElapsedUs(t_build, t_solve)));
       mcmf.SolveIncremental(source, sink, amount);
       h_solve_->Observe(static_cast<std::int64_t>(
+          // TANGOVET_ALLOW_NEXT(profiling: timing never feeds routing)
           ElapsedUs(t_solve, std::chrono::steady_clock::now())));
     } else {
       mcmf.SolveIncremental(source, sink, amount);
@@ -138,9 +142,13 @@ std::vector<std::int64_t> DssLcScheduler::Route(
     // its largest round, later rounds reuse that capacity.
     mcmf.ReserveArcs(static_cast<std::size_t>(2 * n + 1));
     mcmf.AddArc(source, master, amount, 0);
+    // TANGOVET_ALLOW_NEXT(cold rebuild: node-churn path, warm rounds skip it)
     g.nodes.assign(nz, NodeId{});
+    // TANGOVET_ALLOW_NEXT(cold rebuild: node-churn path, warm rounds skip it)
     g.prev_edge_cap.assign(nz, 0);
+    // TANGOVET_ALLOW_NEXT(cold rebuild: node-churn path, warm rounds skip it)
     g.prev_edge_cost.assign(nz, 0);
+    // TANGOVET_ALLOW_NEXT(cold rebuild: node-churn path, warm rounds skip it)
     g.prev_sink_cap.assign(nz, 0);
     for (int i = 0; i < n; ++i) {
       const auto zi = static_cast<std::size_t>(i);
@@ -159,11 +167,13 @@ std::vector<std::int64_t> DssLcScheduler::Route(
     g.prev_amount = amount;
     g.built = true;
     if (cfg_.profile_phases) {
+      // TANGOVET_ALLOW_NEXT(profiling: phase timing never feeds routing)
       const auto t_solve = std::chrono::steady_clock::now();
       h_graph_build_->Observe(
           static_cast<std::int64_t>(ElapsedUs(t_build, t_solve)));
       mcmf.Solve(source, sink, amount);
       h_solve_->Observe(static_cast<std::int64_t>(
+          // TANGOVET_ALLOW_NEXT(profiling: timing never feeds routing)
           ElapsedUs(t_solve, std::chrono::steady_clock::now())));
     } else {
       mcmf.Solve(source, sink, amount);
@@ -324,6 +334,7 @@ DssLcScheduler::TypeOutcome DssLcScheduler::ScheduleType(
 std::vector<Assignment> DssLcScheduler::Schedule(
     ClusterId /*cluster*/, const std::vector<PendingRequest>& queue,
     const metrics::StateStorage& storage, SimTime now) {
+  // TANGOVET_ALLOW_NEXT(profiling: decision-latency telemetry only)
   const auto t0 = std::chrono::steady_clock::now();
   const scope::SpanId round_span = scope::BeginSpan(
       "dsslc.round", "sched", now,
@@ -373,6 +384,7 @@ std::vector<Assignment> DssLcScheduler::Schedule(
   }
   if (cfg_.profile_phases) {
     h_snapshot_->Observe(static_cast<std::int64_t>(
+        // TANGOVET_ALLOW_NEXT(profiling: timing never feeds scheduling)
         ElapsedUs(t0, std::chrono::steady_clock::now())));
   }
 
@@ -429,6 +441,7 @@ std::vector<Assignment> DssLcScheduler::Schedule(
   // The two sweeps (assignment merge, then commitment application) are
   // separate so each can be profiled as its own phase; commitment adds are
   // commutative per node, so the split does not change the result.
+  // TANGOVET_ALLOW_NEXT(profiling: phase timing never feeds scheduling)
   const auto t_merge = std::chrono::steady_clock::now();
   std::int64_t round_overflow = 0;
   for (const auto& outcome : outcomes) {
@@ -438,6 +451,7 @@ std::vector<Assignment> DssLcScheduler::Schedule(
     round_overflow += outcome.overflow;
   }
   overflow_routed_ += round_overflow;
+  // TANGOVET_ALLOW_NEXT(profiling: phase timing never feeds scheduling)
   const auto t_commit = std::chrono::steady_clock::now();
   for (const auto& outcome : outcomes) {
     for (const auto& c : outcome.commits) {
@@ -449,6 +463,7 @@ std::vector<Assignment> DssLcScheduler::Schedule(
     h_merge_->Observe(
         static_cast<std::int64_t>(ElapsedUs(t_merge, t_commit)));
     h_commit_->Observe(static_cast<std::int64_t>(
+        // TANGOVET_ALLOW_NEXT(profiling: timing never feeds scheduling)
         ElapsedUs(t_commit, std::chrono::steady_clock::now())));
   }
   if (round_overflow > 0) {
@@ -486,6 +501,7 @@ std::vector<Assignment> DssLcScheduler::Schedule(
   total_round_.assigned += round.assigned;
   total_round_.left_queued += round.left_queued;
 
+  // TANGOVET_ALLOW_NEXT(profiling: decision-latency telemetry only)
   const auto t1 = std::chrono::steady_clock::now();
   decision_seconds_ +=
       std::chrono::duration<double>(t1 - t0).count();

@@ -6,7 +6,9 @@ namespace tango::scope {
 
 namespace {
 std::int64_t WallNowNs() {
+  // Span wall timestamps are trace output only, never simulation state.
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             // TANGOVET_ALLOW_NEXT(telemetry: trace timestamps only)
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }

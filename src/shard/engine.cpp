@@ -6,6 +6,7 @@
 #include "audit/audit.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/vet.h"
 #include "scope/export.h"
 
 namespace tango::shard {
@@ -126,7 +127,7 @@ ShardEngine::ShardEngine(EngineConfig cfg)
       });
 }
 
-void ShardEngine::RunShardEpoch(std::size_t s, SimTime bound) {
+TANGO_HOT void ShardEngine::RunShardEpoch(std::size_t s, SimTime bound) {
   Shard& sh = *shards_[s];
   grid_.Drain(static_cast<int>(s), sh.inbox);
   for (const ShardMessage& m : sh.inbox) {
@@ -138,11 +139,13 @@ void ShardEngine::RunShardEpoch(std::size_t s, SimTime bound) {
       sh.slab[idx] = m;
     } else {
       idx = static_cast<std::uint32_t>(sh.slab.size());
+      // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
       sh.slab.push_back(m);
     }
     Shard* shp = &sh;
     sh.sim.ScheduleAt(m.deliver, [shp, model, idx] {
       const ShardMessage msg = shp->slab[idx];
+      // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
       shp->slab_free.push_back(idx);
       model->OnMessage(msg);
     });
@@ -161,6 +164,7 @@ RunResult ShardEngine::Run() {
   TANGO_CHECK(!ran_, "ShardEngine::Run is one-shot");
   ran_ = true;
 
+  // TANGOVET_ALLOW_NEXT(telemetry: wall throughput stats, not sim state)
   const auto wall_start = std::chrono::steady_clock::now();
   RunResult result;
 
@@ -236,6 +240,7 @@ RunResult ShardEngine::Run() {
   TANGO_CHECK(result.mailbox_drained <= result.mailbox_exchanged,
               "mailbox conservation violated");
 
+  // TANGOVET_ALLOW_NEXT(telemetry: wall throughput stats, not sim state)
   const auto wall_end = std::chrono::steady_clock::now();
   result.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();

@@ -208,6 +208,7 @@ void ClusterModel::OnBeArrival() {
 
 void ClusterModel::RouteLc(const Payload& p) {
   if (master_alive_) {
+    // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
     lc_queue_.push_back(p);
     ArmLcTick();
     return;
@@ -267,6 +268,7 @@ void ClusterModel::LcDispatch() {
       const auto idx = static_cast<std::size_t>(c.value);
       if (master_alive_view_[idx] == 0) continue;
       if (views_[idx].version == 0) continue;
+      // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
       spill_scratch_.push_back(views_[idx]);
     }
     const ClusterId target =
@@ -361,6 +363,7 @@ void ClusterModel::RouteBe(Payload p) {
     return;
   }
   if (central == id_) {
+    // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
     be_queue_.push_back(p);
     ArmBeTick();
     return;
@@ -378,7 +381,8 @@ void ClusterModel::ArmBeTick() {
 }
 
 void ClusterModel::BeDispatch() {
-  const std::vector<ClusterId> rank = sched::RankBeClusters(views_);
+  sched::RankBeClusters(views_, &be_rank_scratch_);
+  const std::vector<ClusterId>& rank = be_rank_scratch_;
   be_keep_.clear();
   for (const Payload& p : be_queue_) {
     bool placed = false;
@@ -400,6 +404,7 @@ void ClusterModel::BeDispatch() {
       placed = true;
       break;
     }
+    // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
     if (!placed) be_keep_.push_back(p);
   }
   std::swap(be_queue_, be_keep_);
@@ -455,6 +460,7 @@ void ClusterModel::StartExec(std::int32_t worker, const Payload& p) {
     free_execs_.pop_back();
   } else {
     slot = static_cast<std::int32_t>(execs_.size());
+    // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
     execs_.emplace_back();
   }
   Exec& e = execs_[static_cast<std::size_t>(slot)];
@@ -464,6 +470,7 @@ void ClusterModel::StartExec(std::int32_t worker, const Payload& p) {
   auto& w = workers_[static_cast<std::size_t>(worker)];
   w.used += p.demand;
   if (!p.is_lc) be_used_[static_cast<std::size_t>(worker)] += p.demand;
+  // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
   worker_execs_[static_cast<std::size_t>(worker)].push_back(slot);
   e.done = sim_->ScheduleAfter(p.exec_us, [this, slot] { FinishExec(slot); });
   if (p.is_lc && p.origin != id_) ++stats_.lc_remote;
@@ -485,6 +492,7 @@ void ClusterModel::ReleaseExec(std::int32_t slot) {
   list.pop_back();
   e.live = false;
   e.done = sim::kInvalidEvent;
+  // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
   free_execs_.push_back(slot);
 }
 
@@ -796,6 +804,7 @@ void ClusterModel::OnSendFailed(MsgKind kind, const Payload& p) {
           Route(MsgKind::kBeDrop, q.origin, q, cfg_->control_bytes);
         }
       } else {
+        // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
         be_queue_.push_back(q);
         ArmBeTick();
       }
@@ -818,10 +827,12 @@ void ClusterModel::EnqueueLocal(const ShardMessage& msg, SimDuration delay) {
     local_slab_[idx] = msg;
   } else {
     idx = static_cast<std::uint32_t>(local_slab_.size());
+    // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
     local_slab_.push_back(msg);
   }
   sim_->ScheduleAfter(delay, [this, idx] {
     const ShardMessage m = local_slab_[idx];
+    // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
     local_free_.push_back(idx);
     OnMessage(m);
   });
@@ -875,6 +886,7 @@ void ClusterModel::OnMessage(const ShardMessage& m) {
       if (m.payload.origin == id_) FaultRequeueLc(m.payload);
       break;
     case MsgKind::kBeForward:
+      // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
       be_queue_.push_back(m.payload);
       ArmBeTick();
       break;
@@ -895,6 +907,7 @@ void ClusterModel::OnMessage(const ShardMessage& m) {
           Route(MsgKind::kBeDrop, p.origin, p, cfg_->control_bytes);
         }
       } else {
+        // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
         be_queue_.push_back(p);
         ArmBeTick();
       }
@@ -975,6 +988,7 @@ void ClusterModel::OnMessage(const ShardMessage& m) {
               Route(MsgKind::kBeDrop, q.origin, q, cfg_->control_bytes);
             }
           } else {
+            // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
             be_queue_.push_back(q);
             ArmBeTick();
           }
@@ -1022,6 +1036,7 @@ void ClusterModel::CloseRecord(std::int32_t slot, std::uint32_t gen,
   (void)outcome;  // counted at the call sites, which know the story
   r.open = false;
   ++r.gen;
+  // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
   free_records_.push_back(slot);
 }
 

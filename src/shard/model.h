@@ -268,6 +268,7 @@ class ClusterModel {
   std::size_t lc_head_ = 0;
   std::vector<Payload> be_queue_;  // acting-central dispatch queue
   std::vector<Payload> be_keep_;   // BeDispatch retention scratch
+  std::vector<ClusterId> be_rank_scratch_;  // BeDispatch ranking scratch
   std::vector<sched::ClusterView> spill_scratch_;  // LC spill candidates
   bool lc_tick_armed_ = false;
   bool be_tick_armed_ = false;

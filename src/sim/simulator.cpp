@@ -4,6 +4,7 @@
 
 #include "audit/audit.h"
 #include "common/logging.h"
+#include "common/vet.h"
 
 namespace tango::sim {
 
@@ -14,10 +15,13 @@ std::uint32_t Simulator::AllocSlot() {
     return slot;
   }
   if (pool_.size() == pool_.capacity()) ++alloc_events_;
+  // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
   pool_.emplace_back();
   // heap_/free_ can never hold more entries than the pool has slots, so
   // growing their capacity in lockstep keeps their push_backs allocation-free.
+  // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
   if (heap_.capacity() < pool_.capacity()) heap_.reserve(pool_.capacity());
+  // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
   if (free_.capacity() < pool_.capacity()) free_.reserve(pool_.capacity());
   return static_cast<std::uint32_t>(pool_.size() - 1);
 }
@@ -30,6 +34,7 @@ void Simulator::FreeSlot(std::uint32_t slot) {
   n.cancelled = false;
   n.period = 0;
   n.cb.Reset();
+  // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
   free_.push_back(slot);
 }
 
@@ -79,6 +84,7 @@ void Simulator::SiftDown(std::size_t index) {
 }
 
 void Simulator::HeapPush(std::uint32_t slot) {
+  // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
   heap_.push_back(slot);
   pool_[slot].heap_index = static_cast<std::int32_t>(heap_.size() - 1);
   SiftUp(heap_.size() - 1);
@@ -259,7 +265,7 @@ void Simulator::AuditHeap() const {
                                       pool_.size()));
 }
 
-std::uint64_t Simulator::RunUntil(SimTime until) {
+TANGO_HOT std::uint64_t Simulator::RunUntil(SimTime until) {
   const std::uint64_t before = executed_;
   while (!heap_.empty() && pool_[heap_.front()].when <= until) {
     if (!PopAndRun()) break;

@@ -213,8 +213,9 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, SplitPolicyTest,
                          ::testing::Values(SplitPolicy::kRandom,
                                            SplitPolicy::kFifo,
                                            SplitPolicy::kDeadline),
-                         [](const auto& info) {
-                           return std::string(SplitPolicyName(info.param));
+                         [](const auto& param_info) {
+                           return std::string(
+                               SplitPolicyName(param_info.param));
                          });
 
 // ---- Parallel scheduling core ---------------------------------------------

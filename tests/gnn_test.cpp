@@ -81,8 +81,9 @@ INSTANTIATE_TEST_SUITE_P(AllEncoders, EncoderKindTest,
                                            EncoderKind::kGcn,
                                            EncoderKind::kGat,
                                            EncoderKind::kNative),
-                         [](const auto& info) {
-                           return std::string(EncoderKindName(info.param));
+                         [](const auto& param_info) {
+                           return std::string(
+                               EncoderKindName(param_info.param));
                          });
 
 TEST(GraphSage, UsesTopologyNativeDoesNot) {

@@ -137,8 +137,8 @@ TEST_P(PatternTest, HotspotSkewConcentratesLoad) {
 INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternTest,
                          ::testing::Values(Pattern::kP1, Pattern::kP2,
                                            Pattern::kP3),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case Pattern::kP1:
                                return "P1";
                              case Pattern::kP2:

@@ -6,26 +6,35 @@
 # emission), a TangoAudit configure (-DTANGO_AUDIT=ON) that runs the full
 # suite with every runtime invariant checker live, and a TangoScope
 # configure (-DTANGO_SCOPE=ON) that runs the full suite plus a traced
-# chaos_demo whose exported Chrome trace must parse as JSON. `lint` runs
-# tools/lint.py (no build). All selected configs must pass for check.sh to
-# exit 0. Run from anywhere; paths are relative to the repo root.
+# chaos_demo whose exported Chrome trace must parse as JSON, and a
+# UBSan-only configure (-DTANGO_UBSAN=ON) that runs the full suite without
+# ASan's shadow memory. The no-build gates: `lint` runs tools/lint.py plus
+# its fixture regression suite, `vet` runs the TangoVet static analyzer
+# (tools/vet) over src/ plus its fixture regression suite, and `static`
+# collapses every static gate (lint, clang-format when present, vet) into
+# one entry point. All selected configs must pass for check.sh to exit 0.
+# Run from anywhere; paths are relative to the repo root.
 #
-#   $ tools/check.sh            # all configs + lint
+#   $ tools/check.sh            # all configs + static gates
 #   $ tools/check.sh plain      # only the plain config
 #   $ tools/check.sh sanitize   # only the ASan+UBSan config
+#   $ tools/check.sh ubsan      # only the UBSan-only config (full suite)
 #   $ tools/check.sh tsan       # only the TSan config (parallel-path tests)
 #   $ tools/check.sh audit      # only the TANGO_AUDIT config (full suite)
 #   $ tools/check.sh scope      # only the TANGO_SCOPE config (+trace smoke)
-#   $ tools/check.sh lint       # only the project lint
+#   $ tools/check.sh lint       # only the project lint (+ lint_test.py)
+#   $ tools/check.sh vet        # only the TangoVet analyzer (+ vet_test.py)
+#   $ tools/check.sh static     # lint + clang-format + vet, no build
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 what="${1:-all}"
 case "$what" in
-  all|plain|sanitize|tsan|audit|scope|lint) ;;
+  all|plain|sanitize|ubsan|tsan|audit|scope|lint|vet|static) ;;
   *)
-    echo "usage: tools/check.sh [all|plain|sanitize|tsan|audit|scope|lint]" >&2
+    echo "usage: tools/check.sh [all|plain|sanitize|ubsan|tsan|audit|scope|" \
+         "lint|vet|static]" >&2
     exit 2
     ;;
 esac
@@ -59,6 +68,14 @@ if [[ "$what" == "all" || "$what" == "sanitize" ]]; then
   # halt_on_error keeps a UBSan report from being a silent warning.
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
   run_config sanitize "$repo_root/build-asan" -DTANGO_SANITIZE=ON
+fi
+
+if [[ "$what" == "all" || "$what" == "ubsan" ]]; then
+  # UBSan without ASan: no shadow memory, so undefined-behavior coverage
+  # composes with near-native timing (the sanitize config already pairs
+  # the two for memory-error coverage).
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+  run_config ubsan "$repo_root/build-ubsan" -DTANGO_UBSAN=ON
 fi
 
 if [[ "$what" == "all" || "$what" == "tsan" ]]; then
@@ -99,9 +116,35 @@ if [[ "$what" == "all" || "$what" == "scope" ]]; then
   echo "trace JSON ok"
 fi
 
-if [[ "$what" == "all" || "$what" == "lint" ]]; then
+if [[ "$what" == "all" || "$what" == "lint" || "$what" == "static" ]]; then
   echo "== [lint] tools/lint.py =="
   python3 "$repo_root/tools/lint.py"
+  echo "== [lint] tools/lint_test.py =="
+  python3 "$repo_root/tools/lint_test.py"
+fi
+
+if [[ "$what" == "static" ]]; then
+  # The lint's own format check already covers clang-format when present;
+  # repeat it here explicitly so `static` fails loudly rather than skipping
+  # silently when the tool exists but the tree is unformatted.
+  if command -v clang-format >/dev/null 2>&1; then
+    echo "== [static] clang-format --dry-run =="
+    find "$repo_root/src" "$repo_root/tests" "$repo_root/bench" \
+         "$repo_root/examples" -name '*.h' -o -name '*.cpp' \
+      | xargs clang-format --dry-run -Werror
+  else
+    echo "== [static] clang-format skipped (not on PATH) =="
+  fi
+fi
+
+if [[ "$what" == "all" || "$what" == "vet" || "$what" == "static" ]]; then
+  # TangoVet prefers the clang frontend when build/compile_commands.json
+  # exists (every configure exports it) and degrades to the token frontend
+  # otherwise; both must leave the tree clean.
+  echo "== [vet] tools/vet/tangovet.py =="
+  python3 "$repo_root/tools/vet/tangovet.py" --root "$repo_root"
+  echo "== [vet] tools/vet/vet_test.py =="
+  python3 "$repo_root/tools/vet/vet_test.py"
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,9 @@
+// Negative controls for [stats-struct]: grandfathered name + allow escape.
+namespace fx {
+struct SyncStats {
+  long deltas = 0;
+};
+struct RetryStats {  // tango-lint: allow(stats-struct)
+  long retries = 0;
+};
+}  // namespace fx

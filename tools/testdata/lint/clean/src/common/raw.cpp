@@ -1,0 +1,6 @@
+// Negative controls for [raw-new]: the allow escape and placement new.
+namespace fx {
+alignas(int) char buf[sizeof(int)];
+int* Annotated() { return new int(7); }  // tango-lint: allow(raw-new)
+int* Placement() { return new (buf) int(7); }
+}  // namespace fx

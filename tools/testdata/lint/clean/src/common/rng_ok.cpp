@@ -1,0 +1,10 @@
+// Negative controls for [rng]: comment-only mention and the allow escape.
+#include <random>
+
+namespace fx {
+// A comment naming std::mt19937 must not trip the check.
+unsigned Legacy() {
+  std::mt19937 gen(1);  // tango-lint: allow(rng)
+  return gen();
+}
+}  // namespace fx

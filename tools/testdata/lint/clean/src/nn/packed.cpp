@@ -1,0 +1,4 @@
+// Negative control for [inference-tape]: a tape-free packed kernel.
+namespace fx {
+float Forward(float x) { return x > 0.0f ? x : 0.0f; }
+}  // namespace fx

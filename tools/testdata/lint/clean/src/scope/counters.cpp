@@ -1,0 +1,6 @@
+// Negative control for [stats-struct]: src/scope itself is exempt.
+namespace fx {
+struct ScopeStats {
+  long spans = 0;
+};
+}  // namespace fx

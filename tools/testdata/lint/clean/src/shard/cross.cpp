@@ -1,0 +1,14 @@
+// Negative controls for [shard-isolation]: the two sanctioned receivers
+// (own simulator) and the allow escape. Fixture files are scanned, not
+// compiled, so receiver types are elided.
+namespace fx {
+struct Model {
+  void Local() { sim_->ScheduleAt(1, nullptr); }
+};
+
+void Epoch(Shard& sh) { sh.sim.ScheduleAt(2, nullptr); }
+
+void Sanctioned(Peer* peer) {
+  peer->sim.ScheduleAt(3, nullptr);  // tango-lint: allow(shard-isolation)
+}
+}  // namespace fx

@@ -1,0 +1,8 @@
+// Negative controls for [hot-path]: the allow escape and a flat container.
+#include <map>
+#include <vector>
+
+namespace fx {
+std::map<int, int> legacy_;  // tango-lint: allow(container)
+std::vector<int> flat_;
+}  // namespace fx

@@ -1,0 +1,6 @@
+// Seeded [stats-struct] violation: ad-hoc counters outside src/scope.
+namespace fx {
+struct RetryStats {
+  long retries = 0;
+};
+}  // namespace fx

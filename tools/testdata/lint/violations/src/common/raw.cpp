@@ -1,0 +1,4 @@
+// Seeded [raw-new] violation: raw allocation outside a pool.
+namespace fx {
+int* Make() { return new int(7); }
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Seeded [rng] violation: unseeded standard-library randomness.
+#include <random>
+
+namespace fx {
+unsigned Draw() {
+  std::mt19937 gen(42);
+  return gen();
+}
+}  // namespace fx

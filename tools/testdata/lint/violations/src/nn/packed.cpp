@@ -1,0 +1,7 @@
+// Seeded [inference-tape] violation: autograd include in the packed
+// inference kernel.
+#include "nn/autograd.h"
+
+namespace fx {
+void Forward() {}
+}  // namespace fx

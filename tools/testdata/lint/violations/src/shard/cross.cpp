@@ -1,0 +1,5 @@
+// Seeded [shard-isolation] violation: scheduling on a peer's simulator.
+// Fixture files are scanned, not compiled, so receiver types are elided.
+namespace fx {
+void Poke(Peer* peer) { peer->sim.ScheduleAt(5, nullptr); }
+}  // namespace fx

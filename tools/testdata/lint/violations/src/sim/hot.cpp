@@ -1,0 +1,6 @@
+// Seeded [hot-path] violation: node-based container in src/sim.
+#include <map>
+
+namespace fx {
+std::map<int, int> index_;
+}  // namespace fx

@@ -1,0 +1,404 @@
+"""TangoVet invariant checks over the model.Program call graph.
+
+Four whole-program checks (DESIGN.md §15):
+
+  hot-alloc        no TANGO_HOT entry point reaches an allocation primitive
+                   on any call path (TANGO_COLD cuts traversal; per-site
+                   TANGOVET_ALLOW waives a recorded primitive).
+  determinism      functions in the deterministic subsystems never reach
+                   wall-clock reads or global RNG; no unordered-container
+                   iteration or pointer-keyed containers in those dirs.
+  audit-coverage   every mutator named in the audit manifest contains — or
+                   transitively reaches — an AUDIT_SCOPE/AUDIT_CHECK hook.
+  lock-discipline  every mutex acquisition appears in the declared order
+                   manifest, acquisitions nest in ascending manifest order
+                   (intra- and inter-procedurally), and no lock is held
+                   across a declared epoch-barrier call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from model import (ALLOC_KINDS, AUDIT_HOOK, LOCK_ACQUIRE, NONDET_KINDS,
+                   PTR_KEY, UNORDERED_ITER, Function, Program, Site)
+
+DETERMINISM_DIRS = ("src/sim", "src/shard", "src/sched", "src/flow")
+
+
+@dataclasses.dataclass
+class Finding:
+    check: str           # "hot-alloc" | "determinism" | ...
+    rule: str            # site kind or sub-rule id
+    file: str
+    line: int
+    message: str
+    path: List[str] = dataclasses.field(default_factory=list)  # call chain
+
+    def key(self) -> Tuple[str, str, str, int]:
+        return (self.check, self.rule, self.file, self.line)
+
+
+def _dedup(findings: Iterable[Finding]) -> List[Finding]:
+    seen: Set[Tuple[str, str, str, int]] = set()
+    out: List[Finding] = []
+    for f in findings:
+        if f.key() in seen:
+            continue
+        seen.add(f.key())
+        out.append(f)
+    return sorted(out, key=Finding.key)
+
+
+# ---------------------------------------------------------------------------
+# Reachability core
+# ---------------------------------------------------------------------------
+
+def _collect_reachable_sites(
+        program: Program, roots: Sequence[Function], kinds: Tuple[str, ...],
+        stop_at_cold: bool) -> List[Tuple[Site, Function, List[str]]]:
+    """DFS from each root; yield (site, owner_fn, witness_call_chain) for
+    every non-waived site of `kinds` reachable on some call path.
+
+    Traversal skips TANGO_COLD callees when stop_at_cold, and call edges
+    carrying a TANGOVET_ALLOW annotation. Each (root, function) pair is
+    visited once; the first discovered chain is the witness.
+    """
+    results: List[Tuple[Site, Function, List[str]]] = []
+    reported: Set[Tuple[str, int, str]] = set()
+    for root in roots:
+        visited: Set[str] = set()
+        stack: List[Tuple[str, List[str]]] = [(root.qname, [root.qname])]
+        while stack:
+            qname, chain = stack.pop()
+            if qname in visited:
+                continue
+            visited.add(qname)
+            fn = program.functions.get(qname)
+            if fn is None:
+                continue
+            for site in fn.sites_of(*kinds):
+                if site.allow:
+                    continue
+                rkey = (site.file, site.line, site.kind)
+                if rkey in reported:
+                    continue
+                reported.add(rkey)
+                results.append((site, fn, chain))
+            for call in fn.calls:
+                if call.allow:
+                    continue
+                for callee in call.callees:
+                    cfn = program.functions.get(callee)
+                    if cfn is None or callee in visited:
+                        continue
+                    if stop_at_cold and cfn.cold:
+                        continue
+                    stack.append((callee, chain + [callee]))
+    return results
+
+
+def _reaches(program: Program, start: Function, kinds: Tuple[str, ...],
+             memo: Dict[str, bool]) -> bool:
+    """True iff `start` contains or transitively calls a function containing
+    a site of `kinds` (allow annotations do not waive audit hooks)."""
+    stack = [start.qname]
+    seen: Set[str] = set()
+    path: List[str] = []
+    while stack:
+        q = stack.pop()
+        if q in seen:
+            continue
+        seen.add(q)
+        if q in memo:
+            if memo[q]:
+                return True
+            continue
+        fn = program.functions.get(q)
+        if fn is None:
+            continue
+        path.append(q)
+        if fn.sites_of(*kinds):
+            memo[q] = True
+            return True
+        for call in fn.calls:
+            stack.extend(call.callees)
+    for q in path:
+        memo.setdefault(q, False)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Check 1: hot-path allocation freedom
+# ---------------------------------------------------------------------------
+
+def check_hot_alloc(program: Program) -> List[Finding]:
+    roots = [fn for fn in program.functions.values() if fn.hot]
+    findings: List[Finding] = []
+    if not roots:
+        return findings
+    for site, fn, chain in _collect_reachable_sites(
+            program, roots, ALLOC_KINDS, stop_at_cold=True):
+        witness = " -> ".join(_short(q) for q in chain)
+        findings.append(Finding(
+            check="hot-alloc", rule=site.kind, file=site.file,
+            line=site.line,
+            message=(f"{site.detail} in {_short(fn.qname)} is reachable "
+                     f"from TANGO_HOT entry point {_short(chain[0])} "
+                     f"(via {witness}); mark the callee TANGO_COLD or "
+                     f"annotate the site TANGOVET_ALLOW(reason)"),
+            path=chain))
+    return _dedup(findings)
+
+
+# ---------------------------------------------------------------------------
+# Check 2: determinism
+# ---------------------------------------------------------------------------
+
+def _in_dirs(path: str, dirs: Sequence[str]) -> bool:
+    norm = path.replace("\\", "/")
+    return any(norm.startswith(d.rstrip("/") + "/") or norm == d
+               for d in dirs)
+
+
+def check_determinism(program: Program,
+                      dirs: Sequence[str] = DETERMINISM_DIRS
+                      ) -> List[Finding]:
+    roots = [fn for fn in program.functions.values()
+             if _in_dirs(fn.file, dirs)]
+    findings: List[Finding] = []
+    for site, fn, chain in _collect_reachable_sites(
+            program, roots, NONDET_KINDS, stop_at_cold=False):
+        witness = " -> ".join(_short(q) for q in chain)
+        findings.append(Finding(
+            check="determinism", rule=site.kind, file=site.file,
+            line=site.line,
+            message=(f"{site.detail} reachable from deterministic "
+                     f"subsystem code {_short(chain[0])} ({fn.file}) via "
+                     f"{witness}; simulation state must derive from "
+                     f"SimTime/seeded Rng only"),
+            path=chain))
+    # Direct structural sites: unordered iteration / pointer keys in the
+    # deterministic dirs themselves (no reachability needed).
+    for fn in program.functions.values():
+        if not _in_dirs(fn.file, dirs):
+            continue
+        for site in fn.sites_of(UNORDERED_ITER, PTR_KEY):
+            if site.allow:
+                continue
+            findings.append(Finding(
+                check="determinism", rule=site.kind, file=site.file,
+                line=site.line,
+                message=(f"{site.detail} in {_short(fn.qname)}: iteration "
+                         f"order / pointer values are not stable across "
+                         f"runs — use an ordered container or sort before "
+                         f"consuming"),
+                path=[fn.qname]))
+    for site in program.file_sites:
+        if site.allow or not _in_dirs(site.file, dirs):
+            continue
+        if site.kind in (UNORDERED_ITER, PTR_KEY):
+            findings.append(Finding(
+                check="determinism", rule=site.kind, file=site.file,
+                line=site.line,
+                message=(f"{site.detail}: pointer-keyed/unordered state in "
+                         f"a deterministic subsystem"),
+                path=[]))
+    return _dedup(findings)
+
+
+# ---------------------------------------------------------------------------
+# Check 3: audit coverage
+# ---------------------------------------------------------------------------
+
+def check_audit_coverage(program: Program,
+                         manifest: Dict[str, List[str]]) -> List[Finding]:
+    findings: List[Finding] = []
+    memo: Dict[str, bool] = {}
+    for subsystem, methods in sorted(manifest.items()):
+        if subsystem.startswith("_"):
+            continue  # "_comment" and friends
+        for method in methods:
+            fns = program.lookup(method)
+            if not fns:
+                findings.append(Finding(
+                    check="audit-coverage", rule="manifest-stale",
+                    file="tools/vet/manifests/audit_manifest.json", line=1,
+                    message=(f"[{subsystem}] manifest method {method!r} "
+                             f"matches no function definition — fix the "
+                             f"manifest or restore the method")))
+                continue
+            for fn in fns:
+                if not _reaches(program, fn, (AUDIT_HOOK,), memo):
+                    findings.append(Finding(
+                        check="audit-coverage", rule="missing-audit",
+                        file=fn.file, line=fn.line,
+                        message=(f"[{subsystem}] mutator "
+                                 f"{_short(fn.qname)} neither contains nor "
+                                 f"reaches AUDIT_SCOPE/AUDIT_CHECK — every "
+                                 f"manifest mutation boundary must be "
+                                 f"audited"),
+                        path=[fn.qname]))
+    return _dedup(findings)
+
+
+# ---------------------------------------------------------------------------
+# Check 4: lock discipline
+# ---------------------------------------------------------------------------
+
+def _locks_acquired(program: Program, qname: str,
+                    memo: Dict[str, Set[str]],
+                    in_progress: Optional[Set[str]] = None) -> Set[str]:
+    """Every mutex `qname` (or a transitive callee) may acquire."""
+    if qname in memo:
+        return memo[qname]
+    if in_progress is None:
+        in_progress = set()
+    if qname in in_progress:
+        return set()
+    in_progress.add(qname)
+    fn = program.functions.get(qname)
+    if fn is None:
+        memo[qname] = set()
+        return memo[qname]
+    acquired = {s.detail for s in fn.sites_of(LOCK_ACQUIRE)}
+    for call in fn.calls:
+        for callee in call.callees:
+            acquired |= _locks_acquired(program, callee, memo, in_progress)
+    memo[qname] = acquired
+    return acquired
+
+
+def _reaches_any(program: Program, qname: str, targets: Set[str],
+                 memo: Dict[str, bool]) -> bool:
+    if qname in memo:
+        return memo[qname]
+    stack, seen = [qname], set()
+    while stack:
+        q = stack.pop()
+        if q in seen:
+            continue
+        seen.add(q)
+        if q in targets:
+            memo[qname] = True
+            return True
+        fn = program.functions.get(q)
+        if fn is None:
+            continue
+        for call in fn.calls:
+            stack.extend(call.callees)
+    memo[qname] = False
+    return False
+
+
+def check_lock_discipline(program: Program,
+                          manifest: Dict) -> List[Finding]:
+    order: List[str] = manifest.get("order", [])
+    barriers: List[str] = manifest.get("barriers", [])
+    index = {name: i for i, name in enumerate(order)}
+    findings: List[Finding] = []
+
+    barrier_fns: Set[str] = set()
+    barrier_simple: Set[str] = set()
+    for b in barriers:
+        for fn in program.lookup(b):
+            barrier_fns.add(fn.qname)
+        barrier_simple.add(b.rsplit("::", 1)[-1])
+
+    lock_memo: Dict[str, Set[str]] = {}
+    barrier_memo: Dict[str, bool] = {}
+
+    for fn in program.functions.values():
+        # (a)+(b): per-acquire manifest membership and nesting order.
+        for site in fn.sites_of(LOCK_ACQUIRE):
+            if site.allow:
+                continue
+            if site.detail not in index:
+                findings.append(Finding(
+                    check="lock-discipline", rule="undeclared-mutex",
+                    file=site.file, line=site.line,
+                    message=(f"mutex {site.detail!r} acquired in "
+                             f"{_short(fn.qname)} is not in the lock-order "
+                             f"manifest — declare its level in "
+                             f"lock_order.json"),
+                    path=[fn.qname]))
+                continue
+            for h in site.held:
+                if h not in index:
+                    continue
+                if index[h] >= index[site.detail]:
+                    what = ("re-acquired" if h == site.detail
+                            else "acquired out of order")
+                    findings.append(Finding(
+                        check="lock-discipline", rule="lock-order",
+                        file=site.file, line=site.line,
+                        message=(f"mutex {site.detail!r} {what} while "
+                                 f"holding {h!r} in {_short(fn.qname)}: "
+                                 f"manifest order is "
+                                 f"{' < '.join(order)}"),
+                        path=[fn.qname]))
+        # (c)+(d): calls made while holding a lock.
+        for call in fn.calls:
+            if not call.locks_held or call.allow:
+                continue
+            is_barrier_call = call.name in barrier_simple
+            for callee in call.callees:
+                if callee in barrier_fns:
+                    is_barrier_call = True
+                callee_locks = _locks_acquired(program, callee, lock_memo)
+                for h in call.locks_held:
+                    for c in callee_locks:
+                        if h not in index or c not in index:
+                            continue
+                        if index[h] >= index[c]:
+                            findings.append(Finding(
+                                check="lock-discipline", rule="lock-order",
+                                file=call.file, line=call.line,
+                                message=(f"call to {_short(callee)} while "
+                                         f"holding {h!r} may acquire "
+                                         f"{c!r} out of manifest order"),
+                                path=[fn.qname, callee]))
+                if _reaches_any(program, callee, barrier_fns, barrier_memo):
+                    is_barrier_call = True
+            if is_barrier_call:
+                findings.append(Finding(
+                    check="lock-discipline", rule="lock-across-barrier",
+                    file=call.file, line=call.line,
+                    message=(f"{_short(fn.qname)} holds "
+                             f"{', '.join(repr(h) for h in call.locks_held)}"
+                             f" across epoch-barrier call {call.name}() — "
+                             f"a lock held across the shard barrier "
+                             f"serializes (or deadlocks) the epoch "
+                             f"exchange"),
+                    path=[fn.qname]))
+    return _dedup(findings)
+
+
+def _short(qname: str) -> str:
+    parts = qname.split("::")
+    return "::".join(parts[-2:]) if len(parts) > 1 else qname
+
+
+# ---------------------------------------------------------------------------
+# Entry
+# ---------------------------------------------------------------------------
+
+ALL_CHECKS = ("hot-alloc", "determinism", "audit-coverage", "lock-discipline")
+
+
+def run_checks(program: Program, checks: Sequence[str],
+               audit_manifest: Dict[str, List[str]],
+               lock_manifest: Dict,
+               determinism_dirs: Sequence[str] = DETERMINISM_DIRS
+               ) -> List[Finding]:
+    findings: List[Finding] = []
+    if "hot-alloc" in checks:
+        findings += check_hot_alloc(program)
+    if "determinism" in checks:
+        findings += check_determinism(program, determinism_dirs)
+    if "audit-coverage" in checks:
+        findings += check_audit_coverage(program, audit_manifest)
+    if "lock-discipline" in checks:
+        findings += check_lock_discipline(program, lock_manifest)
+    return findings

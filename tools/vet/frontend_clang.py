@@ -1,0 +1,266 @@
+"""TangoVet libclang frontend.
+
+Parses the translation units listed in compile_commands.json with clang's
+Python bindings and lowers them into the shared model.Program. This is the
+precise frontend: calls are resolved through the AST (no name-based
+over-approximation), TANGO_HOT/TANGO_COLD are read from the annotate
+attributes src/common/vet.h lowers them to under Clang, and allocation
+primitives are recognized semantically (CXX_NEW_EXPR, callee USRs).
+
+Availability is probed by tangovet.py; when the `clang` module or a
+loadable libclang shared object is missing (the hermetic CI container),
+the degraded tokenizer frontend is used instead and the report's
+`frontend` field records which one produced the findings.
+
+TANGOVET_ALLOW escapes are comments, which libclang does not attach to
+statements — both frontends share model.scan_allows() over the raw text.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Set
+
+from model import (ALLOC_FUNCTION, ALLOC_GROWTH, ALLOC_MALLOC, ALLOC_NEW,
+                   ALLOC_STRING, AUDIT_HOOK, LOCK_ACQUIRE, PTR_KEY,
+                   RNG_GLOBAL, TIME_WALL, UNORDERED_ITER, CallSite, Function,
+                   Program, Site, rel, scan_allows)
+
+_GROWTH = {"push_back", "emplace_back", "emplace", "insert", "resize",
+           "reserve", "assign", "append", "push_front", "emplace_front",
+           "push"}
+_MALLOC = {"malloc", "calloc", "realloc", "strdup", "aligned_alloc"}
+_MAKE = {"make_unique", "make_shared"}
+_STRING_BUILD = {"to_string", "basic_string", "basic_ostringstream",
+                 "basic_stringstream"}
+_WALL = {"gettimeofday", "clock_gettime", "time", "localtime", "gmtime"}
+_RNG = {"rand", "srand", "rand_r"}
+_GUARDS = {"lock_guard", "unique_lock", "scoped_lock", "shared_lock"}
+_AUDIT_FNS = {"Fail", "CountCheck", "ScopeGuard"}
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+    except ImportError:
+        return False
+    try:
+        clang.cindex.Index.create()
+    except Exception:
+        return False
+    return True
+
+
+def load_program(root: str, compile_commands: str,
+                 src_dirs: Sequence[str] = ("src",)) -> Program:
+    import clang.cindex as ci
+
+    program = Program(frontend="clang")
+    index = ci.Index.create()
+    with open(compile_commands, encoding="utf-8") as f:
+        commands = json.load(f)
+
+    allows_cache: Dict[str, Dict[int, str]] = {}
+
+    def allows_for(path: str) -> Dict[int, str]:
+        if path not in allows_cache:
+            try:
+                with open(path, encoding="utf-8", errors="replace") as fh:
+                    allows_cache[path] = scan_allows(path, fh.read())
+            except OSError:
+                allows_cache[path] = {}
+        return allows_cache[path]
+
+    def in_scope(path: str) -> bool:
+        r = rel(path, root)
+        return any(r == d or r.startswith(d.rstrip("/") + "/")
+                   for d in src_dirs)
+
+    seen_files: Set[str] = set()
+    for cmd in commands:
+        src = os.path.join(cmd.get("directory", "."), cmd["file"])
+        src = os.path.normpath(src)
+        if not in_scope(src) or src in seen_files:
+            continue
+        seen_files.add(src)
+        args = [a for a in cmd.get("command", "").split()[1:]
+                if not a.endswith((".cpp", ".cc", ".o")) and a != "-c"
+                and a != "-o"]
+        try:
+            tu = index.parse(src, args=args)
+        except ci.TranslationUnitLoadError:
+            continue
+        _walk_tu(program, tu.cursor, root, in_scope, allows_for, ci)
+    program.resolve_calls()
+    return program
+
+
+def _qname(cursor) -> str:
+    parts: List[str] = []
+    c = cursor
+    while c is not None and c.spelling and c.kind.name != "TRANSLATION_UNIT":
+        parts.insert(0, c.spelling)
+        c = c.semantic_parent
+    return "::".join(parts)
+
+
+def _walk_tu(program: Program, cursor, root: str, in_scope, allows_for,
+             ci) -> None:
+    fn_kinds = {ci.CursorKind.FUNCTION_DECL, ci.CursorKind.CXX_METHOD,
+                ci.CursorKind.CONSTRUCTOR, ci.CursorKind.DESTRUCTOR,
+                ci.CursorKind.FUNCTION_TEMPLATE}
+    stack = [cursor]
+    while stack:
+        c = stack.pop()
+        loc_file = c.location.file.name if c.location.file else None
+        if c.kind in fn_kinds and c.is_definition() and loc_file \
+                and in_scope(loc_file):
+            fn = _lower_function(program, c, root, allows_for, ci)
+            program.add(fn)
+            continue
+        if c.kind == ci.CursorKind.FIELD_DECL and loc_file \
+                and in_scope(loc_file):
+            _lower_field(program, c, root, allows_for)
+        stack.extend(c.get_children())
+
+
+def _lower_field(program: Program, c, root: str, allows_for) -> None:
+    parent = c.semantic_parent.spelling if c.semantic_parent else ""
+    type_spelling = c.type.spelling
+    simple = type_spelling.split("<")[0].rsplit("::", 1)[-1].strip()
+    program.member_types[f"{parent}::{c.spelling}"] = simple
+    program.member_types.setdefault(c.spelling, simple)
+    path = rel(c.location.file.name, root)
+    if "unordered_" in type_spelling:
+        pass  # iteration sites are detected at the loop, via range typing
+    if _pointer_keyed(type_spelling):
+        allows = allows_for(c.location.file.name)
+        program.file_sites.append(Site(
+            PTR_KEY, path, c.location.line,
+            f"pointer-keyed container {c.spelling!r}: {type_spelling}",
+            allow=allows.get(c.location.line)))
+
+
+def _pointer_keyed(type_spelling: str) -> bool:
+    for marker in ("map<", "set<", "unordered_map<", "unordered_set<"):
+        i = type_spelling.find(marker)
+        if i < 0:
+            continue
+        arg = type_spelling[i + len(marker):]
+        first = arg.split(",")[0]
+        if first.rstrip().endswith("*"):
+            return True
+    return False
+
+
+def _lower_function(program: Program, c, root: str, allows_for,
+                    ci) -> Function:
+    path = rel(c.location.file.name, root)
+    parent = c.semantic_parent
+    cls = parent.spelling if parent and parent.kind.name in (
+        "CLASS_DECL", "STRUCT_DECL", "CLASS_TEMPLATE") else ""
+    ns_parts: List[str] = []
+    p = parent
+    while p is not None and p.kind.name != "TRANSLATION_UNIT":
+        if p.kind.name == "NAMESPACE":
+            ns_parts.insert(0, p.spelling)
+        p = p.semantic_parent
+    fn = Function(qname=_qname(c), name=c.spelling, cls=cls,
+                  namespace="::".join(ns_parts), file=path,
+                  line=c.location.line)
+    allows = allows_for(c.location.file.name)
+    for child in c.get_children():
+        if child.kind == ci.CursorKind.ANNOTATE_ATTR:
+            if child.spelling == "tango_hot":
+                fn.hot = True
+            elif child.spelling == "tango_cold":
+                fn.cold = True
+    body = None
+    for child in c.get_children():
+        if child.kind == ci.CursorKind.COMPOUND_STMT:
+            body = child
+    if body is not None:
+        _lower_body(program, fn, body, root, allows, ci)
+    return fn
+
+
+def _lower_body(program: Program, fn: Function, body, root: str,
+                allows: Dict[int, str], ci) -> None:
+    guards: List[str] = []
+
+    def site(kind: str, cursor, detail: str) -> None:
+        line = cursor.location.line
+        fn.sites.append(Site(kind, fn.file, line, detail,
+                             allow=allows.get(line),
+                             held=tuple(guards)))
+
+    def visit(c) -> None:
+        k = c.kind
+        if k == ci.CursorKind.CXX_NEW_EXPR:
+            site(ALLOC_NEW, c, "operator new")
+        elif k == ci.CursorKind.VAR_DECL:
+            t = c.type.spelling
+            simple = t.split("<")[0].rsplit("::", 1)[-1]
+            if simple in _GUARDS:
+                mutex = ""
+                for ch in c.get_children():
+                    for ref in ch.walk_preorder():
+                        if ref.kind == ci.CursorKind.MEMBER_REF_EXPR \
+                                or ref.kind == ci.CursorKind.DECL_REF_EXPR:
+                            mutex = ref.spelling
+                canon = f"{fn.cls}::{mutex}" if fn.cls and mutex else mutex
+                site(LOCK_ACQUIRE, c, canon or t)
+                guards.append(canon or t)
+            elif "function<" in t:
+                site(ALLOC_FUNCTION, c, "std::function construction")
+            elif simple in ("string", "basic_string", "ostringstream",
+                            "stringstream"):
+                site(ALLOC_STRING, c, f"std::{simple} construction")
+        elif k == ci.CursorKind.CALL_EXPR:
+            callee = c.referenced
+            name = callee.spelling if callee else c.spelling
+            if name in _GROWTH:
+                site(ALLOC_GROWTH, c, f"{name}()")
+            elif name in _MALLOC:
+                site(ALLOC_MALLOC, c, f"{name}()")
+            elif name in _MAKE:
+                site(ALLOC_NEW, c, f"std::{name}")
+            elif name in _STRING_BUILD:
+                site(ALLOC_STRING, c, f"{name}()")
+            elif name in _RNG:
+                site(RNG_GLOBAL, c, name)
+            elif name == "now" and callee is not None and any(
+                    clock in _qname(callee)
+                    for clock in ("system_clock", "steady_clock",
+                                  "high_resolution_clock")):
+                site(TIME_WALL, c, _qname(callee) + "()")
+            elif name in _WALL and (callee is None
+                                    or "::" not in _qname(callee)):
+                site(TIME_WALL, c, f"{name}()")
+            elif name in _AUDIT_FNS and callee is not None \
+                    and "audit" in _qname(callee):
+                site(AUDIT_HOOK, c, _qname(callee))
+            elif callee is not None and name:
+                q = _qname(callee)
+                qualifier = q.rsplit("::", 1)[0] if "::" in q else ""
+                line = c.location.line
+                fn.calls.append(CallSite(
+                    fn.file, line, name, qualifier,
+                    allow=allows.get(line),
+                    locks_held=tuple(guards)))
+        elif k == ci.CursorKind.CXX_FOR_RANGE_STMT:
+            children = list(c.get_children())
+            if children:
+                range_t = children[-2].type.spelling if len(children) >= 2 \
+                    else ""
+                if "unordered_" in range_t:
+                    site(UNORDERED_ITER, c,
+                         f"range-for over {range_t}")
+        held_before = len(guards)
+        for child in c.get_children():
+            visit(child)
+        if k == ci.CursorKind.COMPOUND_STMT:
+            del guards[held_before:]
+
+    visit(body)

@@ -1,0 +1,826 @@
+"""TangoVet degraded frontend: a C++ tokenizer + lightweight scope parser.
+
+Used when libclang's Python bindings are unavailable (the common case in the
+hermetic CI container). It does not preprocess or type-check; instead it
+lexes each file, tracks namespace/class/function scopes by brace depth, and
+extracts the model.py facts — function definitions with TANGO_HOT/TANGO_COLD
+markers, call expressions (with receiver text for member-type resolution),
+allocation/time/RNG/lock/audit primitive sites, and member declarations that
+feed receiver typing and unordered/pointer-key detection.
+
+Known, documented limitations of degraded mode (DESIGN.md §15):
+  * name-based call resolution over-approximates (an invariant prover may
+    report paths that typing would rule out — the per-site TANGOVET_ALLOW
+    escape is the pressure valve);
+  * constructor member-init lists are not scanned (constructors are cold);
+  * code hidden behind #if blocks is scanned unconditionally.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from model import (ALLOC_FUNCTION, ALLOC_GROWTH, ALLOC_MALLOC, ALLOC_NEW,
+                   ALLOC_STRING, AUDIT_HOOK, LOCK_ACQUIRE, PTR_KEY,
+                   RNG_GLOBAL, TIME_WALL, UNORDERED_ITER, CallSite, Function,
+                   Program, Site, iter_source_files, rel, scan_allows)
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+Token = Tuple[str, str, int]  # (type, value, line)
+
+_TOKEN_RE = re.compile(
+    r"""(?P<str>"(?:[^"\\\n]|\\.)*")
+      | (?P<chr>'(?:[^'\\\n]|\\.)*')
+      | (?P<num>\.?[0-9](?:['.\w]|[eEpP][+-])*)
+      | (?P<id>[A-Za-z_]\w*)
+      | (?P<dcolon>::)
+      | (?P<arrow>->)
+      | (?P<shift><<|>>)
+      | (?P<punct>[{}()\[\];:,<>=+\-*/%!&|^~?.\\@])
+    """, re.VERBOSE)
+
+
+def lex(text: str) -> List[Token]:
+    """Tokenize C++ source, dropping comments, preprocessor lines and
+    whitespace. Line numbers are preserved on every token."""
+    tokens: List[Token] = []
+    i, line, n = 0, 1, len(text)
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if text.startswith("/*", i):
+            j = text.find("*/", i)
+            j = n if j < 0 else j + 2
+            line += text.count("\n", i, j)
+            i = j
+            continue
+        if c == "#" and (not tokens or tokens[-1][2] != line):
+            # Preprocessor directive: skip to end of line, honouring
+            # backslash continuations.
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                if k < 0:
+                    j = n
+                    break
+                if text[k - 1] == "\\":
+                    line += 1
+                    j = k + 1
+                    continue
+                j = k
+                break
+            i = j
+            continue
+        if text.startswith('R"', i):
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if m:
+                end = text.find(")%s\"" % m.group(1), i)
+                end = n if end < 0 else end + len(m.group(1)) + 2
+                line += text.count("\n", i, end)
+                tokens.append(("str", '""', line))
+                i = end
+                continue
+        m = _TOKEN_RE.match(text, i)
+        if not m:
+            i += 1
+            continue
+        kind = m.lastgroup or "punct"
+        tokens.append((kind, m.group(), line))
+        i = m.end()
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Recognized primitive name sets
+# ---------------------------------------------------------------------------
+
+KEYWORDS_NOT_CALLS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "catch",
+    "new", "delete", "static_cast", "dynamic_cast", "reinterpret_cast",
+    "const_cast", "decltype", "noexcept", "throw", "alignas", "typeid",
+    "static_assert", "defined", "co_await", "co_return", "co_yield",
+    "assert", "requires",
+}
+
+MALLOC_FNS = {"malloc", "calloc", "realloc", "strdup", "aligned_alloc",
+              "posix_memalign"}
+MAKE_FNS = {"make_unique", "make_shared"}
+GROWTH_METHODS = {"push_back", "emplace_back", "emplace", "insert", "resize",
+                  "reserve", "assign", "append", "push_front",
+                  "emplace_front", "push", "shrink_to_fit"}
+WALLCLOCK_CLOCKS = {"system_clock", "steady_clock", "high_resolution_clock"}
+WALLCLOCK_FNS = {"gettimeofday", "clock_gettime", "localtime", "gmtime",
+                 "ftime", "timespec_get"}
+RNG_IDS = {"rand", "srand", "random_device", "rand_r"}
+STRING_BUILDERS = {"to_string", "stoi", "stol", "stod"}
+STRING_TYPES = {"string", "ostringstream", "stringstream", "istringstream"}
+LOCK_GUARDS = {"lock_guard", "unique_lock", "scoped_lock", "shared_lock"}
+AUDIT_MACROS = {"AUDIT_SCOPE", "AUDIT_CHECK", "AUDIT_FAIL"}
+UNORDERED_TYPES = {"unordered_map", "unordered_set", "unordered_multimap",
+                   "unordered_multiset"}
+ORDERED_KEYED = {"map", "set", "multimap", "multiset"}
+# Wrappers whose accesses dispatch on the wrapped/element type: for receiver
+# typing, `vector<Foo> xs` makes `xs[i].f()` a call on Foo.
+TYPE_WRAPPERS = {"unique_ptr", "shared_ptr", "vector", "array", "deque",
+                 "optional", "span"} | UNORDERED_TYPES | ORDERED_KEYED
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+class _Scope:
+    def __init__(self, kind: str, name: str = "") -> None:
+        self.kind = kind  # "namespace" | "class" | "enum" | "block"
+        self.name = name
+
+
+class FileParser:
+    """Parses one file's token stream into Function records."""
+
+    def __init__(self, path: str, root: str, program: Program,
+                 allows: Dict[int, str]) -> None:
+        self.path = rel(path, root)
+        self.program = program
+        self.allows = allows
+        self.toks: List[Token] = []
+        self.i = 0
+        self.scopes: List[_Scope] = []
+        # Names of variables/members declared as unordered containers,
+        # visible while parsing this file.
+        self.unordered_names: Set[str] = set()
+        # Per-body local variable name -> class name (reset by parse_body).
+        self.local_types: Dict[str, str] = {}
+        # Guards dropped by an explicit var.unlock(), keyed by guard variable,
+        # so a later var.lock() can restore them (reset by parse_body).
+        self.released_guards: Dict[str, Tuple[str, int, str]] = {}
+
+    # -- helpers ------------------------------------------------------------
+
+    def namespace(self) -> str:
+        return "::".join(s.name for s in self.scopes
+                         if s.kind == "namespace" and s.name)
+
+    def class_name(self) -> str:
+        classes = [s.name for s in self.scopes if s.kind == "class"]
+        return classes[-1] if classes else ""
+
+    def allow_at(self, line: int) -> Optional[str]:
+        return self.allows.get(line)
+
+    # -- declaration classification -----------------------------------------
+
+    @staticmethod
+    def _strip_template(decl: List[Token]) -> List[Token]:
+        while decl and decl[0][1] == "template":
+            depth = 0
+            j = 1
+            while j < len(decl):
+                v = decl[j][1]
+                if v == "<":
+                    depth += 1
+                elif v == ">":
+                    depth -= 1
+                    if depth == 0:
+                        j += 1
+                        break
+                elif v == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        j += 1
+                        break
+                j += 1
+            decl = decl[j:]
+        return decl
+
+    @staticmethod
+    def _top_level_indices(decl: Sequence[Token], value: str) -> List[int]:
+        """Indices of `value` tokens at paren/bracket depth 0."""
+        out, depth = [], 0
+        for j, (_, v, _) in enumerate(decl):
+            if depth == 0 and v == value:
+                out.append(j)
+            if v in "([":
+                depth += 1
+            elif v in ")]":
+                depth -= 1
+        return out
+
+    def _function_from_decl(self, decl: List[Token]) -> Optional[Function]:
+        parens = self._top_level_indices(decl, "(")
+        if not parens:
+            return None
+        p = parens[0]
+        j = p - 1
+        name = ""
+        if j >= 0 and decl[j][0] == "id":
+            name = decl[j][1]
+        elif j >= 0 and decl[j][1] in ("]", ")", "=", "<", ">", "[]"):
+            # operator[], operator(), operator=, operator< ... walk back to
+            # the `operator` keyword.
+            k = j
+            while k >= 0 and decl[k][1] != "operator":
+                k -= 1
+            if k < 0:
+                return None
+            name = "operator" + "".join(t[1] for t in decl[k + 1:p])
+            j = k
+        else:
+            return None
+        if name in KEYWORDS_NOT_CALLS or name == "operator":
+            return None
+        # Collect an explicit A::B:: qualifier written before the name.
+        qual_parts: List[str] = []
+        k = j - 1
+        while k - 1 >= 0 and decl[k][1] == "::" and decl[k - 1][0] == "id":
+            qual_parts.insert(0, decl[k - 1][1])
+            k -= 2
+        qualifier = "::".join(qual_parts)
+        # A declaration like `int x(other);` at class scope is ambiguous;
+        # we only get here when the decl ends in `{`, so it is a definition.
+        ns = self.namespace()
+        cls = self.class_name()
+        if qualifier:
+            cls = qual_parts[-1]
+            qname = "::".join(x for x in (ns, qualifier, name) if x)
+        else:
+            inner = "::".join(s.name for s in self.scopes
+                              if s.kind == "class")
+            qname = "::".join(x for x in (ns, inner, name) if x)
+        fn = Function(qname=qname, name=name, cls=cls, namespace=ns,
+                      file=self.path, line=decl[j][2])
+        values = {t[1] for t in decl}
+        fn.hot = "TANGO_HOT" in values
+        fn.cold = "TANGO_COLD" in values
+        return fn
+
+    # -- member / local declarations ---------------------------------------
+
+    def _scan_container_decl(self, decl: List[Token], in_class: bool) -> None:
+        """Record unordered-container names and pointer-keyed containers
+        from a (member or local) declaration token list."""
+        for j, (kind, v, line) in enumerate(decl):
+            if kind != "id" or v not in UNORDERED_TYPES | ORDERED_KEYED:
+                continue
+            if j + 1 >= len(decl) or decl[j + 1][1] != "<":
+                continue
+            # Walk the template argument list; find the declared name after
+            # the closing '>' and whether the first argument is a pointer.
+            depth, k = 0, j + 1
+            first_arg_end = -1
+            while k < len(decl):
+                tv = decl[k][1]
+                if tv == "<":
+                    depth += 1
+                elif tv == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif tv == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        break
+                elif tv == "," and depth == 1 and first_arg_end < 0:
+                    first_arg_end = k
+                k += 1
+            close = k
+            if first_arg_end < 0:
+                first_arg_end = close
+            ptr_key = first_arg_end > 0 and decl[first_arg_end - 1][1] == "*"
+            var = ""
+            k = close + 1
+            while k < len(decl) and decl[k][0] != "id":
+                if decl[k][1] in (";", "=", "(", "{"):
+                    break
+                k += 1
+            if k < len(decl) and decl[k][0] == "id":
+                var = decl[k][1]
+            if v in UNORDERED_TYPES and var:
+                self.unordered_names.add(var)
+                cls = self.class_name()
+                if in_class and cls:
+                    self.unordered_names.add(f"{cls}::{var}")
+            if ptr_key:
+                site = Site(PTR_KEY, self.path, line,
+                            f"pointer-keyed std::{v}"
+                            + (f" {var!r}" if var else ""),
+                            allow=self.allow_at(line))
+                self.program.file_sites.append(site)
+
+    def _scan_member_type(self, decl: List[Token]) -> None:
+        """Record `Class::member -> TypeName` for receiver resolution."""
+        cls = self.class_name()
+        if not cls:
+            return
+        decl = self._strip_template(decl)
+        if not decl or decl[0][1] in ("using", "typedef", "friend", "enum",
+                                      "class", "struct", "public", "private",
+                                      "protected", "static_assert"):
+            return
+        if self._top_level_indices(decl, "("):
+            return  # method declaration, not a data member
+        # Truncate at '=' / '{' initializers.
+        for stop in ("=", "{"):
+            idx = self._top_level_indices(decl, stop)
+            if idx:
+                decl = decl[:idx[0]]
+        if len(decl) < 2 or decl[-1][0] != "id":
+            return
+        member = decl[-1][1]
+        type_toks = decl[:-1]
+        type_id = ""
+        smart = ""
+        depth = 0
+        for kind, v, _ in type_toks:
+            if v == "<":
+                depth += 1
+            elif v in (">", ">>"):
+                depth -= 2 if v == ">>" else 1
+            elif kind == "id" and v not in ("const", "mutable", "static",
+                                            "constexpr", "inline", "std"):
+                if depth == 0:
+                    type_id = v
+                    if v in TYPE_WRAPPERS:
+                        smart = v
+                elif smart:
+                    type_id = v
+        if type_id:
+            self.program.member_types[f"{cls}::{member}"] = type_id
+            self.program.member_types.setdefault(member, type_id)
+
+    def _scan_local_type(self, decl: List[Token]) -> None:
+        """Record `TypeName [*&] var` locals so receiver calls resolve to the
+        right class (e.g. `Batch* b = batch_; b->Run()` -> Batch::Run).
+        Project classes are PascalCase; anything else is left untyped."""
+        idx = self._top_level_indices(decl, "=")
+        if idx:
+            decl = decl[:idx[0]]
+        if self._top_level_indices(decl, "("):
+            return  # direct-init or a call expression, not a plain decl
+        if len(decl) < 2 or decl[-1][0] != "id":
+            return
+        name = decl[-1][1]
+        type_id = ""
+        smart = ""
+        depth = 0
+        for kind, v, _ in decl[:-1]:
+            if v == "<":
+                depth += 1
+            elif v in (">", ">>"):
+                depth -= 2 if v == ">>" else 1
+            elif kind == "id" and v not in ("const", "static", "constexpr",
+                                            "auto", "std", "mutable",
+                                            "volatile"):
+                if depth == 0:
+                    type_id = v
+                    if v in TYPE_WRAPPERS:
+                        smart = v
+                elif smart:
+                    type_id = v
+        if type_id and type_id[0].isupper() and not type_id.isupper():
+            self.local_types[name] = type_id
+
+    # -- function body scanning ---------------------------------------------
+
+    def _canon_mutex(self, expr: str, fn: Function) -> str:
+        base = expr.split(".")[-1].split("->")[-1].strip("()*& ")
+        if fn.cls and "." not in expr and "->" not in expr:
+            return f"{fn.cls}::{base}"
+        return base
+
+    def parse_body(self, fn: Function) -> None:
+        """Consume tokens from the opening '{' (already consumed by caller)
+        to the matching '}', extracting sites and calls."""
+        toks = self.toks
+        depth = 1
+        # (canonical mutex, scope depth, guard variable name)
+        guards: List[Tuple[str, int, str]] = []
+        self.released_guards: Dict[str, Tuple[str, int, str]] = {}
+        self.local_types = {}
+        local_decl: List[Token] = []
+        while self.i < len(toks) and depth > 0:
+            kind, v, line = toks[self.i]
+            if v == "{":
+                depth += 1
+                local_decl = []
+                self.i += 1
+                continue
+            if v == "}":
+                depth -= 1
+                while guards and guards[-1][1] >= depth + 1:
+                    guards.pop()
+                local_decl = []
+                self.i += 1
+                continue
+            if v == ";":
+                self._scan_container_decl(local_decl, in_class=False)
+                self._scan_local_type(local_decl)
+                local_decl = []
+                self.i += 1
+                continue
+            local_decl.append(toks[self.i])
+
+            if kind == "id":
+                self._scan_body_id(fn, guards, depth)
+            else:
+                self.i += 1
+
+    def _peek(self, off: int = 1) -> str:
+        j = self.i + off
+        return self.toks[j][1] if j < len(self.toks) else ""
+
+    def _prev(self, off: int = 1) -> str:
+        j = self.i - off
+        return self.toks[j][1] if j >= 0 else ""
+
+    def _skip_angles(self, j: int) -> int:
+        """Given toks[j] == '<', return index just past the matching '>'."""
+        depth = 0
+        while j < len(self.toks):
+            v = self.toks[j][1]
+            if v == "<":
+                depth += 1
+            elif v == ">":
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+            elif v == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return j + 1
+            elif v in (";", "{"):
+                break
+            j += 1
+        return j
+
+    def _qualifier_before(self) -> Tuple[str, str]:
+        """(qualifier, receiver) for the id at self.i, from look-behind."""
+        qual_parts: List[str] = []
+        k = self.i - 1
+        while k - 1 >= 0 and self.toks[k][1] == "::" \
+                and self.toks[k - 1][0] == "id":
+            qual_parts.insert(0, self.toks[k - 1][1])
+            k -= 2
+        receiver = ""
+        if k >= 0 and self.toks[k][1] in (".", "->"):
+            parts: List[str] = []
+            k2 = k
+            while k2 >= 0 and self.toks[k2][1] in (".", "->"):
+                sep = self.toks[k2][1]
+                k2 -= 1
+                # `xs[i].f()` dispatches on xs's element: skip the subscript
+                # so the base name survives as the receiver.
+                while k2 >= 0 and self.toks[k2][1] == "]":
+                    bdepth = 0
+                    while k2 >= 0:
+                        bv = self.toks[k2][1]
+                        if bv == "]":
+                            bdepth += 1
+                        elif bv == "[":
+                            bdepth -= 1
+                            if bdepth == 0:
+                                break
+                        k2 -= 1
+                    k2 -= 1
+                if k2 >= 0 and (self.toks[k2][0] == "id"
+                                or self.toks[k2][1] == "this"):
+                    parts.insert(0, self.toks[k2][1])
+                    if sep == "->":
+                        parts.insert(1, "->")
+                    k2 -= 1
+                elif k2 >= 0 and self.toks[k2][1] in (")", "]"):
+                    parts.insert(0, "()")
+                    break
+                else:
+                    break
+            receiver = "".join(p if p == "->" else p + "."
+                               for p in parts).rstrip(".")
+            receiver = receiver.replace("->.", "->").rstrip(".->")
+        return "::".join(qual_parts), receiver
+
+    def _add_site(self, fn: Function, kindname: str, line: int, detail: str,
+                  held: Tuple[str, ...] = ()) -> None:
+        fn.sites.append(Site(kindname, self.path, line, detail,
+                             allow=self.allow_at(line), held=held))
+
+    def _receiver_type(self, receiver: str) -> str:
+        """Class of a single-id receiver from the body's local decls."""
+        if not receiver or receiver == "this":
+            return ""
+        parts = receiver.replace("->", ".").strip(".").split(".")
+        if len(parts) != 1:
+            return ""  # chained receivers resolve via member_types instead
+        return self.local_types.get(parts[0], "")
+
+    def _scan_body_id(self, fn: Function,
+                      guards: List[Tuple[str, int, str]],
+                      depth: int) -> None:
+        toks = self.toks
+        _, v, line = toks[self.i]
+        nxt = self._peek()
+        prev = self._prev()
+        held = tuple(g[0] for g in guards)
+
+        # --- operator new --------------------------------------------------
+        if v == "new":
+            if nxt != "(":  # placement new does not allocate
+                self._add_site(fn, ALLOC_NEW, line, "operator new")
+            self.i += 1
+            return
+
+        # --- lock guard declarations --------------------------------------
+        if v in LOCK_GUARDS and prev != "." and prev != "->":
+            j = self.i + 1
+            if j < len(toks) and toks[j][1] == "<":
+                j = self._skip_angles(j)
+            # optional variable name, then '(' or '{' with the mutex args
+            gvar = ""
+            if j < len(toks) and toks[j][0] == "id":
+                gvar = toks[j][1]
+                j += 1
+            if j < len(toks) and toks[j][1] in ("(", "{"):
+                close = {"(": ")", "{": "}"}[toks[j][1]]
+                j += 1
+                expr_toks: List[str] = []
+                exprs: List[str] = []
+                pdepth = 1
+                while j < len(toks) and pdepth > 0:
+                    tv = toks[j][1]
+                    if tv in ("(", "{"):
+                        pdepth += 1
+                    elif tv in (")", "}"):
+                        pdepth -= 1
+                        if pdepth == 0:
+                            break
+                    elif tv == "," and pdepth == 1:
+                        exprs.append("".join(expr_toks))
+                        expr_toks = []
+                        j += 1
+                        continue
+                    expr_toks.append(tv)
+                    j += 1
+                if expr_toks:
+                    exprs.append("".join(expr_toks))
+                for expr in exprs:
+                    canon = self._canon_mutex(expr, fn)
+                    self._add_site(fn, LOCK_ACQUIRE, line, canon, held=held)
+                    guards.append((canon, depth, gvar))
+                    held = tuple(g[0] for g in guards)
+                self.i = j + 1
+                return
+            self.i += 1
+            return
+
+        # --- explicit guard release / re-acquire ---------------------------
+        if v in ("unlock", "lock") and nxt == "(" and prev in (".", "->"):
+            _, receiver = self._qualifier_before()
+            if v == "unlock":
+                for g in guards:
+                    if g[2] == receiver:
+                        self.released_guards[receiver] = g
+                        guards.remove(g)
+                        break
+            elif receiver in self.released_guards:
+                guards.append(self.released_guards.pop(receiver))
+            self.i += 1
+            return
+
+        # --- audit hooks ---------------------------------------------------
+        if v in AUDIT_MACROS and nxt == "(":
+            self._add_site(fn, AUDIT_HOOK, line, v)
+            self.i += 1
+            return
+
+        # --- allocation primitives ----------------------------------------
+        if v in MALLOC_FNS and nxt == "(":
+            self._add_site(fn, ALLOC_MALLOC, line, v)
+            self.i += 1
+            return
+        if v in MAKE_FNS and nxt == "<":
+            self._add_site(fn, ALLOC_NEW, line, f"std::{v}")
+            self.i += 1
+            return
+        if v == "function" and nxt == "<" and prev == "::" \
+                and self._prev(2) == "std":
+            self._add_site(fn, ALLOC_FUNCTION, line,
+                           "std::function construction")
+            self.i += 1
+            return
+        if v in STRING_TYPES and prev == "::" and self._prev(2) == "std":
+            self._add_site(fn, ALLOC_STRING, line, f"std::{v} construction")
+            self.i += 1
+            return
+        if v in STRING_BUILDERS and nxt == "(":
+            self._add_site(fn, ALLOC_STRING, line, f"{v}()")
+            self.i += 1
+            return
+
+        # --- wall clock / RNG ---------------------------------------------
+        if v in WALLCLOCK_CLOCKS and nxt == "::" and self._peek(2) == "now":
+            self._add_site(fn, TIME_WALL, line, f"{v}::now()")
+            self.i += 3
+            return
+        if v in WALLCLOCK_FNS and nxt == "(":
+            self._add_site(fn, TIME_WALL, line, f"{v}()")
+            self.i += 1
+            return
+        if v == "time" and nxt == "(" and prev not in (".", "->", "::"):
+            self._add_site(fn, TIME_WALL, line, "time()")
+            self.i += 1
+            return
+        if v in RNG_IDS and (nxt == "(" or v == "random_device"):
+            if prev not in (".", "->"):
+                self._add_site(fn, RNG_GLOBAL, line, v)
+            self.i += 1
+            return
+
+        # --- unordered iteration ------------------------------------------
+        if v == "for" and nxt == "(":
+            self._scan_range_for(fn, line)
+            self.i += 1
+            return
+        if v in ("begin", "end") and nxt == "(" and prev in (".", "->"):
+            _, receiver = self._qualifier_before()
+            base = receiver.split(".")[-1].split("->")[-1]
+            if base in self.unordered_names:
+                self._add_site(fn, UNORDERED_ITER, line,
+                               f"{receiver}.{v}() over unordered container")
+            self.i += 1
+            return
+
+        # --- calls ---------------------------------------------------------
+        if nxt == "(" and v not in KEYWORDS_NOT_CALLS:
+            qualifier, receiver = self._qualifier_before()
+            if v in GROWTH_METHODS and receiver:
+                self._add_site(fn, ALLOC_GROWTH, line, f"{receiver}.{v}()")
+                self.i += 1
+                return
+            if v.isupper():  # macro-like (TANGO_CHECK, EXPECT_EQ, ...)
+                self.i += 1
+                return
+            fn.calls.append(CallSite(self.path, line, v, qualifier, receiver,
+                                     receiver_type=self._receiver_type(
+                                         receiver),
+                                     allow=self.allow_at(line),
+                                     locks_held=held))
+            self.i += 1
+            return
+        # Calls through a template argument list: Foo<T>(...).
+        if nxt == "<" and v not in KEYWORDS_NOT_CALLS and v[0].isupper():
+            j = self._skip_angles(self.i + 1)
+            if j < len(toks) and toks[j][1] == "(":
+                qualifier, receiver = self._qualifier_before()
+                fn.calls.append(CallSite(self.path, line, v, qualifier,
+                                         receiver,
+                                         receiver_type=self._receiver_type(
+                                             receiver),
+                                         allow=self.allow_at(line),
+                                         locks_held=held))
+        self.i += 1
+
+    def _scan_range_for(self, fn: Function, line: int) -> None:
+        """Look ahead into `for ( ... : expr )` for unordered iteration."""
+        j = self.i + 1  # at '('
+        depth = 0
+        colon = -1
+        while j < len(self.toks):
+            tv = self.toks[j][1]
+            if tv == "(":
+                depth += 1
+            elif tv == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif tv == ":" and depth == 1 and colon < 0:
+                colon = j
+            elif tv == ";" and depth == 1:
+                return  # classic for loop
+            j += 1
+        if colon < 0:
+            return
+        range_ids = [t[1] for t in self.toks[colon + 1:j] if t[0] == "id"]
+        for name in range_ids:
+            if name in self.unordered_names:
+                self._add_site(fn, UNORDERED_ITER, line,
+                               f"range-for over unordered container "
+                               f"{name!r}")
+                return
+
+    # -- top-level drive ----------------------------------------------------
+
+    def parse(self, text: str) -> None:
+        self.toks = lex(text)
+        self.i = 0
+        decl: List[Token] = []
+        while self.i < len(self.toks):
+            kind, v, line = self.toks[self.i]
+            if v == ";":
+                if self.scopes and self.scopes[-1].kind == "class":
+                    self._scan_member_type(list(decl))
+                    self._scan_container_decl(list(decl), in_class=True)
+                else:
+                    self._scan_container_decl(list(decl), in_class=False)
+                decl = []
+                self.i += 1
+                continue
+            if v == ":" and len(decl) == 1 and decl[0][1] in (
+                    "public", "private", "protected"):
+                decl = []
+                self.i += 1
+                continue
+            if v == "}":
+                if self.scopes:
+                    self.scopes.pop()
+                decl = []
+                self.i += 1
+                continue
+            if v != "{":
+                decl.append(self.toks[self.i])
+                self.i += 1
+                continue
+
+            # An opening brace: classify the pending declaration.
+            d = self._strip_template(list(decl))
+            decl = []
+            self.i += 1  # consume '{'
+            if not d:
+                self.scopes.append(_Scope("block"))
+                continue
+            head = d[0][1]
+            if head == "namespace":
+                parts = [t[1] for t in d[1:] if t[0] == "id"]
+                self.scopes.append(_Scope("namespace", "::".join(parts)))
+                continue
+            if head == "extern":
+                self.scopes.append(_Scope("block"))
+                continue
+            if head in ("enum",):
+                self.scopes.append(_Scope("enum"))
+                continue
+            if head in ("class", "struct", "union") \
+                    and not self._top_level_indices(d, "("):
+                # `struct Outer::Nested final : Base {` -> name "Nested":
+                # take the last id of the qualified-name chain, stopping at
+                # the base-clause ':' ('::' lexes as one token).
+                name = ""
+                for t in d[1:]:
+                    if t[1] == ":":
+                        break
+                    if t[0] == "id" and t[1] not in ("final", "alignas"):
+                        name = t[1]
+                self.scopes.append(_Scope("class", name))
+                continue
+            if self._top_level_indices(d, "=") and "]" not in (
+                    t[1] for t in d[:3]):
+                # `Type x = {...}` aggregate initializer at this scope —
+                # treat the braces as an opaque block.
+                self.scopes.append(_Scope("block"))
+                continue
+            fn = self._function_from_decl(d)
+            if fn is None:
+                self.scopes.append(_Scope("block"))
+                continue
+            self.parse_body(fn)  # consumes through the matching '}'
+            self.program.add(fn)
+
+
+def load_program(root: str, src_dirs: Sequence[str] = ("src",),
+                 extra_files: Sequence[str] = ()) -> Program:
+    """Parse every C++ file under root/<src_dirs> into one merged Program."""
+    program = Program(frontend="tokens")
+    paths: List[str] = list(extra_files)
+    for d in src_dirs:
+        full = os.path.join(root, d)
+        if os.path.isdir(full):
+            paths.extend(iter_source_files(full))
+    # Headers first so member-type and unordered-name tables are populated
+    # before the .cpp bodies that use them are parsed.
+    paths.sort(key=lambda p: (not p.endswith(".h"), p))
+    header_parsers: List[Tuple[str, str]] = []
+    for path in paths:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        header_parsers.append((path, text))
+    shared_unordered: Set[str] = set()
+    for path, text in header_parsers:
+        parser = FileParser(path, root, program, scan_allows(path, text))
+        parser.unordered_names |= shared_unordered
+        parser.parse(text)
+        shared_unordered |= parser.unordered_names
+    program.resolve_calls()
+    return program

@@ -1,0 +1,248 @@
+"""TangoVet data model: functions, sites, call edges, and the merged program.
+
+Both frontends (libclang and the degraded tokenizer) lower translation units
+into this representation; every check in checks.py runs against it, so a
+check behaves identically whichever frontend produced the program.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Site kinds. A Site is a primitive fact the frontends extract from a
+# function body; checks interpret them.
+# ---------------------------------------------------------------------------
+
+# Allocation primitives (hot-path check).
+ALLOC_NEW = "alloc.new"                  # operator new / make_unique / ...
+ALLOC_MALLOC = "alloc.malloc"            # malloc / calloc / realloc / strdup
+ALLOC_GROWTH = "alloc.container-growth"  # push_back / resize / insert / ...
+ALLOC_FUNCTION = "alloc.std-function"    # std::function construction
+ALLOC_STRING = "alloc.string-build"      # std::string / to_string / streams
+
+# Determinism primitives (determinism check).
+TIME_WALL = "time.wall-clock"            # system/steady clock, time(), ...
+RNG_GLOBAL = "rng.global"                # rand()/srand()/random_device
+UNORDERED_ITER = "det.unordered-iter"    # iteration over unordered container
+PTR_KEY = "det.pointer-key"              # pointer-keyed map/set/hash
+
+# Audit primitives (audit-coverage check).
+AUDIT_HOOK = "audit.hook"                # AUDIT_SCOPE / AUDIT_CHECK / _FAIL
+
+# Lock primitives (lock-discipline check).
+LOCK_ACQUIRE = "lock.acquire"            # lock_guard/unique_lock/scoped_lock
+
+ALLOC_KINDS = (ALLOC_NEW, ALLOC_MALLOC, ALLOC_GROWTH, ALLOC_FUNCTION,
+               ALLOC_STRING)
+NONDET_KINDS = (TIME_WALL, RNG_GLOBAL)
+
+# Method names so common on standard-library types that resolving them by
+# bare name against the project index is pure noise in degraded mode: a call
+# `x.size()` on an untyped receiver almost certainly targets a container,
+# not MetricRegistry::size. These only resolve through an explicit qualifier
+# or a typed receiver; otherwise they are treated as external.
+STL_COMMON_METHODS = frozenset({
+    "at", "back", "begin", "c_str", "capacity", "cbegin", "cend", "clear",
+    "contains", "count", "data", "emplace", "empty", "end", "erase",
+    "fetch_add", "fetch_sub", "find", "first", "front", "get", "has_value",
+    "join", "length", "load", "lock", "notify_all", "notify_one", "pop",
+    "rbegin", "release", "rend", "reset", "second", "size", "store", "str",
+    "swap", "test", "top", "try_lock", "unlock", "value", "value_or", "wait",
+})
+
+
+@dataclasses.dataclass
+class Site:
+    """One primitive fact at a source location inside a function body."""
+    kind: str
+    file: str            # repo-relative path
+    line: int
+    detail: str          # human-readable token / expression
+    allow: Optional[str] = None  # TANGOVET_ALLOW reason, if the site is waived
+    held: Tuple[str, ...] = ()   # for LOCK_ACQUIRE: locks already held
+
+
+@dataclasses.dataclass
+class CallSite:
+    """A call expression inside a function body, before resolution."""
+    file: str
+    line: int
+    name: str                    # simple callee name, e.g. "Solve"
+    qualifier: str = ""          # explicit "A::B" qualifier if written
+    receiver: str = ""           # receiver expression text ("", "this", ...)
+    receiver_type: str = ""      # receiver's class when the frontend knows it
+    allow: Optional[str] = None  # TANGOVET_ALLOW reason: cut traversal here
+    locks_held: Tuple[str, ...] = ()  # mutex exprs held at the call site
+    callees: Tuple[str, ...] = ()     # resolved Function.qname targets
+
+
+@dataclasses.dataclass
+class Function:
+    """One function/method definition with its body facts."""
+    qname: str                   # "tango::flow::MinCostMaxFlow::Solve"
+    name: str                    # "Solve"
+    cls: str = ""                # "MinCostMaxFlow" ("" for free functions)
+    namespace: str = ""          # "tango::flow"
+    file: str = ""
+    line: int = 0
+    hot: bool = False            # carries TANGO_HOT
+    cold: bool = False           # carries TANGO_COLD
+    sites: List[Site] = dataclasses.field(default_factory=list)
+    calls: List[CallSite] = dataclasses.field(default_factory=list)
+
+    def sites_of(self, *kinds: str) -> List[Site]:
+        return [s for s in self.sites if s.kind in kinds]
+
+
+@dataclasses.dataclass
+class Program:
+    """A merged whole-program view: every function keyed by qname.
+
+    Multiple definitions merging to the same qname (template specializations,
+    overloads — the tokenizer cannot tell overloads apart) are folded into
+    one Function whose sites/calls are the union; for invariant checking a
+    union over overloads is the conservative direction.
+    """
+    functions: Dict[str, Function] = dataclasses.field(default_factory=dict)
+    frontend: str = "tokens"     # which frontend produced it
+    # Sites found outside any function body (member/global declarations):
+    # pointer-keyed containers, unordered members, etc.
+    file_sites: List[Site] = dataclasses.field(default_factory=list)
+
+    def add(self, fn: Function) -> None:
+        prev = self.functions.get(fn.qname)
+        if prev is None:
+            self.functions[fn.qname] = fn
+            return
+        prev.hot = prev.hot or fn.hot
+        prev.cold = prev.cold or fn.cold
+        prev.sites.extend(fn.sites)
+        prev.calls.extend(fn.calls)
+
+    # -- call resolution ----------------------------------------------------
+
+    def resolve_calls(self) -> None:
+        """Fill CallSite.callees for every call, conservatively.
+
+        Resolution order (degraded mode has no types, so this is name-based
+        and over-approximate — the safe direction for an invariant prover):
+          1. explicit qualifier  "X::f("        -> functions whose qname ends
+             with "X::f" (class or namespace qualification);
+          2. receiver with a known class (frontends record local-variable
+             types on the CallSite and member types in self.member_types)
+             -> methods of that class only, even if that set is empty: a
+             typed receiver whose class has no such method is calling an
+             external (std::) method;
+          3. this->f( / bare f( in a method     -> same-class method first;
+          4. untyped receiver + an STL_COMMON_METHODS name -> external;
+          5. otherwise every indexed function with that simple name.
+        Unmatched names are external (std::, libc) and resolve to nothing —
+        primitive effects of externals are covered by Site extraction.
+        """
+        by_name: Dict[str, List[str]] = {}
+        for q, fn in self.functions.items():
+            by_name.setdefault(fn.name, []).append(q)
+
+        for fn in self.functions.values():
+            for call in fn.calls:
+                cands = by_name.get(call.name, [])
+                if not cands:
+                    call.callees = ()
+                    continue
+                resolved: List[str] = []
+                if call.qualifier:
+                    suffix = f"{call.qualifier}::{call.name}"
+                    resolved = [q for q in cands if q.endswith(suffix)]
+                elif call.receiver and call.receiver != "this":
+                    cls = call.receiver_type \
+                        or self.member_type(fn, call.receiver)
+                    if cls:
+                        # Typed receivers resolve within the class or not at
+                        # all — no fallback to the global name pool.
+                        call.callees = tuple(sorted(
+                            q for q in cands
+                            if self.functions[q].cls == cls))
+                        continue
+                if not resolved and (not call.receiver
+                                     or call.receiver == "this") and fn.cls:
+                    resolved = [q for q in cands
+                                if self.functions[q].cls == fn.cls]
+                if not resolved and not call.receiver:
+                    # Bare call: prefer free functions in the caller's
+                    # namespace chain before falling back to everything.
+                    ns = fn.namespace
+                    while ns and not resolved:
+                        resolved = [q for q in cands
+                                    if not self.functions[q].cls
+                                    and self.functions[q].namespace == ns]
+                        ns = ns.rpartition("::")[0]
+                if not resolved:
+                    if call.receiver and call.receiver != "this" \
+                            and call.name in STL_COMMON_METHODS:
+                        call.callees = ()
+                        continue
+                    resolved = cands
+                call.callees = tuple(sorted(set(resolved)))
+
+    # member name -> class-name map, filled by frontends.
+    member_types: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def member_type(self, fn: Function, receiver: str) -> str:
+        """Best-effort class of `receiver` as seen from `fn`."""
+        base = receiver.split(".")[-1].split("->")[-1].strip("()*& ")
+        for key in (f"{fn.cls}::{base}" if fn.cls else "", base):
+            if key and key in self.member_types:
+                return self.member_types[key]
+        return ""
+
+    def lookup(self, suffix: str) -> List[Function]:
+        """All functions whose qname equals or ends with ::suffix."""
+        out = []
+        for q, fn in self.functions.items():
+            if q == suffix or q.endswith("::" + suffix):
+                out.append(fn)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# TANGOVET_ALLOW comment scanning — shared by both frontends, since libclang
+# does not surface comments on arbitrary statements.
+# ---------------------------------------------------------------------------
+
+_ALLOW_RE = re.compile(r"TANGOVET_ALLOW(_NEXT)?\s*\(([^)\n]*)\)")
+
+
+def scan_allows(path: str, text: str) -> Dict[int, str]:
+    """Map line number -> allow reason for a file's TANGOVET_ALLOW comments.
+
+    `TANGOVET_ALLOW(reason)` waives sites on its own line;
+    `TANGOVET_ALLOW_NEXT(reason)` waives sites on the following line.
+    """
+    del path  # reserved for diagnostics
+    allows: Dict[int, str] = {}
+    for i, line in enumerate(text.splitlines(), 1):
+        m = _ALLOW_RE.search(line)
+        if not m:
+            continue
+        reason = m.group(2).strip() or "unspecified"
+        allows[i + (1 if m.group(1) else 0)] = reason
+    return allows
+
+
+def rel(path: str, root: str) -> str:
+    return os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+
+
+def iter_source_files(src_dir: str,
+                      exts: Iterable[str] = (".h", ".cpp", ".cc")
+                      ) -> List[str]:
+    out: List[str] = []
+    for dirpath, _, names in os.walk(src_dir):
+        for n in sorted(names):
+            if n.endswith(tuple(exts)):
+                out.append(os.path.join(dirpath, n))
+    return out

@@ -1,0 +1,87 @@
+"""TangoVet finding emitters: human-readable text, JSON, and SARIF 2.1.0."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from checks import ALL_CHECKS, Finding
+
+_RULE_DESCRIPTIONS = {
+    "hot-alloc": ("A TANGO_HOT entry point reaches an allocation primitive "
+                  "(operator new, malloc, container growth, std::function "
+                  "construction, or string building) on some call path."),
+    "determinism": ("Code in a deterministic subsystem reaches wall-clock "
+                    "reads, global RNG, unordered-container iteration, or "
+                    "pointer-keyed state."),
+    "audit-coverage": ("A mutator named in the audit manifest neither "
+                       "contains nor reaches AUDIT_SCOPE/AUDIT_CHECK."),
+    "lock-discipline": ("A mutex acquisition violates the declared lock "
+                        "order, or a lock is held across an epoch-barrier "
+                        "call."),
+}
+
+
+def to_text(findings: List[Finding], frontend: str) -> str:
+    lines = []
+    for f in findings:
+        lines.append(f"vet: {f.file}:{f.line}: [{f.check}/{f.rule}] "
+                     f"{f.message}")
+    if findings:
+        lines.append(f"vet: {len(findings)} finding(s) "
+                     f"[frontend={frontend}]")
+    else:
+        lines.append(f"vet: clean [frontend={frontend}]")
+    return "\n".join(lines)
+
+
+def to_json(findings: List[Finding], frontend: str,
+            stats: Dict) -> str:
+    return json.dumps({
+        "tool": "tangovet",
+        "frontend": frontend,
+        "stats": stats,
+        "findings": [{
+            "check": f.check,
+            "rule": f.rule,
+            "file": f.file,
+            "line": f.line,
+            "message": f.message,
+            "path": f.path,
+        } for f in findings],
+    }, indent=2) + "\n"
+
+
+def to_sarif(findings: List[Finding], frontend: str) -> str:
+    rules = [{
+        "id": check,
+        "shortDescription": {"text": _RULE_DESCRIPTIONS[check]},
+    } for check in ALL_CHECKS]
+    results = [{
+        "ruleId": f.check,
+        "level": "error",
+        "message": {"text": f"[{f.rule}] {f.message}"},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.file},
+                "region": {"startLine": max(1, f.line)},
+            },
+        }],
+    } for f in findings]
+    return json.dumps({
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "tangovet",
+                    "informationUri": "tools/vet/README.md",
+                    "version": "1.0.0",
+                    "properties": {"frontend": frontend},
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }, indent=2) + "\n"

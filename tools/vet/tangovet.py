@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""TangoVet: call-graph-aware static analyzer for the Tango repo.
+
+Proves four whole-program invariants at CI time (DESIGN.md §15):
+
+  hot-alloc        TANGO_HOT entry points (src/common/vet.h) never reach
+                   operator new / malloc / container growth / std::function
+                   construction / string building on any call path.
+  determinism      src/sim, src/shard, src/sched, src/flow never reach
+                   wall-clock reads or global RNG, and contain no
+                   unordered-container iteration or pointer-keyed state.
+  audit-coverage   every mutator in manifests/audit_manifest.json contains
+                   or reaches AUDIT_SCOPE/AUDIT_CHECK.
+  lock-discipline  mutex acquisitions follow manifests/lock_order.json and
+                   no lock is held across a MailboxGrid epoch barrier.
+
+Frontends: libclang (precise, driven by compile_commands.json) when clang's
+Python bindings can be loaded, otherwise a degraded tokenizer mode that
+lexes the tree directly — same model, same checks, documented
+over-approximation. `--mode` forces one; the default is auto.
+
+Exit status: 0 clean, 1 findings, 2 usage/configuration error.
+
+  $ tools/vet/tangovet.py                          # analyze the repo
+  $ tools/vet/tangovet.py --json out.json --sarif out.sarif
+  $ tools/vet/tangovet.py --root tools/vet/testdata/hot_alloc
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import checks as checks_mod  # noqa: E402
+import frontend_tokens  # noqa: E402
+import report  # noqa: E402
+
+DEFAULT_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _load_json(path: str, default):
+    if not os.path.exists(path):
+        return default
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def _pick_frontend(mode: str, compile_commands: str):
+    """Returns ("clang"|"tokens", reason)."""
+    if mode == "tokens":
+        return "tokens", "forced by --mode"
+    try:
+        import frontend_clang
+        clang_ok = frontend_clang.available()
+    except Exception:  # pragma: no cover - defensive
+        clang_ok = False
+    if mode == "clang":
+        if not clang_ok:
+            return None, ("libclang python bindings unavailable; install "
+                          "python3-clang + libclang or use --mode tokens")
+        if not os.path.exists(compile_commands):
+            return None, (f"--mode clang needs {compile_commands} (configure "
+                          f"with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+        return "clang", "forced by --mode"
+    if clang_ok and os.path.exists(compile_commands):
+        return "clang", "libclang available"
+    return "tokens", ("degraded mode: libclang python bindings or "
+                      "compile_commands.json unavailable")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=DEFAULT_ROOT,
+                        help="tree to analyze (default: the repo root)")
+    parser.add_argument("--src-dir", action="append", default=[],
+                        help="source dirs relative to root (default: src)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json for the clang frontend "
+                             "(default: <root>/build/compile_commands.json)")
+    parser.add_argument("--manifest-dir", default=None,
+                        help="directory with audit_manifest.json and "
+                             "lock_order.json (default: tools/vet/manifests "
+                             "under --root, falling back to this script's)")
+    parser.add_argument("--mode", choices=["auto", "clang", "tokens"],
+                        default="auto", help="frontend selection")
+    parser.add_argument("--check", action="append", default=[],
+                        choices=list(checks_mod.ALL_CHECKS),
+                        help="run only these checks (repeatable)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write JSON findings to PATH ('-' for stdout)")
+    parser.add_argument("--sarif", metavar="PATH", default=None,
+                        help="write SARIF 2.1.0 findings to PATH")
+    parser.add_argument("--list-functions", action="store_true",
+                        help="dump the indexed functions and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-finding text report")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"vet: error: no such root {root!r}", file=sys.stderr)
+        return 2
+    src_dirs = args.src_dir or ["src"]
+    compile_commands = args.compile_commands or os.path.join(
+        root, "build", "compile_commands.json")
+
+    manifest_dirs = []
+    if args.manifest_dir:
+        manifest_dirs.append(args.manifest_dir)
+    manifest_dirs.append(os.path.join(root, "tools", "vet", "manifests"))
+    manifest_dirs.append(os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "manifests"))
+    manifest_dir = next((d for d in manifest_dirs if os.path.isdir(d)), None)
+    if manifest_dir is None:
+        print("vet: error: no manifest directory found", file=sys.stderr)
+        return 2
+    audit_manifest = _load_json(
+        os.path.join(manifest_dir, "audit_manifest.json"), {})
+    lock_manifest = _load_json(
+        os.path.join(manifest_dir, "lock_order.json"), {})
+
+    frontend, reason = _pick_frontend(args.mode, compile_commands)
+    if frontend is None:
+        print(f"vet: error: {reason}", file=sys.stderr)
+        return 2
+    if frontend == "clang":
+        import frontend_clang
+        try:
+            program = frontend_clang.load_program(root, compile_commands,
+                                                 src_dirs)
+        except Exception as e:  # pragma: no cover - environment-specific
+            if args.mode == "clang":
+                print(f"vet: error: clang frontend failed: {e}",
+                      file=sys.stderr)
+                return 2
+            print(f"vet: note: clang frontend failed ({e}); falling back "
+                  f"to tokens", file=sys.stderr)
+            frontend, reason = "tokens", "clang frontend failed"
+            program = frontend_tokens.load_program(root, src_dirs)
+    else:
+        program = frontend_tokens.load_program(root, src_dirs)
+    if not args.quiet:
+        print(f"vet: frontend={frontend} ({reason}); "
+              f"{len(program.functions)} functions indexed", file=sys.stderr)
+
+    if args.list_functions:
+        for q in sorted(program.functions):
+            fn = program.functions[q]
+            marks = ("HOT " if fn.hot else "") + ("COLD" if fn.cold else "")
+            print(f"{fn.file}:{fn.line}: {q} {marks}".rstrip())
+        return 0
+
+    selected = args.check or list(checks_mod.ALL_CHECKS)
+    findings = checks_mod.run_checks(program, selected, audit_manifest,
+                                     lock_manifest)
+
+    stats = {
+        "functions": len(program.functions),
+        "hot_entry_points": sum(f.hot for f in program.functions.values()),
+        "cold_markers": sum(f.cold for f in program.functions.values()),
+        "checks": selected,
+        "findings": len(findings),
+    }
+    if args.json:
+        payload = report.to_json(findings, frontend, stats)
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as f:
+                f.write(payload)
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as f:
+            f.write(report.to_sarif(findings, frontend))
+    if not args.quiet:
+        # --json - owns stdout; keep the human summary off it.
+        out = sys.stderr if args.json == "-" else sys.stdout
+        print(report.to_text(findings, frontend), file=out)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

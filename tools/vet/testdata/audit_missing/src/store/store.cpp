@@ -1,0 +1,23 @@
+// Seeded violation: Store::Put is listed in the audit manifest but neither
+// contains nor reaches an AUDIT_SCOPE/AUDIT_CHECK hook. Store::Del is the
+// in-fixture negative control (it carries a hook and must NOT be reported).
+namespace fx {
+
+class Store {
+ public:
+  int Put(int k) {
+    last_ = k;
+    return k;
+  }
+
+  int Del(int k) {
+    AUDIT_CHECK(k >= 0, "non-negative key");
+    last_ = -k;
+    return k;
+  }
+
+ private:
+  int last_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Seeded violation: a TANGO_HOT entry point reaches container growth
+// through a callee. TangoVet must report hot-alloc/alloc.container-growth.
+#include <vector>
+
+#define TANGO_HOT
+#define TANGO_COLD
+
+namespace fx {
+
+class Pipeline {
+ public:
+  TANGO_HOT void Step() { Push(7); }
+
+ private:
+  void Push(int v) { xs_.push_back(v); }
+  std::vector<int> xs_;
+};
+
+}  // namespace fx

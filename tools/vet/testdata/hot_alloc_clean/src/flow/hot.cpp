@@ -1,0 +1,29 @@
+// Clean counterpart: the same shape made vet-clean through the two
+// sanctioned escapes — a TANGO_COLD setup callee and a per-site
+// TANGOVET_ALLOW. TangoVet must exit 0 here.
+#include <vector>
+
+#define TANGO_HOT
+#define TANGO_COLD
+
+namespace fx {
+
+class Pipeline {
+ public:
+  TANGO_HOT void Step() {
+    if (!init_) Setup();
+    // TANGOVET_ALLOW_NEXT(amortized: capacity reserved in Setup)
+    xs_.push_back(1);
+  }
+
+  TANGO_COLD void Setup() {
+    xs_.reserve(64);
+    init_ = true;
+  }
+
+ private:
+  std::vector<int> xs_;
+  bool init_ = false;
+};
+
+}  // namespace fx

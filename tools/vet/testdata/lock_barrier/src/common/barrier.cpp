@@ -1,0 +1,25 @@
+// Seeded violation: Engine::Epoch holds Engine::mu_ across the
+// MailboxGrid::Exchange epoch barrier. TangoVet must report
+// lock-discipline/lock-across-barrier.
+#include <mutex>
+
+namespace fx {
+
+class MailboxGrid {
+ public:
+  void Exchange() {}
+};
+
+class Engine {
+ public:
+  void Epoch() {
+    std::lock_guard<std::mutex> g(mu_);
+    grid_.Exchange();
+  }
+
+ private:
+  std::mutex mu_;
+  MailboxGrid grid_;
+};
+
+}  // namespace fx

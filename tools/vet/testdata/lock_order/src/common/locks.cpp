@@ -1,0 +1,20 @@
+// Seeded violation: mu_b_ is acquired while mu_a_ is held, but the
+// manifest's total order lists mu_b_ before mu_a_. TangoVet must report
+// lock-discipline/lock-order.
+#include <mutex>
+
+namespace fx {
+
+class A {
+ public:
+  void First() {
+    std::lock_guard<std::mutex> g1(mu_a_);
+    std::lock_guard<std::mutex> g2(mu_b_);
+  }
+
+ private:
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+};
+
+}  // namespace fx

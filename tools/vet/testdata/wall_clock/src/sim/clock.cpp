@@ -1,0 +1,12 @@
+// Seeded violation: wall-clock read inside src/sim. TangoVet must report
+// determinism/time.wall-clock.
+#include <chrono>
+#include <cstdint>
+
+namespace fx::sim {
+
+std::int64_t Now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fx::sim

@@ -73,6 +73,15 @@ inline int RecordedCores(const char* path) {
 /// deliberately (e.g. re-recording after a schema change). Prints the
 /// decision either way.
 inline bool ShouldWriteBench(const char* path, int cores) {
+  // Recording on a 1-core host is allowed but self-describing: speedup
+  // numbers measured there are meaningless, so say so at record time
+  // rather than leaving a silent `"cores": 1` for the next reader.
+  if (cores <= 1) {
+    std::fprintf(stderr,
+                 "  [!!] %s: recording on a single-core host — parallel "
+                 "speedups in this file will not be representative\n",
+                 path);
+  }
   const int prior = RecordedCores(path);
   if (prior > cores) {
     const char* force = std::getenv("TANGO_BENCH_FORCE");

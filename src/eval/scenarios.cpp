@@ -1,0 +1,48 @@
+#include "eval/scenarios.h"
+
+#include "common/logging.h"
+#include "storm/source.h"
+
+namespace tango::eval {
+
+storm::ScenarioConfig DefaultScenarioConfig(
+    const workload::ServiceCatalog& catalog, int num_clusters,
+    SimTime horizon, std::uint64_t seed) {
+  TANGO_CHECK(num_clusters > 0, "scenario needs clusters");
+  TANGO_CHECK(horizon > 0, "scenario needs a horizon");
+  storm::ScenarioConfig cfg;
+  cfg.catalog = &catalog;
+  cfg.num_clusters = num_clusters;
+  cfg.horizon = horizon;
+  cfg.seed = seed;
+  // Windows as fractions of the horizon, so a 2 s smoke run and a 60 s
+  // bench run both see the whole ramp/hold/decay (resp. outage) shape.
+  cfg.spike_at = horizon / 4;
+  cfg.spike_ramp = horizon / 20;
+  cfg.spike_hold = horizon / 5;
+  cfg.spike_decay = horizon / 10;
+  cfg.diurnal_period = (horizon * 4) / 5;
+  cfg.failover_at = horizon / 4;
+  cfg.failover_for = (horizon * 3) / 10;
+  cfg.drift_period = (horizon * 3) / 5;
+  return cfg;
+}
+
+ScenarioBundle BuildScenarioBundle(
+    storm::ScenarioKind kind, const storm::ScenarioConfig& cfg,
+    const std::vector<k8s::ClusterSpec>& clusters,
+    scope::MetricRegistry* metrics) {
+  TANGO_CHECK(static_cast<int>(clusters.size()) == cfg.num_clusters,
+              "cluster layout and scenario config disagree");
+  ScenarioBundle bundle;
+  auto source = storm::BuildScenario(kind, cfg);
+  storm::Drain(*source, &bundle.trace, metrics);
+  if (kind == storm::ScenarioKind::kFailover) {
+    bundle.faults = fault::MakeRegionalFailover(
+        cfg.failover_at, cfg.failover_for, cfg.failover_cluster, clusters);
+    bundle.has_faults = !bundle.faults.empty();
+  }
+  return bundle;
+}
+
+}  // namespace tango::eval

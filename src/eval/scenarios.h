@@ -1,0 +1,39 @@
+// Scenario selection for the experiment harness: turn a TangoStorm
+// scenario family into the inputs RunExperiment wants — a materialized
+// Trace (Drain is the one point the stream becomes a vector) plus, for
+// the failover family, the FaultScript that fails the same region whose
+// arrivals the envelopes re-home.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/harness.h"
+#include "fault/fault_script.h"
+#include "storm/scenario.h"
+
+namespace tango::eval {
+
+struct ScenarioBundle {
+  workload::Trace trace;
+  /// Only meaningful when `has_faults` (today: the kFailover family).
+  /// Point ExperimentConfig::faults at this member — the bundle must
+  /// outlive the run.
+  fault::FaultScript faults;
+  bool has_faults = false;
+};
+
+/// A ScenarioConfig sized to a cluster layout (rates and windows scale with
+/// the horizon so short smoke runs still exercise every envelope).
+storm::ScenarioConfig DefaultScenarioConfig(
+    const workload::ServiceCatalog& catalog, int num_clusters,
+    SimTime horizon, std::uint64_t seed);
+
+/// Drain BuildScenario(kind, cfg) into a trace; for kFailover also build
+/// the matching regional-outage script over `clusters`.
+ScenarioBundle BuildScenarioBundle(
+    storm::ScenarioKind kind, const storm::ScenarioConfig& cfg,
+    const std::vector<k8s::ClusterSpec>& clusters,
+    scope::MetricRegistry* metrics = nullptr);
+
+}  // namespace tango::eval

@@ -226,6 +226,29 @@ std::vector<FaultScript> SplitByCluster(
   return out;
 }
 
+FaultScript MakeRegionalFailover(
+    SimTime at, SimDuration downtime, ClusterId cluster,
+    const std::vector<k8s::ClusterSpec>& clusters) {
+  FaultScript script;
+  std::int32_t next = 0;
+  std::int32_t index = 0;
+  for (const auto& cl : clusters) {
+    ++next;  // the cluster master takes the first id
+    // Cluster ids are assigned positionally when the system is built, so
+    // match by position — specs straight out of PhysicalClusters still
+    // carry the invalid default id.
+    if (index == cluster.value) {
+      script.FailMasterFor(at, downtime, cluster);
+      for (int w = 0; w < cl.num_workers; ++w) {
+        script.CrashNodeFor(at, downtime, NodeId{next + w});
+      }
+    }
+    next += cl.num_workers;
+    ++index;
+  }
+  return script;
+}
+
 std::vector<NodeId> WorkerIds(const std::vector<k8s::ClusterSpec>& clusters) {
   std::vector<NodeId> out;
   std::int32_t next = 0;

@@ -113,6 +113,14 @@ FaultScript GenerateChaos(const ChaosProfile& profile,
                           const std::vector<NodeId>& workers,
                           int num_clusters);
 
+/// Regional failover: `cluster`'s master and every one of its workers go
+/// down at `at` and return after `downtime`. Pairs with storm's kFailover
+/// scenario, whose rate envelopes re-home the failed region's arrivals
+/// onto the surviving clusters over the same window.
+FaultScript MakeRegionalFailover(SimTime at, SimDuration downtime,
+                                 ClusterId cluster,
+                                 const std::vector<k8s::ClusterSpec>& clusters);
+
 /// Worker node ids for a cluster layout as EdgeCloudSystem numbers them
 /// (per cluster: master first, then its workers, ids sequential) — lets a
 /// chaos script target workers before the system is even built.

@@ -6,6 +6,7 @@
 #include "audit/audit.h"
 #include "audit/checkers.h"
 #include "common/logging.h"
+#include "storm/interference.h"
 
 namespace tango::k8s {
 
@@ -295,9 +296,12 @@ void WorkerNode::AccountProgress() {
       continue;
     }
     const double elapsed = static_cast<double>(now - r.last_update);
-    r.slot.remaining_work =
-        std::max(0.0, r.slot.remaining_work -
-                          static_cast<double>(r.grant) * elapsed);
+    double progress = static_cast<double>(r.grant) * elapsed;
+    // Interference stretches wall-clock per unit of work; only divide when
+    // a model actually set a slowdown, so disabled runs keep the original
+    // float expression bit-for-bit.
+    if (r.slow != 1.0) progress /= r.slow;
+    r.slot.remaining_work = std::max(0.0, r.slot.remaining_work - progress);
     r.last_update = now;
   }
 }
@@ -312,6 +316,42 @@ void WorkerNode::Recompute() {
   std::vector<Millicores> grants;
   policy_->ComputeGrants(spec_, slots, grants);
   TANGO_CHECK(grants.size() == running_.size(), "grant vector size mismatch");
+  // Co-location interference: resolve the grants the loop below will assign
+  // (activity + speedup cap), then charge each victim with its co-runners'
+  // CPU/membw/LLC pressure. Kept in a separate enabled-only pass so the
+  // disabled path runs the exact original loop, byte for byte.
+  std::vector<double> slows;
+  if (tunables_.interference != nullptr && !running_.empty()) {
+    std::vector<Millicores> capped(running_.size());
+    double cpu_sum = 0.0;
+    double membw_sum = 0.0;
+    double llc_sum = 0.0;
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      const Running& r = running_[i];
+      const Millicores g = r.active ? grants[i] : 0;
+      const auto cap = static_cast<Millicores>(
+          tunables_.speedup_cap * static_cast<double>(r.slot.need.cpu));
+      capped[i] = std::min(g, cap);
+      const double cores = static_cast<double>(capped[i]) / 1000.0;
+      const auto& prof = tunables_.interference->Profile(r.slot.service);
+      cpu_sum += static_cast<double>(capped[i]);
+      membw_sum += prof.membw_intensity * cores;
+      llc_sum += prof.llc_intensity * cores;
+    }
+    const double node_cores = static_cast<double>(spec_.capacity.cpu) / 1000.0;
+    slows.resize(running_.size(), 1.0);
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      const Running& r = running_[i];
+      const double cores = static_cast<double>(capped[i]) / 1000.0;
+      const auto& prof = tunables_.interference->Profile(r.slot.service);
+      storm::PressureVec p;  // own contribution excluded per axis
+      p.cpu = (cpu_sum - static_cast<double>(capped[i])) /
+              static_cast<double>(spec_.capacity.cpu);
+      p.membw = (membw_sum - prof.membw_intensity * cores) / node_cores;
+      p.llc = (llc_sum - prof.llc_intensity * cores) / node_cores;
+      slows[i] = tunables_.interference->Inflation(r.slot.service, p);
+    }
+  }
   for (std::size_t i = 0; i < running_.size(); ++i) {
     Running& r = running_[i];
     Millicores g = r.active ? grants[i] : 0;
@@ -319,13 +359,16 @@ void WorkerNode::Recompute() {
         tunables_.speedup_cap * static_cast<double>(r.slot.need.cpu));
     g = std::min(g, cap);
     r.grant = g;
+    r.slow = slows.empty() ? 1.0 : slows[i];
     if (r.completion != sim::kInvalidEvent) {
       sim_->Cancel(r.completion);
       r.completion = sim::kInvalidEvent;
     }
     if (r.active && g > 0 && r.slot.remaining_work >= 0.0) {
+      double work = r.slot.remaining_work;
+      if (r.slow != 1.0) work *= r.slow;
       const auto delay = static_cast<SimDuration>(
-          std::ceil(r.slot.remaining_work / static_cast<double>(g)));
+          std::ceil(work / static_cast<double>(g)));
       const RequestId rid = r.slot.request;
       r.completion =
           sim_->ScheduleAfter(delay, [this, rid]() { CompleteAt(rid); });

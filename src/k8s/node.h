@@ -21,6 +21,10 @@
 #include "sim/simulator.h"
 #include "workload/trace.h"
 
+namespace tango::storm {
+class InterferenceModel;
+}  // namespace tango::storm
+
 namespace tango::k8s {
 
 /// Emitted when a request finishes on a node.
@@ -46,6 +50,12 @@ struct NodeTunables {
   /// (SystemConfig::fast_path = false) so the baseline really pays a
   /// rebuild per push, like the monitoring stack it models.
   bool cache_snapshots = true;
+  /// Co-location interference model (storm): co-runner CPU/membw/LLC
+  /// pressure inflates execution time per the victim's sensitivity
+  /// profile. Null (the default) disables the coupling entirely — the
+  /// node then executes the exact original float expressions and its
+  /// event stream stays byte-identical to an interference-free build.
+  const storm::InterferenceModel* interference = nullptr;
 };
 
 class WorkerNode {
@@ -144,6 +154,9 @@ class WorkerNode {
     ExecSlot slot;
     bool active = false;  // false while the admission scaling op runs
     Millicores grant = 0;
+    /// Interference slowdown (>= 1) in effect since the last Recompute;
+    /// exactly 1.0 whenever NodeTunables::interference is null.
+    double slow = 1.0;
     SimTime last_update = 0;
     SimTime node_arrival = 0;
     SimTime exec_start = 0;

@@ -190,6 +190,10 @@ RunResult ShardEngine::Run() {
     for (const auto& sh : shards_) {
       next_event = std::min(next_event, sh->sim.NextEventTime());
     }
+    // Exchanged-but-undrained messages are future events that live in no
+    // simulator heap; skipping past one would schedule it into its shard's
+    // past and trip the lookahead check on anything it then sends.
+    next_event = std::min(next_event, grid_.MinPendingDeliver());
     if (next_event == sim::Simulator::kNoEvent ||
         next_event > cfg_.duration) {
       break;

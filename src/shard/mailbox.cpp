@@ -1,6 +1,7 @@
 #include "shard/mailbox.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -95,6 +96,19 @@ bool MailboxGrid::Empty() const {
     if (!p.out.empty() || !p.in.empty()) return false;
   }
   return true;
+}
+
+SimTime MailboxGrid::MinPendingDeliver() const {
+  SimTime min_deliver = std::numeric_limits<SimTime>::max();
+  for (const Pair& p : pairs_) {
+    for (const ShardMessage& m : p.out) {
+      min_deliver = std::min(min_deliver, m.deliver);
+    }
+    for (const ShardMessage& m : p.in) {
+      min_deliver = std::min(min_deliver, m.deliver);
+    }
+  }
+  return min_deliver;
 }
 
 }  // namespace tango::shard

@@ -61,6 +61,16 @@ class MailboxGrid {
   /// bounds the next epoch).
   bool Empty() const;
 
+  /// Earliest delivery time across every pending (exchanged or outgoing)
+  /// message, or INT64_MAX when all mailboxes are empty. The engine folds
+  /// this into its next-event scan: an in-flight message is a future event
+  /// that lives in no simulator heap, and a fast-forward that leapt past
+  /// its delivery time would schedule it into the destination shard's
+  /// past. Bursty open-loop sources (storm scenarios) leave clusters
+  /// quiet for whole lookahead windows, which is exactly when that skip
+  /// would otherwise happen.
+  SimTime MinPendingDeliver() const;
+
   /// Messages moved out of outboxes by Exchange so far.
   std::int64_t exchanged() const { return exchanged_; }
   /// Messages handed to shard tasks by Drain so far. At quiescence

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "common/logging.h"
 
@@ -76,6 +77,8 @@ ClusterModel::ClusterModel(const ModelConfig* cfg,
 
   workers_.resize(static_cast<std::size_t>(spec_.num_workers));
   be_used_.assign(workers_.size(), 0);
+  membw_load_.assign(workers_.size(), 0.0);
+  llc_load_.assign(workers_.size(), 0.0);
   worker_execs_.resize(workers_.size());
   for (auto& w : workers_) {
     w.capacity = spec_.heterogeneous
@@ -113,6 +116,15 @@ void ClusterModel::Start() {
                       [this] { SyncTick(); });
   sim_->StartPeriodic(cfg_->metrics_period, cfg_->metrics_period,
                       [this] { MetricsTick(); });
+  if (cfg_->scenario != nullptr) {
+    TANGO_CHECK(cfg_->scenario->num_clusters ==
+                    cfg_->topology->num_clusters(),
+                "scenario config and topology disagree on cluster count");
+    storm_source_ =
+        storm::BuildClusterStream(cfg_->scenario_kind, *cfg_->scenario, id_);
+    ScheduleNextStorm();
+    return;
+  }
   ScheduleNextLc();
   ScheduleNextBe();
 }
@@ -145,15 +157,23 @@ void ClusterModel::ScheduleNextBe() {
 }
 
 Payload ClusterModel::SampleRequest(bool is_lc) {
+  const auto& ids = is_lc ? cfg_->lc_services : cfg_->be_services;
+  const ServiceId service = ids[static_cast<std::size_t>(
+      rng_.UniformInt(0, static_cast<std::int64_t>(ids.size()) - 1))];
+  const workload::ServiceSpec& spec = cfg_->catalog->Get(service);
+  const auto exec_us = static_cast<SimDuration>(
+      static_cast<double>(spec.base_proc) * rng_.Uniform(0.5, 1.5));
+  return MakePayload(is_lc, service, exec_us);
+}
+
+Payload ClusterModel::MakePayload(bool is_lc, ServiceId service,
+                                  SimDuration exec_us) {
   Payload p;
   p.is_lc = is_lc;
-  const auto& ids = is_lc ? cfg_->lc_services : cfg_->be_services;
-  p.service = ids[static_cast<std::size_t>(
-      rng_.UniformInt(0, static_cast<std::int64_t>(ids.size()) - 1))];
-  const workload::ServiceSpec& spec = cfg_->catalog->Get(p.service);
+  p.service = service;
+  const workload::ServiceSpec& spec = cfg_->catalog->Get(service);
   p.demand = spec.cpu_demand;
-  p.exec_us = static_cast<SimDuration>(
-      static_cast<double>(spec.base_proc) * rng_.Uniform(0.5, 1.5));
+  p.exec_us = exec_us;
   if (p.exec_us < 1) p.exec_us = 1;
   p.deadline_us = spec.qos_target;
   p.request_bytes = spec.request_size;
@@ -202,6 +222,33 @@ void ClusterModel::OnBeArrival() {
   const Payload p = SampleRequest(/*is_lc=*/false);
   ++stats_.be_arrived;
   RouteBe(p);
+}
+
+void ClusterModel::ScheduleNextStorm() {
+  // One pending arrival at a time: the stream is arrival-ordered, so the
+  // next pull cannot land before the one in flight.
+  workload::Request req;
+  while (storm_source_->NextRequest(&req)) {
+    if (req.arrival > cfg_->end_time) return;  // nondecreasing => done
+    sim_->ScheduleAt(req.arrival, [this, req] { OnStormArrival(req); });
+    return;
+  }
+}
+
+void ClusterModel::OnStormArrival(const workload::Request& req) {
+  ScheduleNextStorm();
+  const workload::ServiceSpec& spec = cfg_->catalog->Get(req.service);
+  const auto exec_us = static_cast<SimDuration>(
+      static_cast<double>(spec.base_proc) * req.work_scale);
+  const bool is_lc = spec.is_lc();
+  const Payload p = MakePayload(is_lc, req.service, exec_us);
+  if (is_lc) {
+    ++stats_.lc_arrived;
+    RouteLc(p);
+  } else {
+    ++stats_.be_arrived;
+    RouteBe(p);
+  }
 }
 
 // --- LC path --------------------------------------------------------------
@@ -468,11 +515,32 @@ void ClusterModel::StartExec(std::int32_t worker, const Payload& p) {
   e.worker = worker;
   e.live = true;
   auto& w = workers_[static_cast<std::size_t>(worker)];
+  // Admission-time interference: the incoming request's exec time is
+  // inflated by its response to the worker's co-runner pressure, read
+  // before the request's own contribution lands. The enabled-only block
+  // keeps disabled runs byte-identical.
+  SimDuration exec_us = p.exec_us;
+  if (cfg_->interference != nullptr) {
+    const double cap_cores = static_cast<double>(w.capacity) / 1000.0;
+    storm::PressureVec v;
+    v.cpu = static_cast<double>(w.used) / static_cast<double>(w.capacity);
+    v.membw = membw_load_[static_cast<std::size_t>(worker)] / cap_cores;
+    v.llc = llc_load_[static_cast<std::size_t>(worker)] / cap_cores;
+    const double f = cfg_->interference->Inflation(p.service, v);
+    exec_us = static_cast<SimDuration>(
+        std::ceil(static_cast<double>(exec_us) * f));
+    if (exec_us < 1) exec_us = 1;
+    const auto& prof = cfg_->interference->Profile(p.service);
+    const double cores = static_cast<double>(p.demand) / 1000.0;
+    membw_load_[static_cast<std::size_t>(worker)] +=
+        prof.membw_intensity * cores;
+    llc_load_[static_cast<std::size_t>(worker)] += prof.llc_intensity * cores;
+  }
   w.used += p.demand;
   if (!p.is_lc) be_used_[static_cast<std::size_t>(worker)] += p.demand;
   // TANGOVET_ALLOW_NEXT(amortized: pooled capacity)
   worker_execs_[static_cast<std::size_t>(worker)].push_back(slot);
-  e.done = sim_->ScheduleAfter(p.exec_us, [this, slot] { FinishExec(slot); });
+  e.done = sim_->ScheduleAfter(exec_us, [this, slot] { FinishExec(slot); });
   if (p.is_lc && p.origin != id_) ++stats_.lc_remote;
   FoldEvent(kDigExec, p.uid, static_cast<std::uint64_t>(worker));
 }
@@ -484,6 +552,14 @@ void ClusterModel::ReleaseExec(std::int32_t slot) {
   w.used -= e.req.demand;
   if (!e.req.is_lc) {
     be_used_[static_cast<std::size_t>(e.worker)] -= e.req.demand;
+  }
+  if (cfg_->interference != nullptr) {
+    const auto& prof = cfg_->interference->Profile(e.req.service);
+    const double cores = static_cast<double>(e.req.demand) / 1000.0;
+    membw_load_[static_cast<std::size_t>(e.worker)] -=
+        prof.membw_intensity * cores;
+    llc_load_[static_cast<std::size_t>(e.worker)] -=
+        prof.llc_intensity * cores;
   }
   auto& list = worker_execs_[static_cast<std::size_t>(e.worker)];
   const auto it = std::find(list.begin(), list.end(), slot);

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/ids.h"
@@ -41,6 +42,8 @@
 #include "shard/mailbox.h"
 #include "shard/message.h"
 #include "sim/simulator.h"
+#include "storm/interference.h"
+#include "storm/scenario.h"
 #include "workload/service.h"
 
 namespace tango::shard {
@@ -64,6 +67,17 @@ struct ModelConfig {
   int abandon_after_targets = 4;
   double lc_rps = 50.0;  // per-cluster arrival rates
   double be_rps = 10.0;
+  /// TangoStorm streaming arrivals: when set, each cluster pulls its
+  /// requests from storm::BuildClusterStream(scenario_kind, *scenario, id)
+  /// instead of the flat Poisson generators above — one independent,
+  /// seed-derived stream per cluster, so the arrival pattern is identical
+  /// no matter how clusters are packed onto shards.
+  const storm::ScenarioConfig* scenario = nullptr;
+  storm::ScenarioKind scenario_kind = storm::ScenarioKind::kSteady;
+  /// Co-location interference: inflate a request's execution time at
+  /// admission by its sensitivity response to the target worker's
+  /// co-runner pressure. Null (default) = off, byte-identical runs.
+  const storm::InterferenceModel* interference = nullptr;
   SimTime end_time = 10 * kSecond;
   Bytes delta_bytes = 256;    // state-sync delta payload size
   Bytes control_bytes = 128;  // master up/down, nack, reject payload size
@@ -183,7 +197,12 @@ class ClusterModel {
   void ScheduleNextBe();
   void OnLcArrival();
   void OnBeArrival();
+  void ScheduleNextStorm();
+  void OnStormArrival(const workload::Request& req);
   Payload SampleRequest(bool is_lc);
+  /// Shared arrival bookkeeping (record, abandon timer, span, digest) for
+  /// both the legacy Poisson path and the storm stream path.
+  Payload MakePayload(bool is_lc, ServiceId service, SimDuration exec_us);
 
   // --- LC path -----------------------------------------------------------
   void RouteLc(const Payload& p);
@@ -258,6 +277,11 @@ class ClusterModel {
   std::vector<sched::WorkerView> workers_;
   std::vector<Millicores> be_used_;
   std::vector<std::vector<std::int32_t>> worker_execs_;
+  /// Per-worker co-runner pressure loads (intensity × granted cores),
+  /// maintained only when cfg_->interference is set.
+  std::vector<double> membw_load_;
+  std::vector<double> llc_load_;
+  std::unique_ptr<storm::ScenarioSource> storm_source_;
 
   std::vector<Exec> execs_;
   std::vector<std::int32_t> free_execs_;

@@ -1,0 +1,224 @@
+#include "storm/alibaba.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "storm/source.h"
+
+namespace tango::storm {
+
+namespace {
+
+void SetError(workload::TraceParseError* error, int line,
+              std::string message) {
+  if (error != nullptr) {
+    error->line = line;
+    error->message = std::move(message);
+  }
+}
+
+std::uint64_t Fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Split a CSV row; returns false unless exactly 9 columns.
+bool SplitRow(const std::string& line, std::vector<std::string>* cols) {
+  cols->clear();
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cols->push_back(line.substr(start));
+      break;
+    }
+    cols->push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return cols->size() == 9;
+}
+
+/// Full-string numeric parse — trailing junk ("1.5xyz") is a failure, the
+/// same contract workload/trace_io.cpp enforces on its rows.
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  std::size_t used = 0;
+  try {
+    *out = std::stod(s, &used);
+  } catch (...) {
+    return false;
+  }
+  return used == s.size() && std::isfinite(*out);
+}
+
+struct Row {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double plan_cpu = 0.0;
+  std::uint64_t task_hash = 0;
+  std::uint64_t job_hash = 0;
+};
+
+}  // namespace
+
+std::optional<workload::Trace> ReadAlibabaBatchCsv(
+    std::istream& in, const AlibabaConfig& cfg,
+    workload::TraceParseError* error) {
+  TANGO_CHECK(cfg.catalog != nullptr, "AlibabaConfig needs a catalog");
+  TANGO_CHECK(cfg.num_clusters > 0, "AlibabaConfig needs clusters");
+  if (cfg.intensity <= 0.0) {
+    SetError(error, 0, "intensity must be > 0");
+    return std::nullopt;
+  }
+  const std::vector<ServiceId> lc_pool = cfg.catalog->LcServices();
+  const std::vector<ServiceId> be_pool = cfg.catalog->BeServices();
+  TANGO_CHECK(!lc_pool.empty() || !be_pool.empty(),
+              "catalog has no services");
+
+  std::vector<Row> rows;
+  std::vector<std::string> cols;
+  std::string line;
+  int lineno = 0;
+  double min_start = 0.0;
+  bool any = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    // The public files are headerless; tolerate a pasted header line.
+    if (lineno == 1 && line.rfind("task_name", 0) == 0) continue;
+    if (!SplitRow(line, &cols)) {
+      SetError(error, lineno,
+               "malformed row (want 9 columns): " + line);
+      return std::nullopt;
+    }
+    const std::string& status = cols[4];
+    if (status != "Terminated") continue;  // unfinished rows carry 0 times
+    double instances = 0.0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    double plan_cpu = 0.0;
+    if (!ParseDouble(cols[1], &instances) ||
+        !ParseDouble(cols[5], &start_s) || !ParseDouble(cols[6], &end_s) ||
+        !ParseDouble(cols[7], &plan_cpu)) {
+      SetError(error, lineno, "junk numeric field: " + line);
+      return std::nullopt;
+    }
+    if (start_s < 0.0 || end_s < start_s || plan_cpu <= 0.0 ||
+        instances < 0.0) {
+      SetError(error, lineno, "out-of-range field: " + line);
+      return std::nullopt;
+    }
+    Row r;
+    r.start_s = start_s;
+    r.duration_s = end_s - start_s;
+    r.plan_cpu = plan_cpu;
+    r.task_hash = Fnv1a(cols[0]);
+    r.job_hash = Fnv1a(cols[2]);
+    rows.push_back(r);
+    min_start = any ? std::min(min_start, start_s) : start_s;
+    any = true;
+  }
+  if (!any) {
+    SetError(error, lineno, "no Terminated rows");
+    return std::nullopt;
+  }
+
+  Rng sampler(DeriveStreamSeed(cfg.seed, 0, 0x414C4942ULL));  // "ALIB"
+  workload::Trace trace;
+  trace.reserve(rows.size());
+  for (const Row& r : rows) {
+    const bool keep = sampler.Bernoulli(cfg.sample);  // fixed consumption
+    if (!keep) continue;
+    workload::Request req;
+    const bool lc =
+        r.duration_s <= cfg.lc_duration_cutoff_s && !lc_pool.empty();
+    const auto& pool = lc || be_pool.empty() ? lc_pool : be_pool;
+    req.service = pool[r.task_hash % pool.size()];
+    req.origin = ClusterId{static_cast<std::int32_t>(
+        r.job_hash % static_cast<std::uint64_t>(cfg.num_clusters))};
+    req.arrival = static_cast<SimTime>(
+        (r.start_s - min_start) * 1e6 / cfg.intensity);
+    // plan_cpu is in percent of one core (100 = one core); clamp to the
+    // bounded range the synthetic generators use.
+    req.work_scale = std::clamp(r.plan_cpu / 100.0, 0.6, 3.0);
+    trace.push_back(req);
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const workload::Request& a, const workload::Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].id = RequestId{static_cast<std::int32_t>(i)};
+  }
+  return trace;
+}
+
+std::optional<workload::Trace> ReadAlibabaBatchCsvFile(
+    const std::string& path, const AlibabaConfig& cfg,
+    workload::TraceParseError* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, 0, "cannot open " + path);
+    return std::nullopt;
+  }
+  return ReadAlibabaBatchCsv(in, cfg, error);
+}
+
+workload::Trace RescaleIntensity(workload::Trace trace, double factor) {
+  TANGO_CHECK(factor > 0.0, "intensity factor must be > 0");
+  for (auto& r : trace) {
+    r.arrival = static_cast<SimTime>(
+        static_cast<double>(r.arrival) / factor);
+  }
+  return trace;
+}
+
+workload::Trace DownsampleTrace(const workload::Trace& trace,
+                                double keep_fraction, std::uint64_t seed) {
+  Rng rng(DeriveStreamSeed(seed, 0, 0x444F574EULL));  // "DOWN"
+  workload::Trace out;
+  out.reserve(trace.size());
+  for (const auto& r : trace) {
+    if (rng.Bernoulli(keep_fraction)) out.push_back(r);
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].id = RequestId{static_cast<std::int32_t>(i)};
+  }
+  return out;
+}
+
+std::string SyntheticAlibabaCsv(int rows, std::uint64_t seed) {
+  Rng rng(DeriveStreamSeed(seed, 0, 0x53594E54ULL));  // "SYNT"
+  std::ostringstream out;
+  double t = 100000.0;
+  for (int i = 0; i < rows; ++i) {
+    t += rng.Exponential(2.0);  // ~2 tasks/second of trace time
+    const int job = static_cast<int>(rng.UniformInt(0, rows / 4 + 1));
+    const bool online = rng.Bernoulli(0.7);
+    const double dur =
+        online ? rng.Uniform(1.0, 45.0) : rng.Uniform(120.0, 3000.0);
+    const double cpu = online ? rng.Uniform(50.0, 150.0)
+                              : rng.Uniform(100.0, 400.0);
+    out << "task_" << i << ',' << rng.UniformInt(1, 8) << ",j_" << job
+        << ",A,Terminated," << t << ',' << t + dur << ',' << cpu << ','
+        << rng.Uniform(0.1, 0.9) << "\n";
+    if (i % 17 == 5) {
+      // The real table interleaves unfinished rows with zeroed times;
+      // the parser must skip them.
+      out << "task_w" << i << ",1,j_" << job << ",A,Waiting,0,0," << cpu
+          << ",0.5\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace tango::storm

@@ -1,0 +1,201 @@
+#include "storm/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tango::storm {
+
+namespace {
+// Stream-salt namespace: arrival clock, shaping, MMPP state path, and
+// thinning each ride their own derived stream so adding a combinator never
+// shifts a sibling's draws.
+constexpr std::uint64_t kSaltArrivals = 0x41525256;  // "ARRV"
+constexpr std::uint64_t kSaltMmppState = 0x4D4D5050;  // "MMPP"
+constexpr std::uint64_t kSaltThin = 0x5448494E;       // "THIN"
+
+double Fract(double x) { return x - std::floor(x); }
+}  // namespace
+
+double SampleWorkScale(Rng& rng) {
+  // Same bounded-Pareto marginal as workload::SampleWorkScale.
+  return std::clamp(rng.Pareto(0.7, 3.0), 0.6, 3.0);
+}
+
+// ---- PoissonSource --------------------------------------------------------
+
+PoissonSource::PoissonSource(const StreamConfig& cfg)
+    : cfg_(cfg),
+      rng_(DeriveStreamSeed(cfg.seed, cfg.origin.value, kSaltArrivals)) {
+  TANGO_CHECK(cfg.catalog != nullptr, "StreamConfig needs a catalog");
+  lc_pool_ = cfg.catalog->LcServices();
+  be_pool_ = cfg.catalog->BeServices();
+  TANGO_CHECK(!lc_pool_.empty() || !be_pool_.empty(),
+              "catalog has no services");
+}
+
+void PoissonSource::Shape(workload::Request* out, SimTime arrival) {
+  // Fixed consumption: one class draw, one pool draw, one work draw.
+  const bool lc = rng_.Bernoulli(cfg_.lc_fraction);
+  const auto& pool =
+      (lc && !lc_pool_.empty()) || be_pool_.empty() ? lc_pool_ : be_pool_;
+  const auto pick = static_cast<std::size_t>(
+      rng_.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1));
+  out->id = RequestId{};
+  out->service = pool[pick];
+  out->origin = cfg_.origin;
+  out->arrival = arrival;
+  out->work_scale = SampleWorkScale(rng_);
+}
+
+bool PoissonSource::NextRequest(workload::Request* out) {
+  if (cfg_.rate_rps <= 0.0) return false;
+  clock_s_ += rng_.Exponential(cfg_.rate_rps);
+  const auto at = FromSeconds(clock_s_);
+  if (at > cfg_.horizon) return false;
+  Shape(out, at);
+  return true;
+}
+
+// ---- MmppSource -----------------------------------------------------------
+
+MmppSource::MmppSource(const StreamConfig& cfg, const MmppParams& params)
+    : PoissonSource(cfg),
+      params_(params),
+      state_rng_(
+          DeriveStreamSeed(cfg.seed, cfg.origin.value, kSaltMmppState)) {
+  TANGO_CHECK(params_.high_mult >= 1.0, "MMPP high_mult must be >= 1");
+  next_switch_s_ =
+      state_rng_.Exponential(1.0 / ToSeconds(params_.mean_low));
+}
+
+void MmppSource::AdvanceStateTo(double t_s) {
+  while (next_switch_s_ <= t_s) {
+    high_ = !high_;
+    const SimDuration mean = high_ ? params_.mean_high : params_.mean_low;
+    next_switch_s_ += state_rng_.Exponential(1.0 / ToSeconds(mean));
+  }
+}
+
+bool MmppSource::NextRequest(workload::Request* out) {
+  // Candidates arrive at the high-state rate; the current state thins them
+  // down (acceptance 1 in high, 1/high_mult in low) — ordered by
+  // construction, one candidate loop iteration costs two draws.
+  if (cfg_.rate_rps <= 0.0) return false;
+  const double high_rate = cfg_.rate_rps * params_.high_mult;
+  for (;;) {
+    clock_s_ += rng_.Exponential(high_rate);
+    const auto at = FromSeconds(clock_s_);
+    if (at > cfg_.horizon) return false;
+    AdvanceStateTo(clock_s_);
+    const double accept = high_ ? 1.0 : 1.0 / params_.high_mult;
+    if (rng_.NextDouble() < accept) {
+      Shape(out, at);
+      return true;
+    }
+  }
+}
+
+// ---- Envelope -------------------------------------------------------------
+
+double Envelope::Value(SimTime t) const {
+  switch (kind) {
+    case Kind::kFlat:
+      return 1.0;
+    case Kind::kSpike: {
+      if (t < t0) return 1.0;
+      if (ramp > 0 && t < t0 + ramp) {
+        const double f = static_cast<double>(t - t0) /
+                         static_cast<double>(ramp);
+        return 1.0 + (mult - 1.0) * f;
+      }
+      if (t < t1) return mult;
+      const double tau = static_cast<double>(decay < 1 ? 1 : decay);
+      return 1.0 +
+             (mult - 1.0) * std::exp(-static_cast<double>(t - t1) / tau);
+    }
+    case Kind::kDiurnal: {
+      const double x = static_cast<double>(t) /
+                           static_cast<double>(period) +
+                       phase;
+      return 1.0 + amplitude * std::sin(2.0 * std::numbers::pi * x);
+    }
+    case Kind::kWindow:
+      return (t >= t0 && t < t1) ? mult : 1.0;
+    case Kind::kDriftWave: {
+      // Circular distance between the travelling hotspot (at t/period mod
+      // 1) and this stream's ring position (phase); cos² bump of half-ring
+      // width.
+      double d = Fract(static_cast<double>(t) /
+                           static_cast<double>(period) -
+                       phase);
+      if (d > 0.5) d = 1.0 - d;
+      const double c = std::cos(std::numbers::pi * d);
+      return floor + (1.0 - floor) * c * c;
+    }
+  }
+  return 1.0;
+}
+
+double Envelope::MaxValue() const {
+  switch (kind) {
+    case Kind::kFlat:
+      return 1.0;
+    case Kind::kSpike:
+    case Kind::kWindow:
+      return std::max(1.0, mult);
+    case Kind::kDiurnal:
+      return 1.0 + amplitude;
+    case Kind::kDriftWave:
+      return std::max(1.0, floor);
+  }
+  return 1.0;
+}
+
+// ---- Modulate -------------------------------------------------------------
+
+Modulate::Modulate(std::unique_ptr<ScenarioSource> base,
+                   const Envelope& envelope, std::uint64_t seed)
+    : base_(std::move(base)),
+      env_(envelope),
+      max_(envelope.MaxValue()),
+      rng_(DeriveStreamSeed(seed, 0, kSaltThin)) {
+  TANGO_CHECK(base_ != nullptr, "Modulate needs a base source");
+  TANGO_CHECK(max_ > 0.0, "envelope supremum must be positive");
+}
+
+bool Modulate::NextRequest(workload::Request* out) {
+  while (base_->NextRequest(out)) {
+    if (rng_.NextDouble() < env_.Value(out->arrival) / max_) return true;
+  }
+  return false;
+}
+
+// ---- Superpose ------------------------------------------------------------
+
+Superpose::Superpose(std::vector<std::unique_ptr<ScenarioSource>> parts)
+    : parts_(std::move(parts)), heads_(parts_.size()) {
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    heads_[i].live = parts_[i]->NextRequest(&heads_[i].req);
+  }
+}
+
+bool Superpose::NextRequest(workload::Request* out) {
+  std::size_t best = heads_.size();
+  for (std::size_t i = 0; i < heads_.size(); ++i) {
+    if (!heads_[i].live) continue;
+    if (best == heads_.size() ||
+        heads_[i].req.arrival < heads_[best].req.arrival) {
+      best = i;
+    }
+  }
+  if (best == heads_.size()) return false;
+  *out = heads_[best].req;
+  heads_[best].live = parts_[best]->NextRequest(&heads_[best].req);
+  return true;
+}
+
+}  // namespace tango::storm

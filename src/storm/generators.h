@@ -1,0 +1,142 @@
+// TangoStorm generators and combinators.
+//
+// Base streams are open-loop arrival processes for one cluster: a
+// homogeneous Poisson process or a two-state MMPP (Markov-modulated
+// Poisson, the classic bursty-traffic model). Time-varying shapes — flash
+// crowds, diurnal waves, failover re-homing, mobility drift — are all one
+// mechanism: a closed-form rate Envelope applied by the Modulate combinator
+// via thinning (the base runs at the envelope's peak rate; Modulate accepts
+// each candidate with probability rate(t)/peak). Superpose k-way-merges
+// child streams with a one-request lookahead per child. Everything is
+// allocation-free after construction and deterministic per stream seed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "storm/source.h"
+#include "workload/service.h"
+
+namespace tango::storm {
+
+/// One cluster's open-loop base stream.
+struct StreamConfig {
+  const workload::ServiceCatalog* catalog = nullptr;
+  ClusterId origin;
+  /// Arrival rate in requests/second (for MMPP: the low-state rate).
+  double rate_rps = 50.0;
+  /// Probability an emitted request is LC (service drawn uniformly within
+  /// the class, work scale bounded-Pareto as in workload/trace.cpp).
+  double lc_fraction = 0.8;
+  SimTime horizon = 10 * kSecond;
+  std::uint64_t seed = 1;
+};
+
+/// Homogeneous Poisson arrivals at `rate_rps` until `horizon`.
+class PoissonSource : public ScenarioSource {
+ public:
+  explicit PoissonSource(const StreamConfig& cfg);
+  bool NextRequest(workload::Request* out) override;
+
+ protected:
+  /// Fill service/origin/work_scale (one class draw, one service draw, one
+  /// work draw — fixed consumption keeps sibling streams independent).
+  void Shape(workload::Request* out, SimTime arrival);
+
+  StreamConfig cfg_;
+  std::vector<ServiceId> lc_pool_;
+  std::vector<ServiceId> be_pool_;
+  Rng rng_;
+  double clock_s_ = 0.0;  // arrival clock in seconds (exact exponentials)
+};
+
+/// Two-state MMPP: sojourns are exponential; the high state multiplies the
+/// arrival rate. Implemented by thinning a Poisson stream at the high rate,
+/// so arrivals stay ordered and the modulation chain stays allocation-free.
+struct MmppParams {
+  double high_mult = 4.0;  // high-state rate = high_mult × rate_rps
+  SimDuration mean_low = 2 * kSecond;
+  SimDuration mean_high = 500 * kMillisecond;
+};
+
+class MmppSource final : public PoissonSource {
+ public:
+  MmppSource(const StreamConfig& cfg, const MmppParams& params);
+  bool NextRequest(workload::Request* out) override;
+
+ private:
+  void AdvanceStateTo(double t_s);
+
+  MmppParams params_;
+  Rng state_rng_;  // independent stream: state path ⟂ candidate arrivals
+  bool high_ = false;
+  double next_switch_s_ = 0.0;
+};
+
+/// Closed-form relative-rate envelope, always ≥ 0, with a known supremum so
+/// Modulate can thin against the peak. One struct covers every scenario
+/// family; unused fields are ignored by the other kinds.
+struct Envelope {
+  enum class Kind {
+    kFlat,       // 1 everywhere
+    kSpike,      // 1, linear ramp to `mult` over [t0, t0+ramp], hold to t1,
+                 // then exponential decay back toward 1 (time const `decay`)
+    kDiurnal,    // 1 + amplitude · sin(2π(t/period + phase))
+    kWindow,     // `mult` inside [t0, t1), 1 outside (re-homing windows)
+    kDriftWave,  // floor + (1-floor) · max(0, cos(π·d))², d = circular
+                 // distance between t/period and `phase` — a load hotspot
+                 // travelling across the cluster ring
+  };
+  Kind kind = Kind::kFlat;
+  SimTime t0 = 0;
+  SimTime t1 = 0;
+  SimDuration ramp = 0;
+  SimDuration decay = kSecond;
+  double mult = 1.0;
+  SimDuration period = kHour;
+  double phase = 0.0;      // fraction of a period in [0, 1)
+  double amplitude = 0.0;  // diurnal swing in [0, 1)
+  double floor = 0.0;      // drift-wave off-peak level in [0, 1]
+
+  double Value(SimTime t) const;
+  /// Closed-form supremum of Value over all t (thinning denominator).
+  double MaxValue() const;
+};
+
+/// Thin `base` (which must run at `envelope.MaxValue()` times the wanted
+/// base rate) so the effective rate follows the envelope.
+class Modulate final : public ScenarioSource {
+ public:
+  Modulate(std::unique_ptr<ScenarioSource> base, const Envelope& envelope,
+           std::uint64_t seed);
+  bool NextRequest(workload::Request* out) override;
+
+ private:
+  std::unique_ptr<ScenarioSource> base_;
+  Envelope env_;
+  double max_;
+  Rng rng_;
+};
+
+/// Order-preserving k-way merge of child streams (one-request lookahead per
+/// child; ties break on child index, so the merge is deterministic).
+class Superpose final : public ScenarioSource {
+ public:
+  explicit Superpose(std::vector<std::unique_ptr<ScenarioSource>> parts);
+  bool NextRequest(workload::Request* out) override;
+
+ private:
+  struct Head {
+    workload::Request req;
+    bool live = false;
+  };
+  std::vector<std::unique_ptr<ScenarioSource>> parts_;
+  std::vector<Head> heads_;
+};
+
+/// Bounded-Pareto work scale (same marginal as workload/trace.cpp).
+double SampleWorkScale(Rng& rng);
+
+}  // namespace tango::storm

@@ -1,0 +1,92 @@
+#include "storm/interference.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tango::storm {
+
+namespace {
+/// Saturating response: 0 at no pressure, -> 1 as pressure grows; monotone
+/// nondecreasing for x >= 0.
+double Sat(double x) { return x <= 0.0 ? 0.0 : x / (1.0 + x); }
+}  // namespace
+
+InterferenceModel InterferenceModel::Standard(
+    const workload::ServiceCatalog& catalog) {
+  InterferenceModel m;
+  for (const auto& spec : catalog.all()) {
+    SensitivityProfile p;
+    if (spec.is_lc()) {
+      // Latency-critical victims: little pressure generated, strong
+      // response — a saturated node roughly doubles their service time.
+      p.membw_intensity = 0.1;
+      p.llc_intensity = 0.1;
+      p.cpu_sensitivity = 0.25;
+      p.membw_sensitivity = 0.45;
+      p.llc_sensitivity = 0.30;
+    } else {
+      // Batch aggressors: streaming/scan-heavy, mostly insensitive
+      // themselves (throughput-oriented, latency-tolerant).
+      p.membw_intensity = 0.8;
+      p.llc_intensity = 0.5;
+      p.cpu_sensitivity = 0.10;
+      p.membw_sensitivity = 0.10;
+      p.llc_sensitivity = 0.05;
+    }
+    m.SetProfile(spec.id, p);
+  }
+  return m;
+}
+
+void InterferenceModel::SetProfile(ServiceId service,
+                                   const SensitivityProfile& profile) {
+  TANGO_CHECK(service.valid(), "invalid service id");
+  TANGO_CHECK(profile.cpu_sensitivity >= 0.0 &&
+                  profile.membw_sensitivity >= 0.0 &&
+                  profile.llc_sensitivity >= 0.0 &&
+                  profile.membw_intensity >= 0.0 &&
+                  profile.llc_intensity >= 0.0,
+              "sensitivity profile must be nonnegative");
+  const auto idx = static_cast<std::size_t>(service.value);
+  if (idx >= profiles_.size()) profiles_.resize(idx + 1);
+  profiles_[idx] = profile;
+}
+
+const SensitivityProfile& InterferenceModel::Profile(
+    ServiceId service) const {
+  const auto idx = static_cast<std::size_t>(service.value);
+  if (!service.valid() || idx >= profiles_.size()) return default_;
+  return profiles_[idx];
+}
+
+double InterferenceModel::Inflation(ServiceId victim,
+                                    const PressureVec& pressure) const {
+  const SensitivityProfile& p = Profile(victim);
+  return 1.0 + p.cpu_sensitivity * Sat(pressure.cpu) +
+         p.membw_sensitivity * Sat(pressure.membw) +
+         p.llc_sensitivity * Sat(pressure.llc);
+}
+
+bool InterferenceModel::CheckMonotone() const {
+  constexpr double kGrid[] = {0.0, 0.1, 0.5, 1.0, 2.0, 8.0};
+  for (std::size_t s = 0; s < profiles_.size(); ++s) {
+    const ServiceId svc{static_cast<std::int32_t>(s)};
+    double prev[3] = {0.0, 0.0, 0.0};
+    for (int axis = 0; axis < 3; ++axis) {
+      bool first = true;
+      for (const double x : kGrid) {
+        PressureVec v;
+        (axis == 0 ? v.cpu : axis == 1 ? v.membw : v.llc) = x;
+        const double f = Inflation(svc, v);
+        if (f < 1.0) return false;
+        if (!first && f < prev[axis]) return false;
+        prev[axis] = f;
+        first = false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace tango::storm

@@ -1,0 +1,80 @@
+// Co-location interference model.
+//
+// The paper's premise — BE co-location endangers LC QoS — is modeled
+// structurally by HRM's grant compression, but a compressed grant is the
+// only coupling: on real nodes, co-runners also contend for memory
+// bandwidth and last-level cache, inflating execution time even when the
+// victim keeps its full CPU grant (the sensitivity-aware manager of
+// *Squeezing Edge Performance*). This module supplies that coupling as a
+// per-service sensitivity profile: each co-runner *generates* pressure
+// (membw/LLC intensity per granted core) and each victim *responds* to the
+// normalized pressure vector with an execution-time inflation factor
+//
+//   inflate(s, P) = 1 + Σ_r sens_r(s) · P_r / (1 + P_r)
+//
+// — saturating, ≥ 1, and monotone nondecreasing in every pressure
+// component for nonnegative sensitivities (CheckMonotone grid-audits both
+// properties). The model is applied at the k8s and shard execution layers
+// behind a pointer that defaults to nullptr: disabled runs execute the
+// exact original float expressions and stay byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "workload/service.h"
+
+namespace tango::storm {
+
+/// What a service does to its co-runners, and how it suffers from them.
+/// Intensities are abstract pressure units per granted core; sensitivities
+/// are the fractional slowdown at saturation of one pressure axis.
+struct SensitivityProfile {
+  // Pressure generated per granted core.
+  double membw_intensity = 0.0;
+  double llc_intensity = 0.0;
+  // Victim response per normalized pressure axis (must be >= 0).
+  double cpu_sensitivity = 0.0;
+  double membw_sensitivity = 0.0;
+  double llc_sensitivity = 0.0;
+};
+
+/// Normalized co-runner pressure seen by one victim (own contribution
+/// excluded): cpu = co-runner grants / node capacity; membw/llc =
+/// co-runner intensity·cores / node cores.
+struct PressureVec {
+  double cpu = 0.0;
+  double membw = 0.0;
+  double llc = 0.0;
+};
+
+class InterferenceModel {
+ public:
+  InterferenceModel() = default;
+
+  /// Paper-flavored defaults over a catalog: BE services (analytics,
+  /// training, transcoding, ...) are bandwidth/LLC-intensive aggressors;
+  /// LC services are the sensitive victims.
+  static InterferenceModel Standard(const workload::ServiceCatalog& catalog);
+
+  void SetProfile(ServiceId service, const SensitivityProfile& profile);
+  const SensitivityProfile& Profile(ServiceId service) const;
+
+  /// Execution-time inflation for `victim` under `pressure`; always >= 1,
+  /// monotone nondecreasing in each component.
+  double Inflation(ServiceId victim, const PressureVec& pressure) const;
+
+  /// Grid-audit the curve over every profiled service: Inflation >= 1
+  /// everywhere and nondecreasing along each pressure axis. Used by the
+  /// TANGO_AUDIT wiring and the unit tests.
+  bool CheckMonotone() const;
+
+  int size() const { return static_cast<int>(profiles_.size()); }
+
+ private:
+  std::vector<SensitivityProfile> profiles_;  // indexed by ServiceId
+  SensitivityProfile default_;
+};
+
+}  // namespace tango::storm

@@ -1,0 +1,131 @@
+#include "storm/scenario.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tango::storm {
+
+namespace {
+// Per-kind salt for the thinning stream so the same (seed, cluster) yields
+// unrelated accept/reject paths across scenario families.
+constexpr std::uint64_t KindSalt(ScenarioKind kind) {
+  return 0x53544F00ULL + static_cast<std::uint64_t>(kind);
+}
+
+std::unique_ptr<ScenarioSource> Shaped(const StreamConfig& base_cfg,
+                                       const Envelope& env,
+                                       std::uint64_t thin_seed) {
+  StreamConfig sc = base_cfg;
+  // The base runs at the envelope's peak; Modulate thins back down, so the
+  // effective rate is rate_rps × env(t).
+  sc.rate_rps = base_cfg.rate_rps * env.MaxValue();
+  auto base = std::make_unique<PoissonSource>(sc);
+  return std::make_unique<Modulate>(std::move(base), env, thin_seed);
+}
+}  // namespace
+
+const char* ScenarioKindName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kSteady:
+      return "steady";
+    case ScenarioKind::kFlashCrowd:
+      return "flash-crowd";
+    case ScenarioKind::kDiurnal:
+      return "diurnal";
+    case ScenarioKind::kFailover:
+      return "failover";
+    case ScenarioKind::kMobility:
+      return "mobility";
+  }
+  return "?";
+}
+
+std::unique_ptr<ScenarioSource> BuildClusterStream(ScenarioKind kind,
+                                                   const ScenarioConfig& cfg,
+                                                   ClusterId cluster) {
+  TANGO_CHECK(cfg.catalog != nullptr, "ScenarioConfig needs a catalog");
+  TANGO_CHECK(cluster.value >= 0 && cluster.value < cfg.num_clusters,
+              "cluster out of range");
+  StreamConfig sc;
+  sc.catalog = cfg.catalog;
+  sc.origin = cluster;
+  sc.rate_rps = cfg.rps_per_cluster;
+  sc.lc_fraction = cfg.lc_fraction;
+  sc.horizon = cfg.horizon;
+  sc.seed = cfg.seed;
+  const std::uint64_t thin_seed =
+      DeriveStreamSeed(cfg.seed, cluster.value, KindSalt(kind));
+  const double ring_pos = static_cast<double>(cluster.value) /
+                          static_cast<double>(cfg.num_clusters);
+
+  switch (kind) {
+    case ScenarioKind::kSteady:
+      return std::make_unique<MmppSource>(sc, cfg.mmpp);
+
+    case ScenarioKind::kFlashCrowd: {
+      if (cluster.value >= cfg.spike_clusters) {
+        return std::make_unique<PoissonSource>(sc);
+      }
+      Envelope env;
+      env.kind = Envelope::Kind::kSpike;
+      env.t0 = cfg.spike_at;
+      env.ramp = cfg.spike_ramp;
+      env.t1 = cfg.spike_at + cfg.spike_ramp + cfg.spike_hold;
+      env.decay = cfg.spike_decay;
+      env.mult = cfg.spike_mult;
+      return Shaped(sc, env, thin_seed);
+    }
+
+    case ScenarioKind::kDiurnal: {
+      Envelope env;
+      env.kind = Envelope::Kind::kDiurnal;
+      env.period = cfg.diurnal_period;
+      env.amplitude = cfg.diurnal_amplitude;
+      env.phase = ring_pos;
+      return Shaped(sc, env, thin_seed);
+    }
+
+    case ScenarioKind::kFailover: {
+      Envelope env;
+      env.kind = Envelope::Kind::kWindow;
+      env.t0 = cfg.failover_at;
+      env.t1 = cfg.failover_at + cfg.failover_for;
+      if (cluster == cfg.failover_cluster) {
+        // Only the mid-session residual keeps arriving at the failed
+        // region.
+        env.mult = cfg.failover_residual;
+      } else if (cfg.num_clusters > 1) {
+        // The re-homed mass spreads evenly over the survivors.
+        env.mult = 1.0 + (1.0 - cfg.failover_residual) /
+                             static_cast<double>(cfg.num_clusters - 1);
+      } else {
+        env.mult = 1.0;
+      }
+      return Shaped(sc, env, thin_seed);
+    }
+
+    case ScenarioKind::kMobility: {
+      Envelope env;
+      env.kind = Envelope::Kind::kDriftWave;
+      env.period = cfg.drift_period;
+      env.phase = ring_pos;
+      env.floor = cfg.drift_floor;
+      return Shaped(sc, env, thin_seed);
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ScenarioSource> BuildScenario(ScenarioKind kind,
+                                              const ScenarioConfig& cfg) {
+  std::vector<std::unique_ptr<ScenarioSource>> parts;
+  parts.reserve(static_cast<std::size_t>(cfg.num_clusters));
+  for (int c = 0; c < cfg.num_clusters; ++c) {
+    parts.push_back(BuildClusterStream(kind, cfg, ClusterId{c}));
+  }
+  return std::make_unique<Superpose>(std::move(parts));
+}
+
+}  // namespace tango::storm

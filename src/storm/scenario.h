@@ -1,0 +1,88 @@
+// TangoStorm scenario families.
+//
+// Five families, all built from the same parts: per-cluster base streams
+// (Poisson or MMPP) shaped by per-cluster envelopes, superposed into one
+// arrival-ordered system stream:
+//
+//   kSteady     — MMPP base load per cluster (bursty open-loop baseline)
+//   kFlashCrowd — multiplicative spike with linear ramp and exponential
+//                 decay on the hotspot clusters
+//   kDiurnal    — per-cluster phase-shifted sinusoid (time-zone waves)
+//   kFailover   — a regional outage window: the failed cluster's request
+//                 mass is re-homed to the surviving clusters for the same
+//                 window a FaultScript fails its master
+//                 (fault::MakeRegionalFailover builds the matching script)
+//   kMobility   — a load hotspot travelling across the cluster ring
+//                 (user-mobility origin drift)
+//
+// Because every cluster's stream is a pure function of (seed, cluster id),
+// BuildClusterStream(k) over any grouping of clusters unions to the same
+// request multiset as BuildScenario — the property the sharded engine
+// leans on for per-shard generator streams.
+#pragma once
+
+#include <memory>
+
+#include "storm/generators.h"
+
+namespace tango::storm {
+
+enum class ScenarioKind {
+  kSteady,
+  kFlashCrowd,
+  kDiurnal,
+  kFailover,
+  kMobility,
+};
+inline constexpr int kNumScenarioKinds = 5;
+const char* ScenarioKindName(ScenarioKind kind);
+
+struct ScenarioConfig {
+  const workload::ServiceCatalog* catalog = nullptr;
+  int num_clusters = 4;
+  SimTime horizon = 10 * kSecond;
+  /// Mean base arrival rate per cluster (requests/second, both classes).
+  double rps_per_cluster = 60.0;
+  double lc_fraction = 0.8;
+  std::uint64_t seed = 42;
+
+  // kSteady
+  MmppParams mmpp;
+
+  // kFlashCrowd — spike on clusters [0, spike_clusters).
+  double spike_mult = 4.0;
+  SimTime spike_at = 3 * kSecond;
+  SimDuration spike_ramp = 500 * kMillisecond;
+  SimDuration spike_hold = 2 * kSecond;
+  SimDuration spike_decay = kSecond;
+  int spike_clusters = 1;
+
+  // kDiurnal
+  double diurnal_amplitude = 0.6;
+  SimDuration diurnal_period = 8 * kSecond;
+
+  // kFailover — `failover_cluster`'s mass re-homes to the others inside
+  // [failover_at, failover_at + failover_for); `failover_residual` of it
+  // keeps arriving locally (clients mid-session).
+  ClusterId failover_cluster{0};
+  SimTime failover_at = 3 * kSecond;
+  SimDuration failover_for = 3 * kSecond;
+  double failover_residual = 0.05;
+
+  // kMobility
+  SimDuration drift_period = 6 * kSecond;
+  double drift_floor = 0.3;
+};
+
+/// The stream of requests originating at `cluster` under this scenario —
+/// deterministic in (cfg.seed, cluster) alone, so any partition of clusters
+/// across shards reproduces the same union.
+std::unique_ptr<ScenarioSource> BuildClusterStream(ScenarioKind kind,
+                                                   const ScenarioConfig& cfg,
+                                                   ClusterId cluster);
+
+/// The whole system's stream: Superpose over all clusters.
+std::unique_ptr<ScenarioSource> BuildScenario(ScenarioKind kind,
+                                              const ScenarioConfig& cfg);
+
+}  // namespace tango::storm

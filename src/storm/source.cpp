@@ -1,0 +1,50 @@
+#include "storm/source.h"
+
+#include <algorithm>
+
+#include "scope/metrics.h"
+#include "scope/scope.h"
+
+namespace tango::storm {
+
+std::uint64_t DeriveStreamSeed(std::uint64_t seed, std::int64_t cluster,
+                               std::uint64_t salt) {
+  // splitmix64 finalizer over the mixed coordinates; any two distinct
+  // (seed, cluster, salt) triples land on independent-looking streams.
+  std::uint64_t z = seed;
+  z += 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(cluster) + 1);
+  z += 0xBF58476D1CE4E5B9ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::size_t Drain(ScenarioSource& source, workload::Trace* out,
+                  scope::MetricRegistry* metrics) {
+  const std::size_t before = out->size();
+  workload::Request r;
+  while (source.NextRequest(&r)) {
+    // tango-lint: allow(storm-stream) — the one materialization boundary.
+    out->push_back(r);
+  }
+  std::stable_sort(out->begin(), out->end(),
+                   [](const workload::Request& a, const workload::Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (std::size_t i = 0; i < out->size(); ++i) {
+    (*out)[i].id = RequestId{static_cast<std::int32_t>(i)};
+  }
+  const std::size_t drained = out->size() - before;
+  if (metrics != nullptr) {
+    metrics->GetCounter("storm.drained")
+        .Add(static_cast<std::int64_t>(drained));
+    metrics->GetHistogram("storm.drain_batch")
+        .Observe(static_cast<std::int64_t>(drained));
+  }
+  TANGO_SCOPE_INSTANT("storm.drain", "storm",
+                      out->empty() ? 0 : out->back().arrival,
+                      .request = static_cast<std::int64_t>(drained));
+  return drained;
+}
+
+}  // namespace tango::storm

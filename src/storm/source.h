@@ -1,0 +1,59 @@
+// TangoStorm: streaming scenario sources.
+//
+// A ScenarioSource is a pull-based, arrival-ordered request stream: each
+// NextRequest() call produces the next request of the scenario without ever
+// materializing a request vector. Generators allocate whatever they need at
+// construction (service pools, child sources, merge heads) and are
+// allocation-free in steady state — tests/allocation_test.cpp holds that
+// with a counting operator new, and the `storm-stream` lint rule bans
+// materialized request vectors in Next* paths.
+//
+// Determinism contract: every source draws from its own seeded Rng, derived
+// as a pure function of (scenario seed, cluster id, stream salt) — never
+// from global state and never order-dependently from a shared stream. A
+// cluster's stream is therefore byte-identical no matter which shard (or
+// how many superposed siblings) pull it, which is what lets the sharded
+// engine run one stream per cluster and still match the monolithic run.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/trace.h"
+
+namespace tango::scope {
+class MetricRegistry;
+}  // namespace tango::scope
+
+namespace tango::storm {
+
+/// Pull interface over an arrival-ordered request stream.
+class ScenarioSource {
+ public:
+  virtual ~ScenarioSource() = default;
+  ScenarioSource() = default;
+  ScenarioSource(const ScenarioSource&) = delete;
+  ScenarioSource& operator=(const ScenarioSource&) = delete;
+
+  /// Produce the next request, in nondecreasing arrival order. Returns
+  /// false when the stream is exhausted (past its horizon). Emitted
+  /// requests carry service/origin/arrival/work_scale; ids are assigned by
+  /// the consumer (Drain) because interleaved streams cannot pre-number.
+  virtual bool NextRequest(workload::Request* out) = 0;
+};
+
+/// Derive a child stream seed as a pure function of its coordinates (no
+/// sequential forking — stream identity must not depend on construction
+/// order). splitmix64 finalizer over the mixed words.
+std::uint64_t DeriveStreamSeed(std::uint64_t seed, std::int64_t cluster,
+                               std::uint64_t salt);
+
+/// Exhaust `source` into `out` (appending), then sort by arrival and assign
+/// sequential ids 0..n-1 — the one materialization point, at the harness
+/// boundary where k8s::EdgeCloudSystem wants a whole Trace. Returns the
+/// number of requests drained. When `metrics` is non-null the call bumps
+/// the `storm.drained` counter and observes per-drain batch size on the
+/// `storm.drain_batch` histogram (generator-throughput accounting).
+std::size_t Drain(ScenarioSource& source, workload::Trace* out,
+                  scope::MetricRegistry* metrics = nullptr);
+
+}  // namespace tango::storm

@@ -68,6 +68,13 @@ std::optional<Trace> ReadTraceCsv(std::istream& in, TraceParseError* error) {
       SetError(error, lineno, "malformed row: " + line);
       return std::nullopt;
     }
+    // The extraction above stops at the last numeric field; anything left
+    // ("1.5xyz", a fifth comma, a sixth column) is junk, not a valid row.
+    row >> std::ws;
+    if (!row.eof()) {
+      SetError(error, lineno, "malformed row: " + line);
+      return std::nullopt;
+    }
     if (id < 0 || svc < 0 || origin < 0 || arrival < 0 || scale <= 0.0) {
       SetError(error, lineno, "out-of-range field: " + line);
       return std::nullopt;

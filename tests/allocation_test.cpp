@@ -1,10 +1,48 @@
 // Tests for the allocation policies: native K8s (fixed container limits),
-// HRM (§4.1 regulations), and the CERES baseline.
+// HRM (§4.1 regulations), and the CERES baseline — plus the memory-
+// allocation discipline of the storm generators (zero steady-state
+// allocations, the repo's alloc_events pattern at process scope).
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 
 #include "hrm/regulations.h"
 #include "k8s/allocation.h"
 #include "sched/ceres.h"
+#include "storm/scenario.h"
+#include "storm/source.h"
+
+// TU-global counting operator new: this binary's strongest-scope version of
+// the alloc_events counter pattern (flow::McmfSolver, sim::Simulator).
+// Every heap allocation in the process bumps the counter, so a snapshot
+// taken around a hot loop proves the loop allocation-free.
+static std::int64_t g_alloc_events = 0;
+
+void* operator new(std::size_t size) {
+  ++g_alloc_events;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_alloc_events;
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align),
+                     size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace tango {
 namespace {
@@ -282,6 +320,42 @@ TEST(CeresPolicy, SlowerScalingThanDvpa) {
   sched::CeresAllocationPolicy ceres(&cat);
   hrm::HrmAllocationPolicy hrm_policy(&cat);
   EXPECT_GT(ceres.AdmissionLatency(), hrm_policy.AdmissionLatency());
+}
+
+// ------------------------------------------------- storm generator allocs --
+
+TEST(StormAllocation, NextRequestIsAllocationFreeAcrossFamilies) {
+  const ServiceCatalog cat = ServiceCatalog::Standard();
+  for (int k = 0; k < storm::kNumScenarioKinds; ++k) {
+    const auto kind = static_cast<storm::ScenarioKind>(k);
+    storm::ScenarioConfig cfg;
+    cfg.catalog = &cat;
+    cfg.num_clusters = 4;
+    cfg.horizon = 20 * kSecond;
+    cfg.rps_per_cluster = 80.0;
+    cfg.seed = 11;
+    auto source = storm::BuildScenario(kind, cfg);
+    // Warm up: construction and any first-pull lazy state may allocate.
+    workload::Request req;
+    int warmed = 0;
+    for (; warmed < 128 && source->NextRequest(&req); ++warmed) {
+    }
+    ASSERT_EQ(warmed, 128) << storm::ScenarioKindName(kind);
+    // Steady state: thousands of pulls, zero allocation events.
+    const std::int64_t before = g_alloc_events;
+    std::int64_t pulled = 0;
+    SimTime last_arrival = 0;
+    bool ordered = true;
+    for (int i = 0; i < 2000 && source->NextRequest(&req); ++i) {
+      ++pulled;
+      ordered = ordered && req.arrival >= last_arrival;
+      last_arrival = req.arrival;
+    }
+    const std::int64_t during = g_alloc_events - before;
+    EXPECT_EQ(during, 0) << storm::ScenarioKindName(kind);
+    EXPECT_EQ(pulled, 2000) << storm::ScenarioKindName(kind);
+    EXPECT_TRUE(ordered) << storm::ScenarioKindName(kind);
+  }
 }
 
 }  // namespace

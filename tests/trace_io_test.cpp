@@ -87,6 +87,73 @@ TEST(TraceIo, RejectsNegativeFields) {
   EXPECT_FALSE(ReadTraceCsv(buf).has_value());
 }
 
+TEST(TraceIo, RejectsNegativeArrivalWithLine) {
+  std::stringstream buf(
+      "request_id,service_id,origin_cluster,arrival_us,work_scale\n"
+      "0,1,0,100,1.0\n"
+      "1,1,0,-1,1.0\n");
+  TraceParseError err;
+  EXPECT_FALSE(ReadTraceCsv(buf, &err).has_value());
+  EXPECT_EQ(err.line, 3);
+  EXPECT_NE(err.message.find("out-of-range"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsNonPositiveWorkScale) {
+  for (const char* scale : {"0", "-0.5"}) {
+    std::stringstream buf(
+        std::string(
+            "request_id,service_id,origin_cluster,arrival_us,work_scale\n"
+            "0,1,0,100,") +
+        scale + "\n");
+    TraceParseError err;
+    EXPECT_FALSE(ReadTraceCsv(buf, &err).has_value()) << scale;
+    EXPECT_EQ(err.line, 2) << scale;
+    EXPECT_NE(err.message.find("out-of-range"), std::string::npos) << scale;
+  }
+}
+
+TEST(TraceIo, RejectsTrailingJunkAfterLastField) {
+  std::stringstream buf(
+      "request_id,service_id,origin_cluster,arrival_us,work_scale\n"
+      "0,1,0,100,1.0\n"
+      "1,1,0,200,1.5xyz\n");
+  TraceParseError err;
+  EXPECT_FALSE(ReadTraceCsv(buf, &err).has_value());
+  EXPECT_EQ(err.line, 3);
+  EXPECT_NE(err.message.find("malformed"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsExtraColumn) {
+  std::stringstream buf(
+      "request_id,service_id,origin_cluster,arrival_us,work_scale\n"
+      "0,1,0,100,1.0,42\n");
+  TraceParseError err;
+  EXPECT_FALSE(ReadTraceCsv(buf, &err).has_value());
+  EXPECT_EQ(err.line, 2);
+  EXPECT_NE(err.message.find("malformed"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsShortRowWithLine) {
+  std::stringstream buf(
+      "request_id,service_id,origin_cluster,arrival_us,work_scale\n"
+      "0,1,0,100\n");
+  TraceParseError err;
+  EXPECT_FALSE(ReadTraceCsv(buf, &err).has_value());
+  EXPECT_EQ(err.line, 2);
+  EXPECT_NE(err.message.find("malformed"), std::string::npos);
+}
+
+TEST(TraceIo, DuplicateIdReportsLine) {
+  std::stringstream buf(
+      "request_id,service_id,origin_cluster,arrival_us,work_scale\n"
+      "7,1,0,100,1.0\n"
+      "8,1,0,150,1.0\n"
+      "7,2,1,200,1.0\n");
+  TraceParseError err;
+  EXPECT_FALSE(ReadTraceCsv(buf, &err).has_value());
+  EXPECT_EQ(err.line, 4);
+}
+
 TEST(TraceIo, SortsByArrival) {
   std::stringstream buf(
       "request_id,service_id,origin_cluster,arrival_us,work_scale\n"

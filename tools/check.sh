@@ -62,6 +62,11 @@ if [[ "$what" == "all" || "$what" == "plain" ]]; then
   # the build dir so a smoke run never touches a committed BENCH_*.json.
   echo "== [plain] perf_sim --smoke =="
   (cd "$repo_root/build" && bench/perf_sim --smoke)
+  # TangoStorm invariants: per-seed determinism, per-cluster union ==
+  # superposed scenario, arrival ordering, interference-off exact
+  # identity, monotone inflation. Exit 1 on any violation, writes nothing.
+  echo "== [plain] abl_scenarios --smoke =="
+  (cd "$repo_root/build" && bench/abl_scenarios --smoke)
 fi
 
 if [[ "$what" == "all" || "$what" == "sanitize" ]]; then

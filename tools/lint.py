@@ -30,6 +30,13 @@ degrades gracefully when optional external tools are missing:
                   and no Var/Node/MakeNode/Backward references. autograd
                   depends on packed (shared SoftmaxProbs kernel), so a
                   reverse edge would also be an include cycle.
+  storm-stream    src/storm generators are pull-based: no materialized
+                  request vectors (std::vector<...Request...>) and no
+                  push_back/emplace_back inside Next* paths — batches
+                  defeat the zero-allocation streaming contract. Annotate
+                  a deliberate materialization boundary (e.g. Drain) with
+                  `// tango-lint: allow(storm-stream)` on the same or the
+                  preceding line.
   headers         every header under src/ must be self-contained
                   (compiles alone with `g++ -fsyntax-only`).
   format          clang-format --dry-run over src/tests/bench/examples;
@@ -95,6 +102,16 @@ INFERENCE_TAPE_INCLUDE = re.compile(r'#\s*include\s*"nn/autograd\.h"')
 INFERENCE_TAPE_BAN = re.compile(
     r"\b(?:nn::)?(Var|MakeNode|Backward|ZeroGrad)\b|\bstruct\s+Node\b"
     r"|\bNode\s*\*")
+
+# Streaming generators (src/storm) must never materialize request batches:
+# a request vector, or any container append reachable from a Next* path,
+# breaks the zero-allocation pull contract. Drain is the one deliberate
+# boundary and carries the allow annotation.
+STORM_DIR = "src/storm"
+ALLOW_STORM_STREAM = "tango-lint: allow(storm-stream)"
+STORM_NEXT_DEF = re.compile(r"\bNext\w*\s*\(")
+STORM_REQUEST_VECTOR = re.compile(r"std::vector\s*<[^>]*\bRequest\b")
+STORM_MATERIALIZE = re.compile(r"\b(?:push_back|emplace_back)\s*\(")
 
 SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
 
@@ -233,6 +250,54 @@ def check_inference_tape(findings: list[str]) -> None:
                         f"the tape-free inference kernel: {raw.strip()}")
 
 
+def check_storm_stream(findings: list[str]) -> None:
+    for path in source_files(".h", ".cpp"):
+        r = rel(path)
+        if not r.startswith(STORM_DIR):
+            continue
+        # Tiny state machine: 0 = outside any Next* path, 1 = saw a Next*
+        # signature and await its opening brace, 2 = inside a Next* body or
+        # a loop driven by a Next* call (brace-depth tracked).
+        state = 0
+        depth = 0
+        prev_allow = False
+        with open(path, encoding="utf-8") as f:
+            for i, raw in enumerate(f, 1):
+                allowed = ALLOW_STORM_STREAM in raw or prev_allow
+                prev_allow = ALLOW_STORM_STREAM in raw
+                line = strip_comments_and_strings(raw)
+                if state == 0 and STORM_NEXT_DEF.search(line):
+                    brace = line.find("{")
+                    semi = line.find(";")
+                    if brace >= 0 and (semi < 0 or brace < semi):
+                        state, depth = 2, 0
+                    elif semi < 0:
+                        state = 1
+                elif state == 1:
+                    if "{" in line:
+                        state, depth = 2, 0
+                    elif ";" in line:
+                        state = 0
+                if not allowed and STORM_REQUEST_VECTOR.search(line):
+                    findings.append(
+                        f"{r}:{i}: [storm-stream] materialized request "
+                        f"vector in a streaming generator — sources stay "
+                        f"pull-based (annotate a deliberate boundary with "
+                        f"`// {ALLOW_STORM_STREAM}`): {raw.strip()}")
+                elif state == 2 and not allowed and \
+                        STORM_MATERIALIZE.search(line):
+                    findings.append(
+                        f"{r}:{i}: [storm-stream] container append on a "
+                        f"Next* path — streaming generators must not "
+                        f"materialize batches (annotate with "
+                        f"`// {ALLOW_STORM_STREAM}` if deliberate): "
+                        f"{raw.strip()}")
+                if state == 2:
+                    depth += line.count("{") - line.count("}")
+                    if depth <= 0:
+                        state = 0
+
+
 def check_headers(findings: list[str]) -> None:
     gxx = shutil.which("g++") or shutil.which("c++")
     if gxx is None:
@@ -291,7 +356,7 @@ def main() -> int:
     parser.add_argument("--skip", action="append", default=[],
                         choices=["hot-path", "raw-new", "rng", "stats-struct",
                                  "shard-isolation", "inference-tape",
-                                 "headers", "format"],
+                                 "storm-stream", "headers", "format"],
                         help="disable one check (repeatable)")
     args = parser.parse_args()
 
@@ -308,6 +373,7 @@ def main() -> int:
         "stats-struct": check_stats_struct,
         "shard-isolation": check_shard_isolation,
         "inference-tape": check_inference_tape,
+        "storm-stream": check_storm_stream,
         "headers": check_headers,
         "format": check_format,
     }

@@ -20,7 +20,7 @@ LINT = os.path.join(HERE, "lint.py")
 TESTDATA = os.path.join(HERE, "testdata", "lint")
 
 CONTENT_RULES = ("hot-path", "raw-new", "rng", "stats-struct",
-                 "shard-isolation", "inference-tape")
+                 "shard-isolation", "inference-tape", "storm-stream")
 
 
 def run_lint(root, *extra):
@@ -47,7 +47,8 @@ class ViolationsTest(unittest.TestCase):
         for needle in ("src/sim/hot.cpp:5", "src/common/raw.cpp:3",
                        "src/common/rng_bad.cpp:6",
                        "src/common/counters.cpp:3",
-                       "src/shard/cross.cpp:4", "src/nn/packed.cpp:3"):
+                       "src/shard/cross.cpp:4", "src/nn/packed.cpp:3",
+                       "src/storm/gen.cpp:7"):
             self.assertIn(needle, out)
 
     def test_skip_disables_a_rule(self):

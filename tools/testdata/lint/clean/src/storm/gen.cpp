@@ -1,0 +1,16 @@
+// storm-stream escapes: an annotated materialization boundary, and plain
+// appends outside any Next* path, are both allowed.
+#include <vector>
+
+namespace tango::storm {
+struct GoodGen {
+  bool NextRequest(int* out) {
+    // tango-lint: allow(storm-stream) — pooled, capacity pre-reserved
+    scratch_.push_back(1);
+    *out = scratch_.back();
+    return true;
+  }
+  void Warm() { scratch_.push_back(0); }
+  std::vector<int> scratch_;
+};
+}  // namespace tango::storm

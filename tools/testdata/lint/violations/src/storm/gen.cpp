@@ -1,0 +1,13 @@
+// Seeded storm-stream violation: batch materialization on a Next* path.
+#include <vector>
+
+namespace tango::storm {
+struct BadGen {
+  bool NextRequest(int* out) {
+    batch_.push_back(1);
+    *out = batch_.back();
+    return true;
+  }
+  std::vector<int> batch_;
+};
+}  // namespace tango::storm
